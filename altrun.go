@@ -1,0 +1,157 @@
+// Package altrun is a Go reproduction of Smith & Maguire, "Transparent
+// Concurrent Execution of Mutually Exclusive Alternatives" (ICDCS
+// 1989): a runtime that executes several alternative methods of
+// computing one result speculatively in parallel, commits the first
+// successful one ("fastest first"), and discards the rest — while
+// remaining observationally identical to a sequential nondeterministic
+// selection of exactly one alternative.
+//
+// # Quick start
+//
+//	rt, err := altrun.New(altrun.Config{})
+//	root, err := rt.NewRootWorld("main", 1<<20)
+//	res, err := root.RunAlt(altrun.Options{},
+//	    altrun.Alt{Name: "plan-a", Body: planA},
+//	    altrun.Alt{Name: "plan-b", Body: planB},
+//	)
+//
+// Each alternative runs in a World: a private copy-on-write address
+// space plus a predicate set recording the assumptions it runs under.
+// The winner's pages are absorbed into the parent with an atomic page-
+// map swap; losers' writes are never observable. Alternatives may
+// exchange messages with server worlds through the multiple-worlds
+// message layer, and may emit console output, which is deferred until
+// their fate resolves.
+//
+// For deterministic experiments (and the paper's evaluation), NewSim
+// builds the same runtime over a discrete-event simulator with a
+// machine cost model; see the MachineProfile constructors.
+//
+// For racing plain Go functions without speculative state, use Race.
+package altrun
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"altrun/internal/core"
+	"altrun/internal/sim"
+)
+
+// Core types, re-exported.
+type (
+	// Runtime owns worlds, the page store, and the message router.
+	Runtime = core.Runtime
+	// World is one speculative process: COW address space +
+	// predicates + identity.
+	World = core.World
+	// Alt is one alternative: ENSURE Guard WITH Body.
+	Alt = core.Alt
+	// Options tune an alternative block (timeout, full-copy state,
+	// sync/async elimination, guard re-check, commit arbiter).
+	Options = core.Options
+	// Result describes a committed block.
+	Result = core.Result
+	// Config configures a real-mode (goroutine) runtime.
+	Config = core.Config
+	// SimConfig configures a simulated runtime.
+	SimConfig = core.SimConfig
+	// Handler processes messages in a server world.
+	Handler = core.Handler
+	// ClaimFunc is a pluggable at-most-once commit arbiter.
+	ClaimFunc = core.ClaimFunc
+	// MachineProfile is a simulated machine cost model.
+	MachineProfile = sim.MachineProfile
+)
+
+// Errors, re-exported.
+var (
+	// ErrAllFailed is the block's FAIL outcome.
+	ErrAllFailed = core.ErrAllFailed
+	// ErrTimeout means no alternative succeeded within the timeout.
+	ErrTimeout = core.ErrTimeout
+	// ErrGuardFailed is the implicit guard-failure error.
+	ErrGuardFailed = core.ErrGuardFailed
+	// ErrEliminated means the executing world was eliminated.
+	ErrEliminated = core.ErrEliminated
+)
+
+// New returns a real-mode runtime: alternatives run as goroutines
+// against the wall clock.
+func New(cfg Config) (*Runtime, error) { return core.New(cfg), nil }
+
+// NewSim returns a simulated runtime over a deterministic discrete-
+// event engine with the given machine cost model.
+func NewSim(cfg SimConfig) *Runtime { return core.NewSim(cfg) }
+
+// Profile3B2 models the AT&T 3B2/310 of the paper's §4.4 measurements.
+func Profile3B2() MachineProfile { return sim.Profile3B2() }
+
+// ProfileHP9000 models the HP 9000/350 of the paper's §4.4.
+func ProfileHP9000() MachineProfile { return sim.ProfileHP9000() }
+
+// ProfileSharedMemory models an idealized shared-memory multiprocessor
+// with the given CPU count.
+func ProfileSharedMemory(cpus int) MachineProfile { return sim.ProfileSharedMemory(cpus) }
+
+// Replicate expands each alternative into k identical replicas racing
+// in the same block — the paper's §6 extension combining transparent
+// replication (for reliability) with alternative racing (for speed): a
+// replica crash is masked as long as a twin survives.
+func Replicate(k int, alts []Alt) []Alt { return core.Replicate(k, alts) }
+
+// ErrNoWinner is returned by Race when every function failed.
+var ErrNoWinner = errors.New("altrun: all racers failed")
+
+// Race runs fns concurrently and returns the index and value of the
+// first to succeed, cancelling the rest through the shared context —
+// fastest-first selection for plain Go functions, without speculative
+// state. If every fn fails, it returns ErrNoWinner joined with each
+// failure. Race blocks until all fns have returned, so resources they
+// hold are released before it returns.
+func Race[T any](ctx context.Context, fns ...func(ctx context.Context) (T, error)) (int, T, error) {
+	var zero T
+	if len(fns) == 0 {
+		return -1, zero, ErrNoWinner
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		idx int
+		val T
+		err error
+	}
+	results := make(chan outcome, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		i, fn := i, fn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := fn(raceCtx)
+			results <- outcome{idx: i, val: v, err: err}
+		}()
+	}
+
+	errs := make([]error, 0, len(fns))
+	var winner *outcome
+	for range fns {
+		o := <-results
+		if o.err == nil && winner == nil {
+			winner = &o
+			cancel() // eliminate the siblings
+		} else if o.err != nil {
+			errs = append(errs, o.err)
+		}
+	}
+	wg.Wait()
+	if winner != nil {
+		return winner.idx, winner.val, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return -1, zero, err
+	}
+	return -1, zero, errors.Join(append([]error{ErrNoWinner}, errs...)...)
+}

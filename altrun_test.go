@@ -1,0 +1,152 @@
+package altrun_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"altrun"
+)
+
+func TestFacadeRealMode(t *testing.T) {
+	rt, err := altrun.New(altrun.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := rt.NewRootWorld("main", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := root.RunAlt(altrun.Options{},
+		altrun.Alt{Name: "fast", Body: func(w *altrun.World) error {
+			return w.WriteAt([]byte("ok"), 0)
+		}},
+		altrun.Alt{Name: "slow", Body: func(w *altrun.World) error {
+			w.Sleep(time.Second)
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "fast" {
+		t.Fatalf("winner = %q", res.Name)
+	}
+	rt.Wait()
+}
+
+func TestFacadeSimMode(t *testing.T) {
+	rt := altrun.NewSim(altrun.SimConfig{Profile: altrun.ProfileHP9000()})
+	var res altrun.Result
+	rt.GoRoot("main", 64<<10, func(w *altrun.World) {
+		r, err := w.RunAlt(altrun.Options{},
+			altrun.Alt{Name: "a", Body: func(cw *altrun.World) error {
+				cw.Compute(time.Second)
+				return nil
+			}},
+			altrun.Alt{Name: "b", Body: func(cw *altrun.World) error {
+				cw.Compute(10 * time.Second)
+				return nil
+			}},
+		)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = r
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "a" {
+		t.Fatalf("winner = %q", res.Name)
+	}
+	// The HP profile charges fork costs, so elapsed > pure compute.
+	if res.Elapsed <= time.Second {
+		t.Fatalf("elapsed = %v, want > 1s (modelled overhead)", res.Elapsed)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	if altrun.Profile3B2().Name == "" || altrun.ProfileHP9000().Name == "" {
+		t.Fatal("profiles must be named")
+	}
+	if altrun.ProfileSharedMemory(8).CPUs != 8 {
+		t.Fatal("shared-memory CPUs")
+	}
+}
+
+func TestRaceFirstSuccess(t *testing.T) {
+	idx, val, err := altrun.Race(context.Background(),
+		func(ctx context.Context) (string, error) {
+			select {
+			case <-time.After(time.Second):
+				return "slow", nil
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		},
+		func(ctx context.Context) (string, error) {
+			return "fast", nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || val != "fast" {
+		t.Fatalf("winner = %d %q", idx, val)
+	}
+}
+
+func TestRaceAllFail(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := altrun.Race(context.Background(),
+		func(ctx context.Context) (int, error) { return 0, boom },
+		func(ctx context.Context) (int, error) { return 0, boom },
+	)
+	if !errors.Is(err, altrun.ErrNoWinner) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRaceEmpty(t *testing.T) {
+	_, _, err := altrun.Race[int](context.Background())
+	if !errors.Is(err, altrun.ErrNoWinner) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRaceCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := altrun.Race(ctx,
+		func(ctx context.Context) (int, error) {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		},
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRaceLosersCancelled(t *testing.T) {
+	cancelled := make(chan struct{})
+	_, _, err := altrun.Race(context.Background(),
+		func(ctx context.Context) (int, error) { return 42, nil },
+		func(ctx context.Context) (int, error) {
+			<-ctx.Done()
+			close(cancelled)
+			return 0, ctx.Err()
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-cancelled:
+	default:
+		t.Fatal("loser was not cancelled before Race returned")
+	}
+}

@@ -1,0 +1,94 @@
+// Package prolog is the public surface of the repository's Prolog
+// engine (the paper's §5.2 application): a small Edinburgh-subset
+// interpreter with a sequential SLD solver and an OR-parallel solver
+// that races clause choices through speculative worlds.
+//
+//	db := prolog.NewDB()
+//	_ = db.Load(prolog.Prelude)
+//	_ = db.Load("likes(alice, go). likes(bob, go). likes(bob, c).")
+//	goals, vars, _ := prolog.ParseQuery("likes(X, go)")
+//	s := &prolog.Solver{DB: db}
+//	sols, _ := s.SolveAll(goals, vars, 0)
+//
+// For OR-parallel execution, run an OrSolver inside an altrun world;
+// see examples/prolog.
+package prolog
+
+import (
+	internal "altrun/internal/prolog"
+)
+
+// Term types.
+type (
+	// Term is a Prolog term: Atom, Int, Var, or Compound.
+	Term = internal.Term
+	// Atom is a constant symbol.
+	Atom = internal.Atom
+	// Int is an integer constant.
+	Int = internal.Int
+	// Var is a logic variable.
+	Var = internal.Var
+	// Compound is a functor applied to arguments.
+	Compound = internal.Compound
+	// Clause is head :- body.
+	Clause = internal.Clause
+	// Bindings is the substitution built by unification.
+	Bindings = internal.Bindings
+	// Solution maps query-variable names to rendered values.
+	Solution = internal.Solution
+)
+
+// Engine types.
+type (
+	// DB is a clause database.
+	DB = internal.DB
+	// Solver is the sequential SLD engine.
+	Solver = internal.Solver
+	// OrSolver races clause choices through speculative worlds.
+	OrSolver = internal.OrSolver
+	// OrConfig tunes the OR-parallel solver.
+	OrConfig = internal.OrConfig
+)
+
+// Errors.
+var (
+	// ErrDepthExceeded aborts runaway derivations.
+	ErrDepthExceeded = internal.ErrDepthExceeded
+	// ErrStopped is returned by a step hook to abandon a search.
+	ErrStopped = internal.ErrStopped
+	// ErrNoSolution is the OR-parallel "no." outcome.
+	ErrNoSolution = internal.ErrNoSolution
+)
+
+// Prelude is the list-predicate standard library.
+const Prelude = internal.Prelude
+
+// EmptyList is the [] atom.
+var EmptyList = internal.EmptyList
+
+// NewDB returns an empty clause database.
+func NewDB() *DB { return internal.NewDB() }
+
+// ParseProgram parses a whole program (facts and rules).
+func ParseProgram(src string) ([]Clause, error) { return internal.ParseProgram(src) }
+
+// ParseQuery parses a comma-separated goal list, returning the goals
+// and the query's variables in first-occurrence order.
+func ParseQuery(src string) ([]Term, []Var, error) { return internal.ParseQuery(src) }
+
+// Cons builds the list cell '.'(head, tail).
+func Cons(head, tail Term) Term { return internal.Cons(head, tail) }
+
+// MkList builds a proper list from elements.
+func MkList(elems ...Term) Term { return internal.MkList(elems...) }
+
+// Vars collects the distinct variables of t in first-occurrence order.
+func Vars(t Term) []Var { return internal.Vars(t) }
+
+// Indicator returns the functor/arity key of a callable term.
+func Indicator(t Term) (string, bool) { return internal.Indicator(t) }
+
+// MakeSolution renders the query variables' values under b.
+func MakeSolution(queryVars []Var, b Bindings) Solution {
+	return internal.MakeSolution(queryVars, b)
+}

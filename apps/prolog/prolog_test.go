@@ -1,0 +1,44 @@
+package prolog_test
+
+import (
+	"testing"
+
+	"altrun/apps/prolog"
+)
+
+// The public surface must be self-sufficient for the quickstart flow.
+func TestPublicSurface(t *testing.T) {
+	db := prolog.NewDB()
+	if err := db.Load(prolog.Prelude); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load("likes(alice, go). likes(bob, go). likes(bob, c)."); err != nil {
+		t.Fatal(err)
+	}
+	goals, vars, err := prolog.ParseQuery("likes(X, go)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &prolog.Solver{DB: db}
+	sols, err := s.SolveAll(goals, vars, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	// Term construction helpers.
+	l := prolog.MkList(prolog.Atom("a"), prolog.Int(1))
+	if l.String() != "[a,1]" {
+		t.Fatalf("MkList = %q", l.String())
+	}
+	if k, ok := prolog.Indicator(prolog.Atom("x")); !ok || k != "x/0" {
+		t.Fatalf("Indicator = %q %v", k, ok)
+	}
+	if prolog.EmptyList.String() != "[]" {
+		t.Fatal("EmptyList")
+	}
+	if vs := prolog.Vars(prolog.Cons(prolog.Var{Name: "H", ID: 1}, prolog.EmptyList)); len(vs) != 1 {
+		t.Fatalf("Vars = %v", vs)
+	}
+}

@@ -1,0 +1,59 @@
+// Package recovery is the public surface of the repository's recovery-
+// block implementation (the paper's §5.1 application): N independently-
+// written versions of a computation guarded by one acceptance test,
+// executed either sequentially with rollback or concurrently with
+// fastest-acceptable-first commit.
+//
+//	block := &recovery.Block{
+//	    Name:       "parse-config",
+//	    Alternates: []recovery.Alternate{{Name: "primary", Version: v1}, {Name: "backup", Version: v2}},
+//	    AcceptanceTest: check,
+//	}
+//	idx, err := block.RunSequential(world)            // classic
+//	res, err := block.RunConcurrent(world,            // the paper's §5.1.2
+//	    recovery.DefaultConcurrentOptions(time.Second))
+package recovery
+
+import (
+	"time"
+
+	internal "altrun/internal/recovery"
+
+	"altrun/internal/core"
+)
+
+// Core types.
+type (
+	// Block is a recovery block: ordered alternates plus one
+	// acceptance test applied to all of them.
+	Block = internal.Block
+	// Alternate is one independently-written version.
+	Alternate = internal.Alternate
+)
+
+// ErrNoAcceptableAlternate is the block's failure outcome.
+var ErrNoAcceptableAlternate = internal.ErrNoAcceptableAlternate
+
+// DefaultConcurrentOptions returns the §5.1.2 configuration: full
+// state copies so that shared-page loss cannot fail every alternate.
+func DefaultConcurrentOptions(timeout time.Duration) core.Options {
+	return internal.DefaultConcurrentOptions(timeout)
+}
+
+// Array helpers used by the examples and the demo block.
+var (
+	// WriteIntArray stores xs at the start of a world's space.
+	WriteIntArray = internal.WriteIntArray
+	// ReadIntArray loads the array stored by WriteIntArray.
+	ReadIntArray = internal.ReadIntArray
+	// SortVersion adapts an in-memory sorter into an Alternate.
+	SortVersion = internal.SortVersion
+	// SortedAcceptanceTest verifies order and checksum.
+	SortedAcceptanceTest = internal.SortedAcceptanceTest
+)
+
+// ArraySpaceSize returns the space needed for n elements.
+func ArraySpaceSize(n int) int64 { return internal.ArraySpaceSize(n) }
+
+// Sum returns the checksum SortedAcceptanceTest expects.
+func Sum(xs []int) int64 { return internal.Sum(xs) }

@@ -1,0 +1,46 @@
+package recovery_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"altrun"
+	"altrun/apps/recovery"
+	"altrun/internal/workload"
+)
+
+// The public surface must be self-sufficient for the recovery-block
+// quickstart flow.
+func TestPublicSurface(t *testing.T) {
+	xs := workload.RandomList(100, rand.New(rand.NewSource(1)))
+	block := &recovery.Block{
+		Name: "sort",
+		Alternates: []recovery.Alternate{
+			recovery.SortVersion("primary", workload.Heapsort, time.Microsecond, false),
+			recovery.SortVersion("backup", workload.InsertionSort, time.Microsecond, false),
+		},
+		AcceptanceTest: recovery.SortedAcceptanceTest(recovery.Sum(xs)),
+	}
+	rt := altrun.NewSim(altrun.SimConfig{
+		Profile: altrun.MachineProfile{Name: "t", PageSize: 256, CPUs: 0},
+	})
+	rt.GoRoot("main", recovery.ArraySpaceSize(len(xs)), func(w *altrun.World) {
+		if err := recovery.WriteIntArray(w, xs); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := block.RunConcurrent(w, recovery.DefaultConcurrentOptions(0))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := recovery.ReadIntArray(w)
+		if err != nil || !workload.IsSorted(got) {
+			t.Errorf("result invalid after %q won", res.Name)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

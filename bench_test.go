@@ -1,0 +1,431 @@
+package altrun_test
+
+// One benchmark per paper artifact (DESIGN.md §5, E1-E14), plus
+// substrate micro-benchmarks. The experiments run in the deterministic
+// simulator, so the *simulated* quantities (latency, PI, speedup) are
+// identical on every machine; they are surfaced as custom metrics, and
+// ns/op measures only harness cost. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or print the paper-style tables with: go run ./cmd/altbench
+
+import (
+	"context"
+	"testing"
+
+	"altrun"
+	"altrun/internal/experiments"
+	"altrun/internal/page"
+	"altrun/internal/prolog"
+	"altrun/internal/workload"
+)
+
+func BenchmarkE1PITable(b *testing.B) {
+	var pi2 float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.E1()
+		pi2 = res.Rows[1].PI
+	}
+	b.ReportMetric(pi2, "row2-PI")
+}
+
+func BenchmarkE2MeasuredPI(b *testing.B) {
+	var pi2 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pi2 = res.Rows[1].MeasuredPI
+	}
+	b.ReportMetric(pi2, "row2-PI")
+}
+
+func BenchmarkE3ForkLatency(b *testing.B) {
+	var b2ms, hpms float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.SizeKB == 320 {
+				if row.Profile == "AT&T-3B2/310" {
+					b2ms = float64(row.Fork.Microseconds()) / 1000
+				} else {
+					hpms = float64(row.Fork.Microseconds()) / 1000
+				}
+			}
+		}
+	}
+	b.ReportMetric(b2ms, "3B2-fork-320KB-ms")
+	b.ReportMetric(hpms, "HP-fork-320KB-ms")
+}
+
+func BenchmarkE4PageCopy(b *testing.B) {
+	var rate3b2, rateHP float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Fraction == 1.0 {
+				if row.Profile == "AT&T-3B2/310" {
+					rate3b2 = row.RatePerSec
+				} else {
+					rateHP = row.RatePerSec
+				}
+			}
+		}
+	}
+	b.ReportMetric(rate3b2, "3B2-pages/s")
+	b.ReportMetric(rateHP, "HP-pages/s")
+}
+
+func BenchmarkE5RemoteFork(b *testing.B) {
+	var totalMS float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.SizeKB == 70 {
+				totalMS = float64(row.Total.Milliseconds())
+			}
+		}
+	}
+	b.ReportMetric(totalMS, "rfork-70KB-ms")
+}
+
+func BenchmarkE6Semantics(b *testing.B) {
+	var elim float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		elim = float64(res.Eliminations)
+	}
+	b.ReportMetric(elim, "eliminations")
+}
+
+func BenchmarkE7RecoveryBlock(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Scenario == "slow-primary(sorted-input)" {
+				speedup = row.Speedup
+			}
+		}
+	}
+	b.ReportMetric(speedup, "slow-primary-speedup-x")
+}
+
+func BenchmarkE8PrologOR(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Rows[len(res.Rows)-1].Speedup
+	}
+	b.ReportMetric(speedup, "deepest-skew-speedup-x")
+}
+
+func BenchmarkE9Elimination(b *testing.B) {
+	var savedMS float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		savedMS = float64((last.Sync - last.Async).Milliseconds())
+	}
+	b.ReportMetric(savedMS, "async-saves-ms-at-N16")
+}
+
+func BenchmarkE10Consensus(b *testing.B) {
+	var latMS float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Nodes == 5 && row.Crashes == 0 {
+				latMS = float64(row.Latency.Microseconds()) / 1000
+			}
+		}
+	}
+	b.ReportMetric(latMS, "5-node-commit-ms")
+}
+
+func BenchmarkE11WastedWork(b *testing.B) {
+	var constFactor, expFactor float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.N == 8 {
+				switch row.Workload[:4] {
+				case "cons":
+					constFactor = row.WasteRatio
+				case "expo":
+					expFactor = row.WasteRatio
+				}
+			}
+		}
+	}
+	b.ReportMetric(constFactor, "const-N8-cpu-factor")
+	b.ReportMetric(expFactor, "exp-N8-cpu-factor")
+}
+
+func BenchmarkE12Schemes(b *testing.B) {
+	var cWins float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wins := 0
+		for _, row := range res.Rows {
+			if row.CWins {
+				wins++
+			}
+		}
+		cWins = float64(wins)
+	}
+	b.ReportMetric(cWins, "workloads-where-C-wins")
+}
+
+func BenchmarkE13Worlds(b *testing.B) {
+	var splits float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		splits = float64(res.WorldSplits)
+	}
+	b.ReportMetric(splits, "world-splits")
+}
+
+func BenchmarkE14Crossover(b *testing.B) {
+	var crossSec float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossSec = res.AnalyticCrossover.Seconds()
+	}
+	b.ReportMetric(crossSec, "crossover-s")
+}
+
+func BenchmarkE15SpawnMode(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = res.Rows[0].Penalty
+	}
+	b.ReportMetric(penalty, "fullcopy-penalty-at-1pct")
+}
+
+func BenchmarkE16GuardPlacement(b *testing.B) {
+	var deltaMS float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		deltaMS = float64(last.RecheckDelta.Milliseconds())
+	}
+	b.ReportMetric(deltaMS, "recheck-adds-ms-at-1s-guard")
+}
+
+func BenchmarkE17VirtualConcurrency(b *testing.B) {
+	var uniprocPI float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.CPUs == 1 {
+				uniprocPI = row.MeasuredPI
+			}
+		}
+	}
+	b.ReportMetric(uniprocPI, "uniprocessor-PI")
+}
+
+// ---------------------------------------------------------------------
+// Substrate micro-benchmarks (real wall time).
+// ---------------------------------------------------------------------
+
+// BenchmarkCOWFork measures the page-map duplication cost of forking a
+// 1 MB resident space — the real-mode analogue of E3.
+func BenchmarkCOWFork(b *testing.B) {
+	rt, err := altrun.New(altrun.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := rt.NewRootWorld("bench", 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	if err := root.WriteAt(buf, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.RunAlt(altrun.Options{SyncElimination: true},
+			altrun.Alt{Name: "noop", Body: func(w *altrun.World) error { return nil }},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt.Wait()
+}
+
+// BenchmarkCOWWriteFault measures one COW page copy (real time).
+func BenchmarkCOWWriteFault(b *testing.B) {
+	store := page.NewStore(4096)
+	parent := store.NewTable()
+	if _, err := parent.Write(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, err := parent.Clone()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := child.Write(0); err != nil {
+			b.Fatal(err)
+		}
+		child.Release()
+	}
+}
+
+// BenchmarkRealBlock measures end-to-end real-mode block overhead with
+// trivial alternatives.
+func BenchmarkRealBlock(b *testing.B) {
+	rt, err := altrun.New(altrun.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := rt.NewRootWorld("bench", 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alts := []altrun.Alt{
+		{Name: "a", Body: func(w *altrun.World) error { return w.WriteUint64(0, 1) }},
+		{Name: "b", Body: func(w *altrun.World) error { return w.WriteUint64(0, 2) }},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.RunAlt(altrun.Options{SyncElimination: true}, alts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt.Wait()
+}
+
+// BenchmarkRace measures the lightweight Race helper.
+func BenchmarkRace(b *testing.B) {
+	fn := func(ctx context.Context) (int, error) { return 1, nil }
+	for i := 0; i < b.N; i++ {
+		if _, _, err := altrun.Race(context.Background(), fn, fn, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnify measures unification on a medium list term.
+func BenchmarkUnify(b *testing.B) {
+	elems := make([]prolog.Term, 64)
+	for i := range elems {
+		elems[i] = prolog.Int(int64(i))
+	}
+	ground := prolog.MkList(elems...)
+	db := prolog.NewDB()
+	if err := db.Load("same(X, X)."); err != nil {
+		b.Fatal(err)
+	}
+	s := &prolog.Solver{DB: db}
+	goal := &prolog.Compound{Functor: "same", Args: []prolog.Term{ground, ground}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found, err := s.Solve([]prolog.Term{goal}, func(prolog.Bindings) bool { return true })
+		if err != nil || !found {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialSLD measures the baseline engine on nrev/30.
+func BenchmarkSequentialSLD(b *testing.B) {
+	db := prolog.NewDB()
+	err := db.Load(`
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([]prolog.Term, 30)
+	for i := range elems {
+		elems[i] = prolog.Int(int64(i))
+	}
+	goal := &prolog.Compound{Functor: "nrev", Args: []prolog.Term{
+		prolog.MkList(elems...), prolog.Var{Name: "R", ID: 1},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &prolog.Solver{DB: db}
+		found, err := s.Solve([]prolog.Term{goal}, func(prolog.Bindings) bool { return true })
+		if err != nil || !found {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSorters measures the three §4.2 algorithms on the input
+// that exposes the dispersion racing exploits: already-sorted data.
+func BenchmarkSorters(b *testing.B) {
+	const n = 2000
+	b.Run("quicksort-sorted-pathological", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			workload.NaiveQuicksort(workload.SortedList(n))
+		}
+	})
+	b.Run("heapsort-sorted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			workload.Heapsort(workload.SortedList(n))
+		}
+	})
+	b.Run("insertion-sorted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			workload.InsertionSort(workload.SortedList(n))
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func TestList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return realMain("all", true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e7", "e14"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	out, err := captureStdout(t, func() error { return realMain("e1,e6", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E1 —") || !strings.Contains(out, "E6 —") {
+		t.Errorf("subset output missing tables:\n%s", out)
+	}
+	if strings.Contains(out, "E3 —") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	_, err := captureStdout(t, func() error { return realMain("e99", false) })
+	if err == nil || !strings.Contains(err.Error(), "unknown experiments") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := registry()
+	if len(exps) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.name] {
+			t.Errorf("duplicate experiment %s", e.name)
+		}
+		seen[e.name] = true
+		if e.desc == "" {
+			t.Errorf("experiment %s missing description", e.name)
+		}
+	}
+}
+
+// TestAllExperimentsRun executes every experiment through the CLI path
+// (the full paper reproduction in one test).
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	out, err := captureStdout(t, func() error { return realMain("all", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 17; i++ {
+		tag := "E" + itoa(i) + " —"
+		if !strings.Contains(out, tag) {
+			t.Errorf("output missing %q", tag)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return "1" + string(rune('0'+n-10))
+}

@@ -1,0 +1,144 @@
+// Command prolog is a small Prolog interpreter with optional
+// OR-parallel query execution over the speculative runtime (§5.2 of
+// the paper).
+//
+// Usage:
+//
+//	prolog -f program.pl -q 'anc(tom, X)'            # sequential, first solution
+//	prolog -f program.pl -q 'anc(tom, X)' -all       # all solutions
+//	prolog -f program.pl -q 'pick(X)' -parallel      # OR-parallel (simulated time)
+//	prolog -e 'p(a). p(b).' -q 'p(X)' -all           # inline program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/prolog"
+	"altrun/internal/sim"
+)
+
+func main() {
+	var (
+		file     = flag.String("f", "", "program file")
+		expr     = flag.String("e", "", "inline program text")
+		query    = flag.String("q", "", "query (required)")
+		all      = flag.Bool("all", false, "print all solutions (sequential only)")
+		parallel = flag.Bool("parallel", false, "OR-parallel execution in the simulator")
+		stepCost = flag.Duration("stepcost", 100*time.Microsecond, "simulated cost per inference (parallel mode)")
+		depth    = flag.Int("ordepth", 1, "choice-point racing depth (parallel mode)")
+		limit    = flag.Int("limit", 0, "solution limit for -all (0 = unlimited)")
+		prelude  = flag.Bool("prelude", false, "preload the list-predicate prelude (append, member, reverse, ...)")
+	)
+	flag.Parse()
+	if err := run(*file, *expr, *query, *all, *parallel, *stepCost, *depth, *limit, *prelude); err != nil {
+		fmt.Fprintln(os.Stderr, "prolog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, expr, query string, all, parallel bool, stepCost time.Duration, orDepth, limit int, prelude bool) error {
+	if query == "" {
+		return fmt.Errorf("a query is required (-q)")
+	}
+	db := prolog.NewDB()
+	if prelude {
+		if err := db.Load(prolog.Prelude); err != nil {
+			return fmt.Errorf("prelude: %w", err)
+		}
+	}
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		if err := db.Load(string(src)); err != nil {
+			return err
+		}
+	}
+	if expr != "" {
+		if err := db.Load(expr); err != nil {
+			return err
+		}
+	}
+	if db.Len() == 0 {
+		return fmt.Errorf("empty program (use -f or -e)")
+	}
+	goals, qvars, err := prolog.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+
+	if parallel {
+		return runParallel(db, goals, qvars, stepCost, orDepth)
+	}
+
+	s := &prolog.Solver{DB: db}
+	if all {
+		sols, err := s.SolveAll(goals, qvars, limit)
+		if err != nil {
+			return err
+		}
+		if len(sols) == 0 {
+			fmt.Println("no.")
+			return nil
+		}
+		for _, sol := range sols {
+			printSolution(sol)
+		}
+		fmt.Printf("%% %d solutions, %d inferences\n", len(sols), s.Steps())
+		return nil
+	}
+	sol, found, err := s.SolveFirst(goals, qvars)
+	if err != nil {
+		return err
+	}
+	if !found {
+		fmt.Println("no.")
+		return nil
+	}
+	printSolution(sol)
+	fmt.Printf("%% %d inferences\n", s.Steps())
+	return nil
+}
+
+func runParallel(db *prolog.DB, goals []prolog.Term, qvars []prolog.Var, stepCost time.Duration, orDepth int) error {
+	profile := sim.ProfileSharedMemory(8)
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	o := &prolog.OrSolver{DB: db, Cfg: prolog.OrConfig{StepCost: stepCost, Depth: orDepth}}
+	var (
+		sol      prolog.Solution
+		solveErr error
+		elapsed  time.Duration
+	)
+	rt.GoRoot("query", 1<<16, func(w *core.World) {
+		start := rt.Now()
+		sol, solveErr = o.SolveFirst(w, goals, qvars)
+		elapsed = rt.Now().Sub(start)
+	})
+	if err := rt.Run(); err != nil {
+		return err
+	}
+	if solveErr != nil {
+		if solveErr == prolog.ErrNoSolution {
+			fmt.Println("no.")
+			return nil
+		}
+		return solveErr
+	}
+	printSolution(sol)
+	fmt.Printf("%% %d inferences (all branches), %v simulated time on %s\n",
+		o.Steps(), elapsed, profile.Name)
+	return nil
+}
+
+func printSolution(sol prolog.Solution) {
+	if len(sol) == 0 {
+		fmt.Println("yes.")
+		return
+	}
+	fmt.Println(sol.String())
+}

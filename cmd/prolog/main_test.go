@@ -1,0 +1,181 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+const family = "parent(tom,bob). parent(tom,liz). anc(X,Y) :- parent(X,Y). anc(X,Y) :- parent(X,Z), anc(Z,Y)."
+
+func TestSequentialFirst(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", family, "anc(tom,X)", false, false, time.Microsecond, 1, 0, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "X=bob") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSequentialAll(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", family, "parent(tom,X)", true, false, time.Microsecond, 1, 0, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "X=bob") || !strings.Contains(out, "X=liz") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "2 solutions") {
+		t.Errorf("missing solution count: %q", out)
+	}
+}
+
+func TestNoSolution(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", family, "parent(liz,X)", false, false, time.Microsecond, 1, 0, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no.") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestGroundQueryYes(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", family, "parent(tom,bob)", false, false, time.Microsecond, 1, 0, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "yes.") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestParallelMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", family, "anc(tom,X)", false, true, time.Microsecond, 1, 0, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "X=") || !strings.Contains(out, "simulated time") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestParallelNoSolution(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", family, "parent(liz,X)", false, true, time.Microsecond, 1, 0, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no.") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fam.pl")
+	if err := os.WriteFile(path, []byte(family), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run(path, "", "parent(tom,X)", false, false, time.Microsecond, 1, 0, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "X=bob") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("", family, "", false, false, time.Microsecond, 1, 0, false); err == nil {
+		t.Error("missing query must fail")
+	}
+	if err := run("", "", "p(X)", false, false, time.Microsecond, 1, 0, false); err == nil {
+		t.Error("empty program must fail")
+	}
+	if err := run("/nonexistent/file.pl", "", "p(X)", false, false, time.Microsecond, 1, 0, false); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run("", "malformed(", "p(X)", false, false, time.Microsecond, 1, 0, false); err == nil {
+		t.Error("parse error must fail")
+	}
+	if err := run("", family, "anc(tom", false, false, time.Microsecond, 1, 0, false); err == nil {
+		t.Error("bad query must fail")
+	}
+}
+
+func TestPreludeFlag(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", "likes(a). likes(b).", "reverse([a,b,c], R)", false, false, time.Microsecond, 1, 0, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "R=[c,b,a]") {
+		t.Errorf("output = %q", out)
+	}
+	// Without the prelude the same query has no clauses.
+	out, err = capture(t, func() error {
+		return run("", "likes(a).", "reverse([a,b,c], R)", false, false, time.Microsecond, 1, 0, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no.") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestQueensProgramFile(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("testdata/queens.pl", "", "queens([1,2,3,4], Qs)", true, false, time.Microsecond, 1, 0, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Qs=[2,4,1,3]") || !strings.Contains(out, "Qs=[3,1,4,2]") {
+		t.Errorf("queens output = %q", out)
+	}
+	// OR-parallel mode on the same file.
+	out, err = capture(t, func() error {
+		return run("testdata/queens.pl", "", "queens([1,2,3,4], Qs)", false, true, time.Microsecond, 2, 0, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Qs=[") {
+		t.Errorf("parallel queens output = %q", out)
+	}
+}

@@ -1,0 +1,15 @@
+% N-queens: boards are permutations of column numbers; a placement is
+% safe when no queen shares a diagonal. Uses the prelude (-prelude) for
+% permutation/2 and the plus/3 and \= builtins.
+queens(L, Qs) :- permutation(L, Qs), safe(Qs).
+
+safe([]).
+safe([Q|Qs]) :- noattack(Q, Qs, 1), safe(Qs).
+
+noattack(_, [], _).
+noattack(Q, [Q1|Qs], D) :-
+    Q \= Q1,
+    plus(Q1, D, S1), Q \= S1,
+    plus(Q, D, S2), Q1 \= S2,
+    plus(D, 1, D1),
+    noattack(Q, Qs, D1).

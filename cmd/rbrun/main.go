@@ -1,0 +1,130 @@
+// Command rbrun demonstrates distributed execution of recovery blocks
+// (§5.1 of the paper): independently-written sort versions — one
+// optionally buggy — guarded by an acceptance test, executed either
+// sequentially (try, test, roll back, retry) or concurrently
+// (fastest acceptable version wins).
+//
+// Usage:
+//
+//	rbrun                       # both modes on a pathological input
+//	rbrun -n 2000 -input random # choose input shape and size
+//	rbrun -faulty               # inject a logic fault into the primary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/recovery"
+	"altrun/internal/sim"
+	"altrun/internal/workload"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 1000, "array size")
+		input  = flag.String("input", "sorted", "input shape: sorted|random|reversed|nearly")
+		faulty = flag.Bool("faulty", false, "inject a logic fault into the primary version")
+		seed   = flag.Int64("seed", 1, "random seed for input generation")
+	)
+	flag.Parse()
+	if err := run(*n, *input, *faulty, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "rbrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, input string, faulty bool, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	var xs []int
+	switch input {
+	case "sorted":
+		xs = workload.SortedList(n)
+	case "random":
+		xs = workload.RandomList(n, rng)
+	case "reversed":
+		xs = workload.ReversedList(n)
+	case "nearly":
+		xs = workload.NearlySorted(n, n/100+1, rng)
+	default:
+		return fmt.Errorf("unknown input shape %q", input)
+	}
+
+	const perCompare = time.Microsecond
+	block := &recovery.Block{
+		Name: "sortblock",
+		Alternates: []recovery.Alternate{
+			recovery.SortVersion("primary-quicksort", workload.NaiveQuicksort, perCompare, faulty),
+			recovery.SortVersion("secondary-heapsort", workload.Heapsort, perCompare, false),
+			recovery.SortVersion("tertiary-insertion", workload.InsertionSort, perCompare, false),
+		},
+		AcceptanceTest: recovery.SortedAcceptanceTest(recovery.Sum(xs)),
+	}
+
+	fmt.Printf("recovery block %q: %d alternates, input=%s n=%d faulty-primary=%v\n\n",
+		block.Name, len(block.Alternates), input, n, faulty)
+
+	seqElapsed, seqWho, err := execute(xs, block, false)
+	if err != nil {
+		return fmt.Errorf("sequential: %w", err)
+	}
+	fmt.Printf("sequential:  accepted %-20s in %v (simulated)\n", seqWho, seqElapsed)
+
+	conElapsed, conWho, err := execute(xs, block, true)
+	if err != nil {
+		return fmt.Errorf("concurrent: %w", err)
+	}
+	fmt.Printf("concurrent:  accepted %-20s in %v (simulated)\n", conWho, conElapsed)
+	fmt.Printf("\nspeedup: %.2fx\n", float64(seqElapsed)/float64(conElapsed))
+	return nil
+}
+
+func execute(xs []int, block *recovery.Block, concurrent bool) (time.Duration, string, error) {
+	profile := sim.MachineProfile{Name: "demo", PageSize: 4096, CPUs: 0,
+		ForkBase: 500 * time.Microsecond}
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	var (
+		elapsed time.Duration
+		who     string
+		failure error
+	)
+	rt.GoRoot("root", recovery.ArraySpaceSize(len(xs)), func(w *core.World) {
+		if err := recovery.WriteIntArray(w, xs); err != nil {
+			failure = err
+			return
+		}
+		start := rt.Now()
+		if concurrent {
+			res, err := block.RunConcurrent(w, recovery.DefaultConcurrentOptions(0))
+			if err != nil {
+				failure = err
+				return
+			}
+			who = res.Name
+		} else {
+			idx, err := block.RunSequential(w)
+			if err != nil {
+				failure = err
+				return
+			}
+			who = block.Alternates[idx].Name
+		}
+		elapsed = rt.Now().Sub(start)
+		got, err := recovery.ReadIntArray(w)
+		if err != nil {
+			failure = err
+			return
+		}
+		if !workload.IsSorted(got) {
+			failure = fmt.Errorf("accepted result is not sorted")
+		}
+	})
+	if err := rt.Run(); err != nil {
+		return 0, "", err
+	}
+	return elapsed, who, failure
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func TestSortedInput(t *testing.T) {
+	out, err := capture(t, func() error { return run(300, "sorted", false, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sequential:") || !strings.Contains(out, "concurrent:") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "speedup:") {
+		t.Errorf("missing speedup line: %q", out)
+	}
+}
+
+func TestAllInputShapes(t *testing.T) {
+	for _, shape := range []string{"sorted", "random", "reversed", "nearly"} {
+		if _, err := capture(t, func() error { return run(100, shape, false, 2) }); err != nil {
+			t.Errorf("shape %s: %v", shape, err)
+		}
+	}
+}
+
+func TestFaultyPrimary(t *testing.T) {
+	out, err := capture(t, func() error { return run(200, "random", true, 3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a faulty primary, the committed alternate is never the
+	// primary.
+	if strings.Contains(out, "accepted primary-quicksort") {
+		t.Errorf("faulty primary was accepted:\n%s", out)
+	}
+}
+
+func TestUnknownShape(t *testing.T) {
+	if err := run(10, "spiral", false, 1); err == nil {
+		t.Error("unknown input shape must fail")
+	}
+}

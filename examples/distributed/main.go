@@ -1,0 +1,99 @@
+// Distributed: an alternative block whose commit is a majority-
+// consensus decision across simulated nodes (§3.2.1: "in applications
+// where this might create a single point of failure, the
+// synchronization is set up as a majority consensus decision"). Two
+// voter crashes out of five leave the quorum intact; the block still
+// commits exactly one alternative. Crash a majority and the block
+// fails safely by timeout instead of double-committing.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"altrun"
+	"altrun/internal/cluster"
+	"altrun/internal/consensus"
+	"altrun/internal/sim"
+)
+
+func main() {
+	fmt.Println("5-node majority-consensus commit, 2 voters crashed (quorum holds):")
+	if err := runBlock(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("same block with 3 of 5 voters crashed (no quorum):")
+	if err := runBlock(3); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runBlock(crashes int) error {
+	rt := altrun.NewSim(altrun.SimConfig{
+		Profile: altrun.MachineProfile{Name: "lab", PageSize: 4096, CPUs: 0},
+	})
+	c := cluster.New(rt.Engine(), 1)
+	var nodes []*cluster.Node
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, c.AddNode(sim.ProfileHP9000()))
+	}
+	group := consensus.NewGroup("demo", c, nodes, consensus.Config{
+		ReplyTimeout: 100 * time.Millisecond,
+		MaxAttempts:  3,
+	})
+
+	// Adapt the quorum to the block's commit arbiter: each finishing
+	// alternative runs the vote protocol on its own simulated process.
+	claim := func(w *altrun.World) bool {
+		p := w.SimProc()
+		if p == nil {
+			return false
+		}
+		return group.Claim(p, nodes[0], w.PID()).Won
+	}
+
+	var blockErr error
+	rt.GoRoot("main", 1<<16, func(w *altrun.World) {
+		for i := 0; i < crashes; i++ {
+			group.CrashVoter(i)
+		}
+		w.Sleep(time.Millisecond)
+
+		start := rt.Now()
+		res, err := w.RunAlt(altrun.Options{Claim: claim, Timeout: 5 * time.Second},
+			altrun.Alt{Name: "replica-east", Body: func(cw *altrun.World) error {
+				cw.Compute(900 * time.Millisecond)
+				return cw.WriteAt([]byte("east"), 0)
+			}},
+			altrun.Alt{Name: "replica-west", Body: func(cw *altrun.World) error {
+				cw.Compute(400 * time.Millisecond)
+				return cw.WriteAt([]byte("west"), 0)
+			}},
+		)
+		elapsed := rt.Now().Sub(start)
+		switch {
+		case err == nil:
+			buf := make([]byte, 4)
+			if rerr := w.ReadAt(buf, 0); rerr != nil {
+				blockErr = rerr
+				return
+			}
+			fmt.Printf("  committed %q (state %q) in %v; quorum granted once\n",
+				res.Name, buf, elapsed)
+		case errors.Is(err, altrun.ErrTimeout):
+			fmt.Printf("  block FAILED safely after %v: no quorum, nothing committed\n", elapsed)
+		default:
+			blockErr = err
+		}
+		group.Shutdown()
+	})
+	if err := rt.Run(); err != nil {
+		return err
+	}
+	return blockErr
+}

@@ -1,0 +1,75 @@
+// Quickstart: race two alternative methods of computing a result in
+// private copy-on-write worlds; the fastest successful one commits and
+// its state is transparently absorbed into the parent.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"altrun"
+)
+
+func main() {
+	rt, err := altrun.New(altrun.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The root world is the program's non-speculative state: a 1 MB
+	// paged address space.
+	root, err := rt.NewRootWorld("main", 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := root.WriteAt([]byte("initial state"), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two mutually exclusive alternatives. Each runs against a private
+	// COW fork of the root's space: they can read everything the root
+	// wrote, and their own writes stay invisible unless they win.
+	res, err := root.RunAlt(altrun.Options{Timeout: 5 * time.Second},
+		altrun.Alt{
+			Name: "thorough",
+			Body: func(w *altrun.World) error {
+				w.Sleep(300 * time.Millisecond) // slow, careful method
+				return w.WriteAt([]byte("thorough answer"), 0)
+			},
+		},
+		altrun.Alt{
+			Name: "heuristic",
+			Body: func(w *altrun.World) error {
+				w.Sleep(20 * time.Millisecond) // fast guess
+				return w.WriteAt([]byte("heuristic answer"), 0)
+			},
+			// The guard is the ENSURE clause: the heuristic result is
+			// only acceptable if it passes validation.
+			Guard: func(w *altrun.World) (bool, error) {
+				buf := make([]byte, 16)
+				if err := w.ReadAt(buf, 0); err != nil {
+					return false, err
+				}
+				return string(buf[:9]) == "heuristic", nil
+			},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	buf := make([]byte, 16)
+	if err := root.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("winner:  %s (alternative #%d)\n", res.Name, res.Index+1)
+	fmt.Printf("elapsed: %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("state:   %q\n", buf)
+	fmt.Println("\nThe loser's writes were discarded with its world; the parent")
+	fmt.Println("saw exactly one alternative happen — as if chosen sequentially.")
+
+	rt.Wait()
+}

@@ -1,0 +1,77 @@
+// Recoveryblock: distributed execution of recovery blocks (§5.1).
+// Three independently-written versions of a computation — the primary
+// carrying an injected logic fault — run concurrently against full
+// copies of the state; the acceptance test rejects the faulty result
+// and the fastest acceptable version commits, without the sequential
+// rollback-and-retry.
+//
+// Run with: go run ./examples/recoveryblock
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"altrun"
+	"altrun/internal/recovery"
+	"altrun/internal/workload"
+)
+
+func main() {
+	xs := workload.RandomList(800, rand.New(rand.NewSource(3)))
+	block := &recovery.Block{
+		Name: "payments-ledger-sort",
+		Alternates: []recovery.Alternate{
+			// The primary is the fastest version — and it is buggy.
+			recovery.SortVersion("primary (buggy)", workload.InsertionSort, 500*time.Nanosecond, true),
+			recovery.SortVersion("secondary", workload.Heapsort, time.Microsecond, false),
+			recovery.SortVersion("tertiary", workload.NaiveQuicksort, 2*time.Microsecond, false),
+		},
+		AcceptanceTest: recovery.SortedAcceptanceTest(recovery.Sum(xs)),
+	}
+
+	rt := altrun.NewSim(altrun.SimConfig{Profile: altrun.ProfileSharedMemory(4)})
+	rt.GoRoot("main", recovery.ArraySpaceSize(len(xs)), func(w *altrun.World) {
+		if err := recovery.WriteIntArray(w, xs); err != nil {
+			log.Fatal(err)
+		}
+
+		// Sequential: classic recovery block with rollback.
+		seqStart := rt.Now()
+		idx, err := block.RunSequential(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqElapsed := rt.Now().Sub(seqStart)
+		fmt.Printf("sequential: tried primary, acceptance test FAILED, rolled back,\n")
+		fmt.Printf("            accepted %q in %v (simulated)\n\n",
+			block.Alternates[idx].Name, seqElapsed)
+
+		// Reset input, then concurrent: all versions race; the buggy
+		// one loses at its guard; the fastest acceptable one wins.
+		if err := recovery.WriteIntArray(w, xs); err != nil {
+			log.Fatal(err)
+		}
+		conStart := rt.Now()
+		res, err := block.RunConcurrent(w, recovery.DefaultConcurrentOptions(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		conElapsed := rt.Now().Sub(conStart)
+		fmt.Printf("concurrent: %d versions raced on full state copies (§5.1.2),\n", len(block.Alternates))
+		fmt.Printf("            accepted %q in %v, %d rejected\n\n",
+			res.Name, conElapsed, res.Failures)
+		fmt.Printf("speedup: %.2fx — \"fastest-first behaviour in an attempt to find\n", float64(seqElapsed)/float64(conElapsed))
+		fmt.Println("a rapid failure-free path through the computation\" (§7)")
+
+		got, err := recovery.ReadIntArray(w)
+		if err != nil || !workload.IsSorted(got) {
+			log.Fatal("committed state invalid")
+		}
+	})
+	if err := rt.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

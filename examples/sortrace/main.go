@@ -1,0 +1,98 @@
+// Sortrace: the paper's §4.2 example. Three sorting algorithms with
+// incomparable performance profiles — naive quicksort (fast on random
+// input, quadratic on sorted input), heapsort (steady), insertion sort
+// (linear on nearly-sorted input) — race on inputs whose shape the
+// caller cannot predict. The fastest correct sort wins each block.
+//
+// Run with: go run ./examples/sortrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"altrun"
+	"altrun/internal/recovery"
+	"altrun/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	inputs := []struct {
+		name string
+		xs   []int
+	}{
+		{"random", workload.RandomList(20000, rng)},
+		{"already-sorted", workload.SortedList(20000)},
+		{"reversed", workload.ReversedList(20000)},
+		{"nearly-sorted", workload.NearlySorted(20000, 12, rng)},
+	}
+
+	fmt.Println("racing naive-quicksort vs heapsort vs insertion-sort (real goroutines):")
+	fmt.Println()
+	for _, input := range inputs {
+		winner, elapsed, err := race(input.xs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s -> %-12s in %8v\n", input.name, winner, elapsed.Round(10*time.Microsecond))
+	}
+	fmt.Println("\nNo single algorithm wins every row; fastest-first selection does.")
+}
+
+// race runs one alternative block in real mode over the shared array
+// state (stored in the world's paged space, so sibling sorts never see
+// each other's writes).
+func race(xs []int) (string, time.Duration, error) {
+	rt, err := altrun.New(altrun.Config{})
+	if err != nil {
+		return "", 0, err
+	}
+	root, err := rt.NewRootWorld("main", recovery.ArraySpaceSize(len(xs)))
+	if err != nil {
+		return "", 0, err
+	}
+	if err := recovery.WriteIntArray(root, xs); err != nil {
+		return "", 0, err
+	}
+
+	mkAlt := func(name string, sorter func([]int) int64) altrun.Alt {
+		return altrun.Alt{
+			Name: name,
+			Body: func(w *altrun.World) error {
+				arr, err := recovery.ReadIntArray(w)
+				if err != nil {
+					return err
+				}
+				sorter(arr) // real CPU work
+				if w.Cancelled() {
+					return altrun.ErrEliminated
+				}
+				return recovery.WriteIntArray(w, arr)
+			},
+		}
+	}
+
+	start := time.Now()
+	res, err := root.RunAlt(altrun.Options{},
+		mkAlt("quicksort", workload.NaiveQuicksort),
+		mkAlt("heapsort", workload.Heapsort),
+		mkAlt("insertion", workload.InsertionSort),
+	)
+	if err != nil {
+		return "", 0, err
+	}
+	elapsed := time.Since(start)
+
+	sorted, err := recovery.ReadIntArray(root)
+	if err != nil {
+		return "", 0, err
+	}
+	if !workload.IsSorted(sorted) {
+		return "", 0, fmt.Errorf("committed result is not sorted")
+	}
+	rt.Wait()
+	return res.Name, elapsed, nil
+}

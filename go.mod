@@ -1,0 +1,3 @@
+module altrun
+
+go 1.22

@@ -1,0 +1,56 @@
+// Package arbiter implements the at-most-once synchronization of §3.2.1:
+// "the synchronization action is designed so that it can be accomplished
+// at most once; that is, if the remote system attempts synchronization
+// for the alternative it is executing, it is informed that it is 'too
+// late' ... and it should terminate itself."
+//
+// The local arbiter is the fast path (a 0-1 semaphore). Where a single
+// arbiter would be a single point of failure, the consensus package
+// provides a majority-consensus implementation of the same interface
+// (§3.2.1, §5.1.2).
+package arbiter
+
+import (
+	"sync"
+
+	"altrun/internal/ids"
+)
+
+// Arbiter decides which alternative commits. Implementations must grant
+// exactly one claim per instance, ever.
+type Arbiter interface {
+	// Claim attempts to commit on behalf of pid. It returns true for
+	// exactly one caller; every other caller is "too late".
+	Claim(pid ids.PID) bool
+	// Winner returns the granted PID, if any.
+	Winner() (ids.PID, bool)
+}
+
+// Local is an in-process 0-1 semaphore. The zero value is ready to use
+// and it is safe for concurrent use.
+type Local struct {
+	mu     sync.Mutex
+	won    bool
+	winner ids.PID
+}
+
+var _ Arbiter = (*Local)(nil)
+
+// Claim implements Arbiter.
+func (l *Local) Claim(pid ids.PID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.won {
+		return false
+	}
+	l.won = true
+	l.winner = pid
+	return true
+}
+
+// Winner implements Arbiter.
+func (l *Local) Winner() (ids.PID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.winner, l.won
+}

@@ -1,0 +1,57 @@
+package arbiter
+
+import (
+	"sync"
+	"testing"
+
+	"altrun/internal/ids"
+)
+
+func TestClaimOnce(t *testing.T) {
+	var a Local
+	if _, ok := a.Winner(); ok {
+		t.Fatal("fresh arbiter has no winner")
+	}
+	if !a.Claim(ids.PID(1)) {
+		t.Fatal("first claim must win")
+	}
+	if a.Claim(ids.PID(2)) {
+		t.Fatal("second claim must be too late")
+	}
+	if a.Claim(ids.PID(1)) {
+		t.Fatal("even the winner cannot claim twice")
+	}
+	w, ok := a.Winner()
+	if !ok || w != ids.PID(1) {
+		t.Fatalf("winner = %v, %v", w, ok)
+	}
+}
+
+func TestClaimConcurrent(t *testing.T) {
+	var a Local
+	const n = 64
+	wins := make(chan ids.PID, n)
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(p ids.PID) {
+			defer wg.Done()
+			if a.Claim(p) {
+				wins <- p
+			}
+		}(ids.PID(i))
+	}
+	wg.Wait()
+	close(wins)
+	var winners []ids.PID
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("got %d winners (%v), want exactly 1", len(winners), winners)
+	}
+	w, ok := a.Winner()
+	if !ok || w != winners[0] {
+		t.Fatalf("Winner() = %v, %v; want %v", w, ok, winners[0])
+	}
+}

@@ -1,0 +1,89 @@
+// Package clock abstracts time so that the same runtime code can run
+// against the wall clock (real mode) or against a test-controlled or
+// simulated clock (experiment mode).
+//
+// The paper's figure of merit is execution time (§1), so everything that
+// measures or waits must go through a Clock: otherwise the simulated
+// experiments (E1-E14 in DESIGN.md) could not be deterministic.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source the runtime needs.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the caller for d of this clock's time.
+	Sleep(d time.Duration)
+	// Since returns the time elapsed on this clock since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Manual is a test clock that only moves when Advance is called.
+// Sleepers block until the clock passes their deadline. The zero value
+// is not usable; call NewManual.
+type Manual struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	now  time.Time
+}
+
+var _ Clock = (*Manual)(nil)
+
+// NewManual returns a Manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	m := &Manual{now: start}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock. It blocks until Advance has moved the clock
+// at least d past the time of the call.
+func (m *Manual) Sleep(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	deadline := m.now.Add(d)
+	for m.now.Before(deadline) {
+		m.cond.Wait()
+	}
+}
+
+// Since implements Clock.
+func (m *Manual) Since(t time.Time) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now.Sub(t)
+}
+
+// Advance moves the clock forward by d and wakes any sleepers whose
+// deadlines have passed.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

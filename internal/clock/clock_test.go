@@ -1,0 +1,95 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Fatal("real clock did not advance")
+	}
+	if c.Since(a) <= 0 {
+		t.Fatal("Since must be positive")
+	}
+}
+
+func TestManualNow(t *testing.T) {
+	start := time.Unix(100, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", m.Now(), start)
+	}
+	m.Advance(5 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("Now after advance = %v", got)
+	}
+	if m.Since(start) != 5*time.Second {
+		t.Fatalf("Since = %v, want 5s", m.Since(start))
+	}
+}
+
+func TestManualSleepBlocksUntilAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		m.Sleep(10 * time.Second)
+		close(done)
+	}()
+	<-started
+	// Not enough: sleeper must stay blocked.
+	m.Advance(5 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before deadline")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper did not wake after deadline")
+	}
+}
+
+func TestManualManySleepers(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 1; i <= 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Sleep(time.Duration(i) * time.Second)
+		}(i)
+	}
+	// Give sleepers a moment to park, then release them all.
+	time.Sleep(10 * time.Millisecond)
+	m.Advance(10 * time.Second)
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleepers did not all wake")
+	}
+}
+
+func TestManualZeroSleepReturns(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("zero-duration sleep must return immediately")
+	}
+}

@@ -1,0 +1,202 @@
+// Package cluster simulates the distributed system the paper's
+// synchronization and remote-fork mechanisms run on: nodes connected by
+// reliable FIFO links (§3.1) whose failures — "communications problems
+// or system failures may prevent this information from reaching the
+// scheduling component of a remote system" (§3.2.1) — can be injected
+// as partitions or probabilistic message drops for the consensus
+// experiments (E10).
+//
+// FIFO is guaranteed per ordered node pair because link latency is
+// fixed per link and the simulator breaks ties by schedule order.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"altrun/internal/ids"
+	"altrun/internal/sim"
+)
+
+// Addr names a mailbox: a port on a node.
+type Addr struct {
+	Node ids.NodeID
+	Port string
+}
+
+// String renders the address as "n3:port".
+func (a Addr) String() string { return fmt.Sprintf("%v:%s", a.Node, a.Port) }
+
+// Envelope is what arrives in a mailbox.
+type Envelope struct {
+	From    ids.NodeID
+	To      Addr
+	Payload any
+}
+
+// Cluster is a set of simulated nodes. It is used only from within one
+// sim.Engine, so it needs no locking.
+type Cluster struct {
+	e           *sim.Engine
+	gen         *ids.Generator
+	rng         *rand.Rand
+	nodes       map[ids.NodeID]*Node
+	partitioned map[[2]ids.NodeID]bool
+	dropRate    float64
+
+	sent    int
+	dropped int
+}
+
+// New returns an empty cluster on engine e. seed drives the
+// deterministic message-drop process.
+func New(e *sim.Engine, seed int64) *Cluster {
+	return &Cluster{
+		e:           e,
+		gen:         &ids.Generator{},
+		rng:         rand.New(rand.NewSource(seed)),
+		nodes:       make(map[ids.NodeID]*Node),
+		partitioned: make(map[[2]ids.NodeID]bool),
+	}
+}
+
+// Engine returns the cluster's simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.e }
+
+// Sent returns the number of messages submitted for delivery.
+func (c *Cluster) Sent() int { return c.sent }
+
+// Dropped returns the number of messages lost to partitions or drops.
+func (c *Cluster) Dropped() int { return c.dropped }
+
+// SetDropRate makes each inter-node message independently lost with
+// probability r (0 disables). Local (same-node) delivery never drops.
+func (c *Cluster) SetDropRate(r float64) { c.dropRate = r }
+
+// Node is one machine in the cluster.
+type Node struct {
+	c       *Cluster
+	id      ids.NodeID
+	profile sim.MachineProfile
+	ports   map[string]*sim.Chan
+}
+
+// AddNode creates a node with the given machine profile.
+func (c *Cluster) AddNode(profile sim.MachineProfile) *Node {
+	n := &Node{
+		c:       c,
+		id:      c.gen.NextNode(),
+		profile: profile,
+		ports:   make(map[string]*sim.Chan),
+	}
+	c.nodes[n.id] = n
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() ids.NodeID { return n.id }
+
+// Profile returns the node's machine profile.
+func (n *Node) Profile() sim.MachineProfile { return n.profile }
+
+// Bind creates (or returns) the mailbox for a named port on this node.
+func (n *Node) Bind(port string) *sim.Chan {
+	if ch, ok := n.ports[port]; ok {
+		return ch
+	}
+	ch := n.c.e.NewChan()
+	n.ports[port] = ch
+	return ch
+}
+
+// Unbind removes a port (late messages to it are dropped).
+func (n *Node) Unbind(port string) { delete(n.ports, port) }
+
+// Nodes returns all node IDs in creation order... order is by id.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.nodes))
+	for id := ids.NodeID(1); int(id) <= len(c.nodes); id++ {
+		if n, ok := c.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func pairKey(a, b ids.NodeID) [2]ids.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ids.NodeID{a, b}
+}
+
+// Partition cuts the (bidirectional) link between a and b.
+func (c *Cluster) Partition(a, b ids.NodeID) { c.partitioned[pairKey(a, b)] = true }
+
+// Heal restores the link between a and b.
+func (c *Cluster) Heal(a, b ids.NodeID) { delete(c.partitioned, pairKey(a, b)) }
+
+// Isolate partitions node a from every other node.
+func (c *Cluster) Isolate(a ids.NodeID) {
+	for id := range c.nodes {
+		if id != a {
+			c.Partition(a, id)
+		}
+	}
+}
+
+// Send delivers payload to the addressed mailbox after the link
+// latency. Same-node sends are immediate and never lost. Lost messages
+// vanish silently, as on a real network. Send returns whether the
+// message was submitted to a live link (callers normally ignore this;
+// tests use it).
+func (c *Cluster) Send(from *Node, to Addr, payload any) bool {
+	c.sent++
+	dest, ok := c.nodes[to.Node]
+	if !ok {
+		c.dropped++
+		return false
+	}
+	env := Envelope{From: from.id, To: to, Payload: payload}
+	if from.id == to.Node {
+		if ch, bound := dest.ports[to.Port]; bound {
+			ch.Send(env)
+			return true
+		}
+		c.dropped++
+		return false
+	}
+	if c.partitioned[pairKey(from.id, to.Node)] {
+		c.dropped++
+		return false
+	}
+	if c.dropRate > 0 && c.rng.Float64() < c.dropRate {
+		c.dropped++
+		return false
+	}
+	latency := from.profile.NetLatency
+	if dest.profile.NetLatency > latency {
+		latency = dest.profile.NetLatency
+	}
+	c.e.After(latency, func() {
+		if ch, bound := dest.ports[to.Port]; bound {
+			ch.Send(env)
+		}
+	})
+	return true
+}
+
+// Broadcast sends payload to the same port on every node (including the
+// sender's own, if bound).
+func (c *Cluster) Broadcast(from *Node, port string, payload any) {
+	for _, n := range c.Nodes() {
+		c.Send(from, Addr{Node: n.id, Port: port}, payload)
+	}
+}
+
+// TransferCost models moving `bytes` of data from n to a peer:
+// latency + per-byte cost (used by rfork, E5).
+func (n *Node) TransferCost(bytes int) time.Duration {
+	return n.profile.NetLatency + time.Duration(bytes)*n.profile.NetPerByte
+}

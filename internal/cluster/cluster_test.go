@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"altrun/internal/sim"
+)
+
+func twoNodes(t *testing.T) (*sim.Engine, *Cluster, *Node, *Node) {
+	t.Helper()
+	e := sim.New(0)
+	c := New(e, 1)
+	a := c.AddNode(sim.ProfileHP9000())
+	b := c.AddNode(sim.ProfileHP9000())
+	return e, c, a, b
+}
+
+func TestSendDelivery(t *testing.T) {
+	e, c, a, b := twoNodes(t)
+	inbox := b.Bind("app")
+	var got Envelope
+	var when time.Duration
+	start := e.Now()
+	e.Spawn("recv", func(p *sim.Proc) {
+		got = inbox.Recv(p).(Envelope)
+		when = e.Since(start)
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		c.Send(a, Addr{Node: b.ID(), Port: "app"}, "hello")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != "hello" || got.From != a.ID() {
+		t.Fatalf("envelope = %+v", got)
+	}
+	if when != a.Profile().NetLatency {
+		t.Fatalf("delivered at %v, want link latency %v", when, a.Profile().NetLatency)
+	}
+	if c.Sent() != 1 || c.Dropped() != 0 {
+		t.Fatalf("Sent=%d Dropped=%d", c.Sent(), c.Dropped())
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	e, c, a, b := twoNodes(t)
+	inbox := b.Bind("app")
+	var got []int
+	e.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, inbox.Recv(p).(Envelope).Payload.(int))
+		}
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			c.Send(a, Addr{Node: b.ID(), Port: "app"}, i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestLocalDeliveryImmediate(t *testing.T) {
+	e, c, a, _ := twoNodes(t)
+	inbox := a.Bind("self")
+	var when time.Duration
+	start := e.Now()
+	e.Spawn("p", func(p *sim.Proc) {
+		c.Send(a, Addr{Node: a.ID(), Port: "self"}, "loop")
+		inbox.Recv(p)
+		when = e.Since(start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if when != 0 {
+		t.Fatalf("local delivery took %v, want 0", when)
+	}
+}
+
+func TestPartitionDrops(t *testing.T) {
+	e, c, a, b := twoNodes(t)
+	b.Bind("app")
+	c.Partition(a.ID(), b.ID())
+	e.Spawn("send", func(p *sim.Proc) {
+		if c.Send(a, Addr{Node: b.ID(), Port: "app"}, "lost") {
+			t.Error("partitioned send must report drop")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", c.Dropped())
+	}
+	// Heal restores delivery.
+	c.Heal(a.ID(), b.ID())
+	inbox := b.Bind("app")
+	var got any
+	e.Spawn("recv", func(p *sim.Proc) { got = inbox.Recv(p).(Envelope).Payload })
+	e.Spawn("send2", func(p *sim.Proc) {
+		c.Send(a, Addr{Node: b.ID(), Port: "app"}, "ok")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ok" {
+		t.Fatalf("after heal got %v", got)
+	}
+}
+
+func TestIsolate(t *testing.T) {
+	e := sim.New(0)
+	c := New(e, 1)
+	nodes := []*Node{c.AddNode(sim.ProfileHP9000()), c.AddNode(sim.ProfileHP9000()), c.AddNode(sim.ProfileHP9000())}
+	c.Isolate(nodes[0].ID())
+	e.Spawn("send", func(p *sim.Proc) {
+		nodes[1].Bind("x")
+		nodes[2].Bind("x")
+		if c.Send(nodes[0], Addr{Node: nodes[1].ID(), Port: "x"}, 1) {
+			t.Error("isolated node must not reach node 1")
+		}
+		if c.Send(nodes[2], Addr{Node: nodes[0].ID(), Port: "x"}, 1) {
+			t.Error("node 2 must not reach isolated node")
+		}
+		if !c.Send(nodes[1], Addr{Node: nodes[2].ID(), Port: "x"}, 1) {
+			t.Error("non-isolated pair must communicate")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropRateDeterministic(t *testing.T) {
+	run := func() int {
+		e := sim.New(0)
+		c := New(e, 42)
+		a := c.AddNode(sim.ProfileHP9000())
+		b := c.AddNode(sim.ProfileHP9000())
+		b.Bind("app")
+		c.SetDropRate(0.5)
+		e.Spawn("send", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				c.Send(a, Addr{Node: b.ID(), Port: "app"}, i)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Dropped()
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("drop process not deterministic: %d vs %d", d1, d2)
+	}
+	if d1 == 0 || d1 == 100 {
+		t.Fatalf("drop rate 0.5 dropped %d of 100", d1)
+	}
+}
+
+func TestSendToUnknownNodeOrPort(t *testing.T) {
+	e, c, a, b := twoNodes(t)
+	e.Spawn("send", func(p *sim.Proc) {
+		if c.Send(a, Addr{Node: 99, Port: "x"}, 1) {
+			t.Error("unknown node must drop")
+		}
+		// Unbound remote port: message submitted, silently discarded at
+		// delivery time (late bind misses it).
+		c.Send(a, Addr{Node: b.ID(), Port: "nobody"}, 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	e := sim.New(0)
+	c := New(e, 1)
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, c.AddNode(sim.ProfileHP9000()))
+	}
+	got := make([]int, 3)
+	for i, n := range nodes {
+		i, inbox := i, n.Bind("bcast")
+		e.Spawn("recv", func(p *sim.Proc) {
+			inbox.Recv(p)
+			got[i]++
+		})
+	}
+	e.Spawn("send", func(p *sim.Proc) {
+		c.Broadcast(nodes[0], "bcast", "hi")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range got {
+		if n != 1 {
+			t.Fatalf("node %d received %d, want 1", i, n)
+		}
+	}
+}
+
+func TestUnbindDiscardsLateMessages(t *testing.T) {
+	e, c, a, b := twoNodes(t)
+	inbox := b.Bind("app")
+	e.Spawn("flow", func(p *sim.Proc) {
+		c.Send(a, Addr{Node: b.ID(), Port: "app"}, "in-flight")
+		b.Unbind("app")
+		p.Sleep(time.Second)
+		if inbox.Len() != 0 {
+			t.Error("message delivered to unbound port")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferCost(t *testing.T) {
+	_, _, a, _ := twoNodes(t)
+	got := a.TransferCost(1000)
+	want := a.Profile().NetLatency + 1000*a.Profile().NetPerByte
+	if got != want {
+		t.Fatalf("TransferCost = %v, want %v", got, want)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	s := Addr{Node: 3, Port: "vote"}.String()
+	if s != "n3:vote" {
+		t.Fatalf("Addr.String = %q", s)
+	}
+}
+
+func TestNodesOrder(t *testing.T) {
+	e := sim.New(0)
+	c := New(e, 1)
+	var want []*Node
+	for i := 0; i < 4; i++ {
+		want = append(want, c.AddNode(sim.ProfileHP9000()))
+	}
+	got := c.Nodes()
+	if len(got) != 4 {
+		t.Fatalf("Nodes len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("Nodes must return creation order")
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package consensus implements the paper's fault-tolerant
+// synchronization: "in applications where this might create a single
+// point of failure, the synchronization is set up as a majority
+// consensus [Thomas 1979] decision across several nodes" (§3.2.1),
+// yielding "a fault-tolerant 0-1 semaphore for use in synchronization"
+// (§5.1.2).
+//
+// Protocol: one voter process per node. A claimant broadcasts a vote
+// request; each voter grants to at most one claimant at a time. A
+// claimant that assembles a majority of grants in one ballot commits
+// and announces the winner; one that cannot releases its votes, backs
+// off (staggered deterministically by PID), and retries. Voters that
+// have seen a commit reject every later request with the winner's
+// identity, which is how a late claimant learns it is "too late".
+//
+// Safety: a voter grants to one claimant at a time and locks permanently
+// once a commit is announced to it; two majorities intersect, so two
+// claimants can never both assemble one. Liveness under partition is
+// sacrificed deliberately: if no claimant can reach a majority the block
+// times out and fails — "the engineering tradeoff here is between
+// performance and reliability" (§3.2.1).
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"altrun/internal/cluster"
+	"altrun/internal/ids"
+	"altrun/internal/sim"
+)
+
+// Message types exchanged by the protocol.
+type (
+	// VoteReq asks a voter for its vote.
+	VoteReq struct {
+		Claimant ids.PID
+		Ballot   int
+		Reply    cluster.Addr
+	}
+	// VoteReply answers a VoteReq.
+	VoteReply struct {
+		Voter   ids.NodeID
+		Ballot  int
+		Granted bool
+		// Winner is set when the voter knows a commit already happened.
+		Winner ids.PID
+	}
+	// Release returns a claimant's votes after a failed ballot.
+	Release struct {
+		Claimant ids.PID
+		Ballot   int
+	}
+	// CommitAnnounce locks the group on the winner.
+	CommitAnnounce struct {
+		Winner ids.PID
+	}
+)
+
+// Config tunes the claim protocol.
+type Config struct {
+	// ReplyTimeout bounds waiting for each ballot's replies.
+	ReplyTimeout time.Duration
+	// BackoffBase is the unit of the deterministic retry stagger.
+	BackoffBase time.Duration
+	// MaxAttempts bounds ballots per claim; 0 means DefaultMaxAttempts.
+	MaxAttempts int
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultReplyTimeout = 200 * time.Millisecond
+	DefaultBackoffBase  = 50 * time.Millisecond
+	DefaultMaxAttempts  = 8
+)
+
+func (c Config) withDefaults() Config {
+	if c.ReplyTimeout <= 0 {
+		c.ReplyTimeout = DefaultReplyTimeout
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	return c
+}
+
+// voter is the per-node protocol state.
+type voter struct {
+	node    *cluster.Node
+	proc    *sim.Proc
+	granted ids.PID
+	winner  ids.PID
+}
+
+// Group is a majority-consensus semaphore spanning a set of nodes.
+type Group struct {
+	name    string
+	c       *cluster.Cluster
+	cfg     Config
+	voters  []*voter
+	quorum  int
+	winner  ids.PID // observational: first CommitAnnounce seen by any voter
+	ballots int     // total ballots run (for experiment accounting)
+}
+
+// NewGroup spawns one voter process on each node and returns the group.
+// name must be unique per cluster (it namespaces the ports).
+func NewGroup(name string, c *cluster.Cluster, nodes []*cluster.Node, cfg Config) *Group {
+	g := &Group{
+		name:   name,
+		c:      c,
+		cfg:    cfg.withDefaults(),
+		quorum: len(nodes)/2 + 1,
+	}
+	for _, n := range nodes {
+		v := &voter{node: n}
+		port := g.votePort()
+		inbox := n.Bind(port)
+		v.proc = c.Engine().Spawn(fmt.Sprintf("voter-%s-%v", name, n.ID()), func(p *sim.Proc) {
+			g.runVoter(p, v, inbox)
+		})
+		g.voters = append(g.voters, v)
+	}
+	return g
+}
+
+func (g *Group) votePort() string { return "consensus/" + g.name + "/vote" }
+
+// Quorum returns the majority size.
+func (g *Group) Quorum() int { return g.quorum }
+
+// Ballots returns the total number of ballots claimants have run.
+func (g *Group) Ballots() int { return g.ballots }
+
+// Winner returns the committed PID, if any voter has seen the commit.
+func (g *Group) Winner() (ids.PID, bool) {
+	if g.winner.IsValid() {
+		return g.winner, true
+	}
+	return ids.None, false
+}
+
+// Shutdown kills the voter processes. Call when the group is no longer
+// needed so the simulation can drain.
+func (g *Group) Shutdown() {
+	for _, v := range g.voters {
+		g.c.Engine().Kill(v.proc)
+	}
+}
+
+// CrashVoter kills voter i (fault injection for E10).
+func (g *Group) CrashVoter(i int) {
+	if i >= 0 && i < len(g.voters) {
+		g.c.Engine().Kill(g.voters[i].proc)
+	}
+}
+
+// runVoter is the voter main loop.
+func (g *Group) runVoter(p *sim.Proc, v *voter, inbox *sim.Chan) {
+	for {
+		env, _ := inbox.Recv(p).(cluster.Envelope)
+		switch m := env.Payload.(type) {
+		case VoteReq:
+			reply := VoteReply{Voter: v.node.ID(), Ballot: m.Ballot}
+			switch {
+			case v.winner.IsValid():
+				reply.Winner = v.winner
+			case !v.granted.IsValid() || v.granted == m.Claimant:
+				v.granted = m.Claimant
+				reply.Granted = true
+			}
+			g.c.Send(v.node, m.Reply, reply)
+		case Release:
+			if v.granted == m.Claimant {
+				v.granted = ids.None
+			}
+		case CommitAnnounce:
+			v.winner = m.Winner
+			v.granted = ids.None
+			if !g.winner.IsValid() {
+				g.winner = m.Winner
+			}
+		}
+	}
+}
+
+// Result is the outcome of a Claim.
+type Result struct {
+	// Won reports whether this claimant committed.
+	Won bool
+	// TooLate reports whether a different winner was already committed
+	// when the claim was decided.
+	TooLate bool
+	// Winner is the known winner if TooLate.
+	Winner ids.PID
+	// Ballots is how many ballots this claim ran.
+	Ballots int
+}
+
+// Claim runs the claim protocol on behalf of pid from node, blocking
+// the calling simulated process. At most one Claim per group ever
+// returns Won.
+func (g *Group) Claim(p *sim.Proc, node *cluster.Node, pid ids.PID) Result {
+	replyPort := fmt.Sprintf("consensus/%s/reply/%v", g.name, pid)
+	replies := node.Bind(replyPort)
+	defer node.Unbind(replyPort)
+	replyAddr := cluster.Addr{Node: node.ID(), Port: replyPort}
+
+	res := Result{}
+	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+		ballot := attempt
+		res.Ballots++
+		g.ballots++
+		for _, v := range g.voters {
+			g.c.Send(node, cluster.Addr{Node: v.node.ID(), Port: g.votePort()}, VoteReq{
+				Claimant: pid, Ballot: ballot, Reply: replyAddr,
+			})
+		}
+		grants, answered := 0, 0
+		deadline := g.c.Engine().Now().Add(g.cfg.ReplyTimeout)
+		for grants < g.quorum && answered < len(g.voters) {
+			remain := deadline.Sub(g.c.Engine().Now())
+			if remain < 0 {
+				break
+			}
+			env, ok := replies.RecvTimeout(p, remain)
+			if !ok {
+				break
+			}
+			reply, isReply := env.(cluster.Envelope).Payload.(VoteReply)
+			if !isReply || reply.Ballot != ballot {
+				continue // stale
+			}
+			answered++
+			if reply.Winner.IsValid() {
+				if reply.Winner == pid {
+					// Our own earlier commit announce (shouldn't happen —
+					// we return on commit) — treat as won.
+					res.Won = true
+					return res
+				}
+				res.TooLate = true
+				res.Winner = reply.Winner
+				g.releaseAll(node, pid, ballot)
+				return res
+			}
+			if reply.Granted {
+				grants++
+			}
+		}
+		if grants >= g.quorum {
+			for _, v := range g.voters {
+				g.c.Send(node, cluster.Addr{Node: v.node.ID(), Port: g.votePort()},
+					CommitAnnounce{Winner: pid})
+			}
+			res.Won = true
+			return res
+		}
+		g.releaseAll(node, pid, ballot)
+		// Deterministic stagger: lower PIDs retry sooner, breaking
+		// symmetric vote splits.
+		backoff := g.cfg.BackoffBase * time.Duration(attempt+1)
+		backoff += time.Duration(pid%16) * (g.cfg.BackoffBase / 4)
+		p.Sleep(backoff)
+	}
+	return res
+}
+
+func (g *Group) releaseAll(node *cluster.Node, pid ids.PID, ballot int) {
+	for _, v := range g.voters {
+		g.c.Send(node, cluster.Addr{Node: v.node.ID(), Port: g.votePort()},
+			Release{Claimant: pid, Ballot: ballot})
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"altrun/internal/arbiter"
+	"altrun/internal/ids"
+	"altrun/internal/mem"
+	"altrun/internal/proc"
+	"altrun/internal/trace"
+)
+
+// Alt is one alternative of a block: ENSURE Guard WITH Body (Figure 1).
+// Guard is optional; when nil, the Body's error return is the guard
+// (nil = satisfied). The paper's recovery blocks run the guard *after*
+// the body (acceptance test); both compose here because "the
+// computation can be viewed as part of the guard" (§5.1.1).
+type Alt struct {
+	// Name labels the alternative in traces and results.
+	Name string
+	// Body computes the alternative's state change against its private
+	// world. A non-nil error means the alternative failed.
+	Body func(w *World) error
+	// Guard, if non-nil, is evaluated in the child after Body; false
+	// or an error means the alternative failed (§3.2: "we currently
+	// expect the child process to execute it, thus speeding up
+	// spawning and synchronization").
+	Guard func(w *World) (bool, error)
+}
+
+// ClaimFunc grants the right to commit at most once per block. The
+// default is an in-process 0-1 semaphore; distributed blocks install a
+// majority-consensus claim (§3.2.1).
+type ClaimFunc func(w *World) bool
+
+// Options tune an alternative block.
+type Options struct {
+	// Timeout is alt_wait's TIMEOUT: "if TIMEOUT time units have
+	// elapsed, it is highly probable that none of the alternatives
+	// have succeeded" (§3.2). <= 0 waits forever.
+	Timeout time.Duration
+	// FullCopy physically copies the parent's state into each child
+	// instead of COW sharing — the recovery-block mode that avoids
+	// adding failure modes (§5.1.2).
+	FullCopy bool
+	// SyncElimination deletes losing siblings before RunAlt returns;
+	// the default is asynchronous elimination, which the paper suspects
+	// "will give better execution-time performance" (§3.2.1).
+	SyncElimination bool
+	// RecheckGuard re-evaluates the guard at the synchronization point
+	// "for redundancy" (§3.2).
+	RecheckGuard bool
+	// PreCheckGuard evaluates each guard against the parent's state
+	// before spawning — the third placement §3.2 allows ("the GUARD
+	// can be executed before spawning the alternative") — so obviously
+	// closed alternatives never pay setup cost. Guards that pass are
+	// still evaluated in the child after the body.
+	PreCheckGuard bool
+	// Claim overrides the commit arbiter.
+	Claim ClaimFunc
+}
+
+// Result describes a committed block.
+type Result struct {
+	// Index is the winning alternative's position in the alts slice.
+	Index int
+	// Name is the winning alternative's name.
+	Name string
+	// Winner is the winning child's PID.
+	Winner ids.PID
+	// Elapsed is the block's execution time on the runtime's clock.
+	Elapsed time.Duration
+	// Failures counts alternatives whose guard failed before commit.
+	Failures int
+	// TooLate counts alternatives that succeeded after the winner.
+	TooLate int
+	// WinnerCopies is the number of COW page copies the winner
+	// performed (its share of the §4.1 memory-copying overhead).
+	WinnerCopies int64
+}
+
+// childReport is what an alternative sends to its waiting parent.
+type childReport struct {
+	idx     int
+	w       *World
+	win     bool
+	tooLate bool
+	err     error
+}
+
+// RunAlt executes an alternative block: all alternatives run
+// concurrently in private COW worlds; the first whose guard passes
+// commits, its state is absorbed into w, and its siblings are
+// eliminated. If every alternative fails, the block FAILs with
+// ErrAllFailed and w is unchanged; likewise ErrTimeout after
+// opts.Timeout.
+func (w *World) RunAlt(opts Options, alts ...Alt) (Result, error) {
+	rt := w.rt
+	if len(alts) == 0 {
+		return Result{}, fmt.Errorf("%w: empty block", ErrAllFailed)
+	}
+	if w.ctx == nil {
+		return Result{}, fmt.Errorf("core: RunAlt outside a running world body")
+	}
+	start := rt.be.now()
+	done := rt.be.newInbox()
+
+	// Phase 0 (optional): pre-spawn guard screening against the
+	// parent's state. Closed alternatives are dropped before any setup
+	// cost is paid; indexes into the original slice are preserved.
+	preFailures := 0
+	live := make([]int, 0, len(alts))
+	for i := range alts {
+		if opts.PreCheckGuard && alts[i].Guard != nil {
+			ok, gerr := alts[i].Guard(w)
+			if gerr != nil || !ok {
+				rt.log.Addf(start, trace.KindGuardFail, w.pid,
+					"pre-spawn guard closed %q", alts[i].Name)
+				preFailures++
+				continue
+			}
+		}
+		live = append(live, i)
+	}
+	if len(live) == 0 {
+		rt.log.Add(rt.be.now(), trace.KindBlockFail, w.pid, "all guards closed before spawning")
+		return Result{}, ErrAllFailed
+	}
+
+	// Phase 1: allocate identities so every child can assume "I
+	// complete, my siblings don't" (§3.3).
+	pids := make([]ids.PID, len(live))
+	for k, i := range live {
+		name := alts[i].Name
+		if name == "" {
+			name = fmt.Sprintf("alt-%d", i+1)
+		}
+		pids[k] = rt.procs.Register(w.pid, name)
+	}
+	rt.excl.AddGroup(pids)
+
+	// Phase 2: build child worlds (setup overhead, charged to the
+	// blocked parent). children is indexed by live slot k; reports
+	// carry the original alternative index.
+	children := make([]*World, len(live))
+	for k, i := range live {
+		var (
+			space *mem.AddressSpace
+			err   error
+		)
+		if opts.FullCopy {
+			space, err = w.space.FullCopy()
+			if rt.profile != nil {
+				rt.chargeFork(w.ctx, 0)
+				rt.chargeCopies(w.ctx, int64(w.space.ResidentPages()))
+			}
+		} else {
+			rt.chargeFork(w.ctx, w.space.ResidentPages())
+			space, err = w.space.Fork()
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("spawn %q: %w", alts[i].Name, err)
+		}
+		preds := w.Predicates()
+		if err := preds.RequireComplete(pids[k]); err != nil {
+			return Result{}, fmt.Errorf("spawn %q: %w", alts[i].Name, err)
+		}
+		for j, sib := range pids {
+			if j == k {
+				continue
+			}
+			if err := preds.RequireFail(sib); err != nil {
+				return Result{}, fmt.Errorf("spawn %q: %w", alts[i].Name, err)
+			}
+		}
+		cw := &World{
+			rt:         rt,
+			pid:        pids[k],
+			name:       alts[i].Name,
+			space:      space,
+			preds:      preds,
+			box:        rt.be.newInbox(),
+			ownedSpace: true,
+		}
+		rt.registerWorld(cw)
+		children[k] = cw
+		rt.log.Addf(start, trace.KindSpawn, cw.pid, "alt %d of %v", i+1, w.pid)
+	}
+
+	claim := opts.Claim
+	if claim == nil {
+		arb := &arbiter.Local{}
+		claim = func(cw *World) bool { return arb.Claim(cw.pid) }
+	}
+
+	// Phase 3: run the alternatives.
+	for k, i := range live {
+		alt, cw, idx := alts[i], children[k], i
+		handle := rt.be.spawn(cw.name, func(ctx execCtx) {
+			cw.ctx = ctx
+			defer cw.exitCleanup()
+			rt.runAlternative(idx, alt, cw, opts, claim, done)
+		})
+		cw.mu.Lock()
+		cw.handle = handle
+		cw.mu.Unlock()
+	}
+
+	// Phase 4: alt_wait — the parent remains blocked while the
+	// children execute (§4.1).
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = -1
+	}
+	var winner *childReport
+	failures, tooLate, reports := 0, 0, 0
+	for winner == nil {
+		v, ok := done.get(w.ctx, timeout)
+		if !ok {
+			if w.Cancelled() {
+				rt.propagate(eliminations(children))
+				return Result{}, ErrEliminated
+			}
+			// TIMEOUT: claim the block for the parent so no child can
+			// commit afterwards ("too late", §3.2.1).
+			if claim(w) {
+				rt.log.Add(rt.be.now(), trace.KindTimeout, w.pid, "alt_wait timeout")
+				rt.propagate(eliminations(children))
+				return Result{}, ErrTimeout
+			}
+			// Either a child committed concurrently (its report is in
+			// flight) or the commit arbiter itself is unavailable (a
+			// distributed claim with no quorum): wait for the
+			// remaining reports to distinguish the two.
+			timeout = -1
+			continue
+		}
+		rep, okType := v.(childReport)
+		if !okType {
+			continue
+		}
+		reports++
+		switch {
+		case rep.win:
+			winner = &rep
+		case rep.tooLate:
+			tooLate++
+		default:
+			failures++
+			if failures == len(live) {
+				rt.log.Add(rt.be.now(), trace.KindBlockFail, w.pid, "all alternatives failed")
+				return Result{}, ErrAllFailed
+			}
+		}
+		if winner == nil && reports == len(live) {
+			// Every child is terminal and none committed: the claims
+			// were refused without a winner (an unreachable quorum).
+			// Nothing can ever commit — the block fails as a timeout
+			// would ("preserve the at-most-one semantics", §3.2.1).
+			rt.log.Add(rt.be.now(), trace.KindBlockFail, w.pid, "synchronization unavailable")
+			rt.propagate(eliminations(children))
+			return Result{}, ErrTimeout
+		}
+	}
+
+	// Phase 5: commit — absorb the winner's state by atomically
+	// replacing the page map (§3.2), then eliminate the siblings.
+	ww := winner.w
+	winnerCopies := ww.CopiedPages()
+	rt.procs.SetStatus(ww.pid, proc.Completed) //nolint:errcheck // status was Running
+	if err := w.space.Adopt(ww.space); err != nil {
+		return Result{}, fmt.Errorf("adopt winner %v: %w", ww.pid, err)
+	}
+	w.inheritDeferred(ww)
+	rt.unregisterWorld(ww)
+	rt.log.Addf(rt.be.now(), trace.KindCommit, ww.pid, "absorbed into %v", w.pid)
+
+	// Selection overhead: resolving the winner's fate contradicts every
+	// sibling's "winner can't complete" assumption, which is exactly
+	// the sibling elimination of §3.2.1. Synchronous mode performs it
+	// on the parent's critical path; asynchronous mode (the default the
+	// paper favours) hands it to a reaper so the parent resumes
+	// immediately.
+	work := append([]propEvent{{resolvePID: ww.pid, completed: true}},
+		eliminationsExceptWorld(children, ww)...)
+	// The paper's selection cost covers "deleting C_j such that j≠best,
+	// cleaning up system state" — cleanup is owed for every non-winning
+	// sibling, whether it is still running or already self-terminated.
+	siblings := len(children) - 1
+	if opts.SyncElimination {
+		rt.chargeElimination(w.ctx, siblings)
+		rt.propagate(work)
+	} else {
+		rt.be.spawn("reaper", func(ctx execCtx) {
+			rt.chargeElimination(ctx, siblings)
+			rt.propagate(work)
+		})
+	}
+
+	return Result{
+		Index:        winner.idx,
+		Name:         ww.name,
+		Winner:       ww.pid,
+		Elapsed:      rt.be.now().Sub(start),
+		Failures:     failures + preFailures,
+		TooLate:      tooLate,
+		WinnerCopies: winnerCopies,
+	}, nil
+}
+
+// runAlternative is the child-side protocol: body, guard, synchronize.
+func (rt *Runtime) runAlternative(idx int, alt Alt, cw *World, opts Options, claim ClaimFunc, done inbox) {
+	rep := childReport{idx: idx, w: cw}
+	err := alt.Body(cw)
+	if err == nil && alt.Guard != nil {
+		err = evalGuard(alt.Guard, cw)
+		if err == nil && opts.RecheckGuard {
+			// Redundant re-check at the synchronization point (§3.2).
+			err = evalGuard(alt.Guard, cw)
+		}
+	}
+	if err != nil {
+		rt.log.Addf(rt.be.now(), trace.KindGuardFail, cw.pid, "%v", err)
+		if cw.markTerminated() {
+			rt.procs.SetStatus(cw.pid, proc.Failed) //nolint:errcheck
+			rt.unregisterWorld(cw)
+			rt.propagate([]propEvent{{resolvePID: cw.pid, completed: false}})
+		}
+		rep.err = err
+		done.put(rep)
+		return
+	}
+	rt.log.Add(rt.be.now(), trace.KindGuardPass, cw.pid, alt.Name)
+	if cw.Terminated() || !claim(cw) {
+		// "It is informed that it is 'too late' for the
+		// synchronization, and it should terminate itself" (§3.2.1).
+		rt.log.Add(rt.be.now(), trace.KindTooLate, cw.pid, alt.Name)
+		if cw.markTerminated() {
+			rt.procs.SetStatus(cw.pid, proc.Eliminated) //nolint:errcheck
+			rt.unregisterWorld(cw)
+			rt.propagate([]propEvent{{resolvePID: cw.pid, completed: false}})
+		}
+		rep.tooLate = true
+		done.put(rep)
+		return
+	}
+	// Winner: hand the space to the parent before reporting so the
+	// exit path does not release it.
+	cw.markTerminated()
+	cw.transferSpace()
+	rep.win = true
+	done.put(rep)
+}
+
+func evalGuard(g func(w *World) (bool, error), cw *World) error {
+	ok, err := g(cw)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrGuardFailed
+	}
+	return nil
+}
+
+func eliminations(children []*World) []propEvent {
+	return eliminationsExceptWorld(children, nil)
+}
+
+func eliminationsExceptWorld(children []*World, skip *World) []propEvent {
+	out := make([]propEvent, 0, len(children))
+	for _, c := range children {
+		if c == skip {
+			continue
+		}
+		out = append(out, propEvent{eliminate: c})
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"altrun/internal/clock"
+	"altrun/internal/sim"
+)
+
+// execCtx is the execution context a world's body runs in: real
+// goroutine or simulated process.
+type execCtx interface {
+	// compute consumes d of CPU (processor-shared in sim mode; a plain
+	// sleep stand-in in real mode).
+	compute(d time.Duration)
+	// sleep suspends for d without consuming CPU.
+	sleep(d time.Duration)
+	// cancelled reports whether the process has been killed.
+	cancelled() bool
+}
+
+// procHandle controls a spawned process from outside.
+type procHandle interface {
+	// kill requests termination: unwinding in sim mode, cooperative
+	// cancellation in real mode.
+	kill()
+}
+
+// inbox is an unbounded FIFO queue bound to one backend.
+type inbox interface {
+	put(v any)
+	// get dequeues, blocking the calling context. timeout < 0 waits
+	// forever. ok is false on timeout or cancellation.
+	get(ctx execCtx, timeout time.Duration) (any, bool)
+	// drain removes and returns everything queued.
+	drain() []any
+	// size returns the queue length.
+	size() int
+}
+
+// backend abstracts real-goroutine vs simulated execution.
+type backend interface {
+	spawn(name string, fn func(ctx execCtx)) procHandle
+	newInbox() inbox
+	now() time.Time
+}
+
+// ---------------------------------------------------------------------
+// Real backend: goroutines, wall clock, cooperative cancellation.
+// ---------------------------------------------------------------------
+
+type realBackend struct {
+	clk clock.Clock
+	wg  sync.WaitGroup
+}
+
+func newRealBackend(clk clock.Clock) *realBackend {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &realBackend{clk: clk}
+}
+
+func (b *realBackend) now() time.Time { return b.clk.Now() }
+
+type realCtx struct {
+	clk    clock.Clock
+	cancel chan struct{}
+}
+
+func (c *realCtx) compute(d time.Duration) { c.sleep(d) }
+
+func (c *realCtx) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.cancel:
+	}
+}
+
+func (c *realCtx) cancelled() bool {
+	select {
+	case <-c.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+type realHandle struct {
+	cancel chan struct{}
+	once   sync.Once
+}
+
+func (h *realHandle) kill() { h.once.Do(func() { close(h.cancel) }) }
+
+func (b *realBackend) spawn(_ string, fn func(ctx execCtx)) procHandle {
+	h := &realHandle{cancel: make(chan struct{})}
+	ctx := &realCtx{clk: b.clk, cancel: h.cancel}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		fn(ctx)
+	}()
+	return h
+}
+
+// wait blocks until every spawned goroutine has returned.
+func (b *realBackend) wait() { b.wg.Wait() }
+
+// realInbox is a mutex+notify unbounded queue.
+type realInbox struct {
+	mu     sync.Mutex
+	queue  []any
+	notify chan struct{}
+}
+
+func (b *realBackend) newInbox() inbox {
+	return &realInbox{notify: make(chan struct{}, 1)}
+}
+
+func (q *realInbox) put(v any) {
+	q.mu.Lock()
+	q.queue = append(q.queue, v)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (q *realInbox) tryGet() (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.queue) == 0 {
+		return nil, false
+	}
+	v := q.queue[0]
+	q.queue = q.queue[1:]
+	return v, true
+}
+
+func (q *realInbox) get(ctx execCtx, timeout time.Duration) (any, bool) {
+	rc, _ := ctx.(*realCtx)
+	var timeC <-chan time.Time
+	if timeout >= 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeC = t.C
+	}
+	var cancel chan struct{}
+	if rc != nil {
+		cancel = rc.cancel
+	}
+	for {
+		if v, ok := q.tryGet(); ok {
+			return v, true
+		}
+		select {
+		case <-q.notify:
+		case <-timeC:
+			return nil, false
+		case <-cancel:
+			return nil, false
+		}
+	}
+}
+
+func (q *realInbox) drain() []any {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.queue
+	q.queue = nil
+	return out
+}
+
+func (q *realInbox) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
+}
+
+// ---------------------------------------------------------------------
+// Simulated backend: discrete-event engine, virtual time.
+// ---------------------------------------------------------------------
+
+type simBackend struct {
+	e *sim.Engine
+}
+
+func (b *simBackend) now() time.Time { return b.e.Now() }
+
+type simCtx struct {
+	p *sim.Proc
+}
+
+func (c *simCtx) compute(d time.Duration) { c.p.Compute(d) }
+func (c *simCtx) sleep(d time.Duration)   { c.p.Sleep(d) }
+func (c *simCtx) cancelled() bool         { return c.p.Killed() }
+
+type simHandle struct {
+	e *sim.Engine
+	p *sim.Proc
+}
+
+func (h *simHandle) kill() { h.e.Kill(h.p) }
+
+func (b *simBackend) spawn(name string, fn func(ctx execCtx)) procHandle {
+	p := b.e.Spawn(name, func(p *sim.Proc) {
+		fn(&simCtx{p: p})
+	})
+	return &simHandle{e: b.e, p: p}
+}
+
+// simInbox adapts sim.Chan.
+type simInbox struct {
+	ch *sim.Chan
+}
+
+func (b *simBackend) newInbox() inbox {
+	return &simInbox{ch: b.e.NewChan()}
+}
+
+func (q *simInbox) put(v any) { q.ch.Send(v) }
+
+func (q *simInbox) get(ctx execCtx, timeout time.Duration) (any, bool) {
+	sc, ok := ctx.(*simCtx)
+	if !ok {
+		return nil, false
+	}
+	return q.ch.RecvTimeout(sc.p, timeout)
+}
+
+func (q *simInbox) drain() []any {
+	out := make([]any, 0, q.ch.Len())
+	for q.ch.Len() > 0 {
+		v, _ := q.tryPop()
+		out = append(out, v)
+	}
+	return out
+}
+
+func (q *simInbox) tryPop() (any, bool) {
+	if q.ch.Len() == 0 {
+		return nil, false
+	}
+	// RecvTimeout with a queued message returns immediately without
+	// parking, so it is safe to call without a proc context... but the
+	// signature needs one. Pop directly via a zero-timeout dance:
+	// sim.Chan exposes queue semantics only through Recv, so we keep a
+	// tiny shim here.
+	return q.ch.PopQueued()
+}
+
+func (q *simInbox) size() int { return q.ch.Len() }

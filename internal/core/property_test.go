@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property test: an arbitrary alternative block behaves exactly like a
+// sequential execution of its (unique) fastest guard-passing
+// alternative — the paper's transparency contract (§4.3: "to an
+// observer, the concurrent execution ... must look like ... a single
+// thread of computation").
+
+// randomOp is one write an alternative performs.
+type randomOp struct {
+	off int64
+	val byte
+	n   int
+}
+
+// randomAlt describes one generated alternative.
+type randomAlt struct {
+	dur       time.Duration
+	ops       []randomOp
+	guardFail bool
+}
+
+const propSpaceSize = 2048
+
+func genAlts(rng *rand.Rand) []randomAlt {
+	n := 2 + rng.Intn(4)
+	// Distinct durations guarantee a unique fastest alternative, making
+	// the reference model deterministic.
+	perm := rng.Perm(n)
+	alts := make([]randomAlt, n)
+	for i := range alts {
+		alts[i].dur = time.Duration(perm[i]+1) * time.Second
+		alts[i].guardFail = rng.Intn(4) == 0
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			nBytes := 1 + rng.Intn(64)
+			alts[i].ops = append(alts[i].ops, randomOp{
+				off: rng.Int63n(propSpaceSize - int64(nBytes)),
+				val: byte(rng.Intn(256)),
+				n:   nBytes,
+			})
+		}
+	}
+	return alts
+}
+
+// referenceState applies the sequential semantics: the fastest
+// guard-passing alternative's writes, or nothing if all fail.
+func referenceState(base []byte, alts []randomAlt) []byte {
+	out := append([]byte(nil), base...)
+	winner := -1
+	var best time.Duration
+	for i, a := range alts {
+		if a.guardFail {
+			continue
+		}
+		if winner == -1 || a.dur < best {
+			winner, best = i, a.dur
+		}
+	}
+	if winner == -1 {
+		return out
+	}
+	for _, op := range alts[winner].ops {
+		for b := 0; b < op.n; b++ {
+			out[op.off+int64(b)] = op.val
+		}
+	}
+	return out
+}
+
+func runRandomBlock(t *testing.T, base []byte, alts []randomAlt, syncElim bool) ([]byte, error) {
+	t.Helper()
+	rt := NewSim(SimConfig{Profile: zeroProfile(0)})
+	var blockErr error
+	root := rt.GoRoot("root", propSpaceSize, func(w *World) {
+		if err := w.WriteAt(base, 0); err != nil {
+			blockErr = err
+			return
+		}
+		coreAlts := make([]Alt, len(alts))
+		for i, a := range alts {
+			a := a
+			coreAlts[i] = Alt{
+				Name: fmt.Sprintf("alt-%d", i),
+				Body: func(cw *World) error {
+					// Interleave writes with compute so losers are
+					// genuinely mid-flight when eliminated.
+					per := a.dur / time.Duration(len(a.ops)+1)
+					for _, op := range a.ops {
+						cw.Compute(per)
+						buf := bytes.Repeat([]byte{op.val}, op.n)
+						if err := cw.WriteAt(buf, op.off); err != nil {
+							return err
+						}
+					}
+					cw.Compute(per)
+					if a.guardFail {
+						return ErrGuardFailed
+					}
+					return nil
+				},
+			}
+		}
+		_, blockErr = w.RunAlt(Options{SyncElimination: syncElim}, coreAlts...)
+	})
+	if err := rt.Run(); err != nil {
+		return nil, err
+	}
+	if blockErr != nil && blockErr != ErrAllFailed {
+		return nil, blockErr
+	}
+	got, err := root.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+func TestBlockMatchesSequentialModel(t *testing.T) {
+	f := func(seed int64, syncElim bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, propSpaceSize)
+		rng.Read(base)
+		alts := genAlts(rng)
+		got, err := runRandomBlock(t, base, alts, syncElim)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := referenceState(base, alts)
+		if !bytes.Equal(got, want) {
+			t.Logf("seed %d: state diverged from sequential model", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a chain of blocks composes — each block's committed state
+// is the next block's base state, exactly as sequential selection
+// composes.
+func TestBlockChainMatchesSequentialModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, propSpaceSize)
+		rng.Read(base)
+
+		const chainLen = 3
+		altChain := make([][]randomAlt, chainLen)
+		for i := range altChain {
+			altChain[i] = genAlts(rng)
+		}
+
+		// Reference: fold the sequential model.
+		want := append([]byte(nil), base...)
+		for _, alts := range altChain {
+			want = referenceState(want, alts)
+		}
+
+		// Runtime: one root running the blocks back to back.
+		rt := NewSim(SimConfig{Profile: zeroProfile(0)})
+		var failure error
+		root := rt.GoRoot("root", propSpaceSize, func(w *World) {
+			if err := w.WriteAt(base, 0); err != nil {
+				failure = err
+				return
+			}
+			for _, alts := range altChain {
+				coreAlts := make([]Alt, len(alts))
+				for i, a := range alts {
+					a := a
+					coreAlts[i] = Alt{Body: func(cw *World) error {
+						cw.Compute(a.dur)
+						for _, op := range a.ops {
+							buf := bytes.Repeat([]byte{op.val}, op.n)
+							if err := cw.WriteAt(buf, op.off); err != nil {
+								return err
+							}
+						}
+						if a.guardFail {
+							return ErrGuardFailed
+						}
+						return nil
+					}}
+				}
+				if _, err := w.RunAlt(Options{}, coreAlts...); err != nil && err != ErrAllFailed {
+					failure = err
+					return
+				}
+			}
+		})
+		if err := rt.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if failure != nil {
+			t.Logf("seed %d: %v", seed, failure)
+			return false
+		}
+		got, err := root.Snapshot()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no COW page is ever copied without a write, and the number
+// of copies is bounded by writes issued (sanity on the §4.1 memory-
+// copying overhead accounting).
+func TestCopyAccountingBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := NewSim(SimConfig{Profile: zeroProfile(0)})
+		writes := 0
+		rt.GoRoot("root", propSpaceSize, func(w *World) {
+			base := make([]byte, propSpaceSize)
+			rng.Read(base)
+			if err := w.WriteAt(base, 0); err != nil {
+				t.Log(err)
+				return
+			}
+			alts := make([]Alt, 3)
+			for i := range alts {
+				d := time.Duration(i+1) * time.Second
+				alts[i] = Alt{Body: func(cw *World) error {
+					cw.Compute(d)
+					for k := 0; k < 10; k++ {
+						writes++
+						if err := cw.WriteAt([]byte{1}, rng.Int63n(propSpaceSize)); err != nil {
+							return err
+						}
+					}
+					return nil
+				}}
+			}
+			if _, err := w.RunAlt(Options{SyncElimination: true}, alts...); err != nil {
+				t.Log(err)
+			}
+		})
+		if err := rt.Run(); err != nil {
+			return false
+		}
+		return rt.Store().Copies() <= int64(writes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

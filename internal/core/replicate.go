@@ -1,0 +1,34 @@
+package core
+
+import "fmt"
+
+// Replicate implements the extension the paper sketches in §6:
+// "Transparent replication can easily be combined with the use of
+// parallel execution of several alternatives for increases in
+// performance, reliability, or both."
+//
+// It expands each alternative into k identical replicas. All replicas
+// of all alternatives race in one block; the first success commits.
+// Because replicas of one alternative are themselves mutually
+// exclusive siblings, a crash (error return) of one replica does not
+// fail the alternative as long as a twin survives — the block only
+// FAILs when every replica of every alternative has failed. The cost
+// is the usual §4.1 throughput penalty, multiplied by k.
+func Replicate(k int, alts []Alt) []Alt {
+	if k <= 1 {
+		return alts
+	}
+	out := make([]Alt, 0, len(alts)*k)
+	for _, a := range alts {
+		for r := 0; r < k; r++ {
+			replica := a
+			name := a.Name
+			if name == "" {
+				name = "alt"
+			}
+			replica.Name = fmt.Sprintf("%s/replica-%d", name, r+1)
+			out = append(out, replica)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReplicateExpansion(t *testing.T) {
+	alts := []Alt{{Name: "a"}, {Name: ""}}
+	out := Replicate(3, alts)
+	if len(out) != 6 {
+		t.Fatalf("len = %d, want 6", len(out))
+	}
+	if out[0].Name != "a/replica-1" || out[2].Name != "a/replica-3" {
+		t.Fatalf("names = %q, %q", out[0].Name, out[2].Name)
+	}
+	if !strings.HasPrefix(out[3].Name, "alt/replica-") {
+		t.Fatalf("unnamed alt replica = %q", out[3].Name)
+	}
+	// k <= 1 is the identity.
+	if got := Replicate(1, alts); len(got) != 2 {
+		t.Fatal("k=1 must not expand")
+	}
+	if got := Replicate(0, alts); len(got) != 2 {
+		t.Fatal("k=0 must not expand")
+	}
+}
+
+func TestReplicationMasksReplicaCrash(t *testing.T) {
+	// The only fast alternative crashes in one replica; its twin
+	// carries the block. Deterministic in the simulator: replica 1 of
+	// "fragile" fails immediately, replica 2 succeeds at 1s, the
+	// "stable" alternative needs an hour.
+	rt := simRT(t, 0)
+	var fragileRuns atomic.Int64
+	base := []Alt{
+		{Name: "fragile", Body: func(w *World) error {
+			n := fragileRuns.Add(1)
+			if n == 1 {
+				return errors.New("replica crash")
+			}
+			w.Compute(time.Second)
+			return w.WriteAt([]byte("fragile-ok"), 0)
+		}},
+		{Name: "stable", Body: func(w *World) error {
+			w.Compute(time.Hour)
+			return w.WriteAt([]byte("stable-ok"), 0)
+		}},
+	}
+	root, res, err := runBlock(t, rt, 1024, Options{SyncElimination: true},
+		Replicate(2, base)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Name, "fragile/") {
+		t.Fatalf("winner = %q, want a fragile replica", res.Name)
+	}
+	if res.Elapsed != time.Second {
+		t.Fatalf("elapsed = %v, want 1s (twin masked the crash)", res.Elapsed)
+	}
+	buf := make([]byte, 10)
+	if err := root.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "fragile-ok" {
+		t.Fatalf("state = %q", buf)
+	}
+}
+
+func TestReplicationAllReplicasFail(t *testing.T) {
+	rt := simRT(t, 0)
+	boom := errors.New("boom")
+	base := []Alt{{Name: "doomed", Body: func(w *World) error { return boom }}}
+	_, _, err := runBlock(t, rt, 1024, Options{}, Replicate(3, base)...)
+	if !errors.Is(err, ErrAllFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplicationStillAtMostOnce(t *testing.T) {
+	// 4 alternatives × 3 replicas, all identical timing: exactly one
+	// commit.
+	rt := simRT(t, 0)
+	base := make([]Alt, 4)
+	for i := range base {
+		v := uint64(i + 1)
+		base[i] = Alt{Name: "alt", Body: func(w *World) error {
+			w.Compute(time.Second)
+			return w.WriteUint64(0, v)
+		}}
+	}
+	root, res, err := runBlock(t, rt, 1024, Options{SyncElimination: true},
+		Replicate(3, base)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := root.ReadUint64(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != uint64(res.Index/3+1) {
+		t.Fatalf("state %d inconsistent with winner %d", v, res.Index)
+	}
+}

@@ -1,0 +1,433 @@
+// Package core implements the paper's contribution: transparent
+// concurrent execution of mutually exclusive alternatives (§2-§3).
+//
+// A World is a speculative process: a private copy-on-write address
+// space (its sink state), a predicate set (the assumptions it runs
+// under), and a process identity. World.RunAlt executes an alternative
+// block — the ALTBEGIN/ENSURE/WITH/OR/FAIL construct of Figure 1 —
+// by spawning one child world per alternative, selecting the first
+// successful one ("fastest first"), absorbing its state into the parent
+// via an atomic page-map swap, and eliminating its siblings. The
+// semantics visible to an observer are exactly those of a sequential
+// nondeterministic selection of one alternative (§4.3).
+//
+// The runtime runs in two modes. Real mode executes alternatives as
+// goroutines against the wall clock — the mode a library user adopts.
+// Simulated mode executes them as discrete-event processes with a
+// machine cost model (fork, page-copy, elimination, network), which is
+// how the paper's experiments are reproduced deterministically. The Go
+// runtime cannot fork a process mid-flight, so cancellation of losing
+// alternatives is cooperative (Body code should poll World.Cancelled in
+// long loops); the paper itself permits asynchronous elimination, so
+// this changes overhead, not semantics.
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"altrun/internal/clock"
+	"altrun/internal/device"
+	"altrun/internal/ids"
+	"altrun/internal/mem"
+	"altrun/internal/msg"
+	"altrun/internal/page"
+	"altrun/internal/predicate"
+	"altrun/internal/proc"
+	"altrun/internal/sim"
+	"altrun/internal/trace"
+)
+
+// Errors returned by alternative blocks.
+var (
+	// ErrAllFailed is the block's FAIL outcome: every alternative's
+	// guard failed (Figure 1).
+	ErrAllFailed = errors.New("core: all alternatives failed")
+	// ErrTimeout means alt_wait's TIMEOUT elapsed before any
+	// alternative succeeded (§3.2).
+	ErrTimeout = errors.New("core: alternative block timed out")
+	// ErrGuardFailed is the implicit error when an alternative's guard
+	// evaluates false.
+	ErrGuardFailed = errors.New("core: guard not satisfied")
+	// ErrEliminated means the executing world was eliminated while
+	// waiting (its own block's ancestor committed a different sibling).
+	ErrEliminated = errors.New("core: world eliminated")
+	// ErrNotServer is returned when the message layer must split a
+	// world that is not a restartable server (see SpawnServer).
+	ErrNotServer = errors.New("core: world cannot be split (not a server)")
+)
+
+// Config configures a real-mode runtime.
+type Config struct {
+	// PageSize for the page store; 0 selects page.DefaultPageSize.
+	PageSize int
+	// Clock supplies time; nil selects the wall clock.
+	Clock clock.Clock
+	// Trace enables event tracing.
+	Trace bool
+}
+
+// SimConfig configures a simulated runtime.
+type SimConfig struct {
+	// Profile is the machine cost model. Its PageSize is used for the
+	// page store.
+	Profile sim.MachineProfile
+	// CPUs overrides Profile.CPUs when > 0.
+	CPUs int
+	// Trace enables event tracing.
+	Trace bool
+}
+
+// Runtime owns the worlds, the page store, the process registry, and
+// the message router.
+type Runtime struct {
+	be      backend
+	realBE  *realBackend // non-nil in real mode
+	eng     *sim.Engine  // non-nil in sim mode
+	profile *sim.MachineProfile
+
+	store   *page.Store
+	procs   *proc.Table
+	router  *msg.Router
+	excl    *predicate.ExclusionTable
+	log     *trace.Log
+	console *device.Console
+
+	mu      sync.Mutex
+	worlds  map[ids.PID]*World
+	aliases map[ids.PID][]ids.PID
+}
+
+// New returns a real-mode runtime.
+func New(cfg Config) *Runtime {
+	be := newRealBackend(cfg.Clock)
+	rt := newRuntime(page.NewStore(cfg.PageSize), cfg.Trace)
+	rt.be = be
+	rt.realBE = be
+	rt.finishInit()
+	return rt
+}
+
+// NewSim returns a simulated runtime with the given machine profile.
+func NewSim(cfg SimConfig) *Runtime {
+	cpus := cfg.Profile.CPUs
+	if cfg.CPUs > 0 {
+		cpus = cfg.CPUs
+	}
+	eng := sim.New(cpus)
+	rt := newRuntime(page.NewStore(cfg.Profile.PageSize), cfg.Trace)
+	rt.be = &simBackend{e: eng}
+	rt.eng = eng
+	profile := cfg.Profile
+	rt.profile = &profile
+	rt.finishInit()
+	return rt
+}
+
+func newRuntime(store *page.Store, traced bool) *Runtime {
+	rt := &Runtime{
+		store:   store,
+		excl:    predicate.NewExclusionTable(),
+		worlds:  make(map[ids.PID]*World),
+		aliases: make(map[ids.PID][]ids.PID),
+	}
+	if traced {
+		rt.log = trace.NewLog()
+	}
+	rt.procs = proc.NewTable(&ids.Generator{})
+	return rt
+}
+
+func (rt *Runtime) finishInit() {
+	rt.router = msg.NewRouter(rt.be.now, rt.log)
+	rt.console = device.NewConsole(rt.be.now, rt.log)
+}
+
+// Engine returns the simulation engine (nil in real mode).
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Profile returns the machine profile (nil in real mode).
+func (rt *Runtime) Profile() *sim.MachineProfile { return rt.profile }
+
+// Store returns the page store (for sharing/copy accounting).
+func (rt *Runtime) Store() *page.Store { return rt.store }
+
+// Procs returns the process registry.
+func (rt *Runtime) Procs() *proc.Table { return rt.procs }
+
+// Log returns the trace log (nil unless tracing was enabled).
+func (rt *Runtime) Log() *trace.Log { return rt.log }
+
+// Console returns the runtime's source device.
+func (rt *Runtime) Console() *device.Console { return rt.console }
+
+// MsgStats returns the message-layer decision counters.
+func (rt *Runtime) MsgStats() msg.Stats { return rt.router.Stats() }
+
+// Now returns the runtime's current time (virtual in sim mode).
+func (rt *Runtime) Now() time.Time { return rt.be.now() }
+
+// Run drives a simulated runtime to completion. It is an error to call
+// it in real mode.
+func (rt *Runtime) Run() error {
+	if rt.eng == nil {
+		return errors.New("core: Run is only valid in simulated mode")
+	}
+	return rt.eng.Run()
+}
+
+// Wait blocks until all real-mode goroutines have exited. It is a
+// no-op in simulated mode.
+func (rt *Runtime) Wait() {
+	if rt.realBE != nil {
+		rt.realBE.wait()
+	}
+}
+
+// NewRootWorld creates a non-speculative top-level world whose body
+// runs on the caller's goroutine (real mode only). The root's predicate
+// set is empty: it may touch sources freely.
+func (rt *Runtime) NewRootWorld(name string, spaceSize int64) (*World, error) {
+	if rt.realBE == nil {
+		return nil, errors.New("core: NewRootWorld is only valid in real mode; use GoRoot")
+	}
+	pid := rt.procs.Register(ids.None, name)
+	w := &World{
+		rt:         rt,
+		pid:        pid,
+		name:       name,
+		space:      mem.New(rt.store, spaceSize),
+		preds:      predicate.New(),
+		box:        rt.be.newInbox(),
+		ownedSpace: true,
+		ctx:        &realCtx{clk: rt.realBE.clk, cancel: make(chan struct{})},
+	}
+	rt.registerWorld(w)
+	return w, nil
+}
+
+// GoRoot spawns a non-speculative top-level world running body
+// (simulated mode, or detached real-mode roots). Call Run (sim) or
+// Wait (real) afterwards.
+func (rt *Runtime) GoRoot(name string, spaceSize int64, body func(w *World)) *World {
+	pid := rt.procs.Register(ids.None, name)
+	w := &World{
+		rt:         rt,
+		pid:        pid,
+		name:       name,
+		space:      mem.New(rt.store, spaceSize),
+		preds:      predicate.New(),
+		box:        rt.be.newInbox(),
+		ownedSpace: true,
+	}
+	rt.registerWorld(w)
+	w.handle = rt.be.spawn(name, func(ctx execCtx) {
+		w.ctx = ctx
+		// Note: no exitCleanup — a root's space outlives its body so
+		// callers can inspect the final state.
+		body(w)
+		w.markTerminated()
+		if err := rt.procs.SetStatus(w.pid, proc.Completed); err == nil {
+			rt.propagate([]propEvent{{resolvePID: pid, completed: true}})
+		}
+		rt.unregisterWorld(w)
+	})
+	return w
+}
+
+// registerWorld makes w resolvable and addressable.
+func (rt *Runtime) registerWorld(w *World) {
+	rt.mu.Lock()
+	rt.worlds[w.pid] = w
+	rt.mu.Unlock()
+	rt.router.Register(w)
+}
+
+// unregisterWorld removes w from the registry and router.
+func (rt *Runtime) unregisterWorld(w *World) {
+	rt.mu.Lock()
+	delete(rt.worlds, w.pid)
+	rt.mu.Unlock()
+	rt.router.Unregister(w.pid)
+}
+
+// liveWorlds snapshots the registered worlds.
+func (rt *Runtime) liveWorlds() []*World {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*World, 0, len(rt.worlds))
+	for _, w := range rt.worlds {
+		out = append(out, w)
+	}
+	return out
+}
+
+func (rt *Runtime) worldByPID(pid ids.PID) *World {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.worlds[pid]
+}
+
+// addAlias records that messages for orig should reach copies (§3.4.2:
+// "two copies of the receiver are created").
+func (rt *Runtime) addAlias(orig ids.PID, copies ...ids.PID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.aliases[orig] = copies
+}
+
+// resolveAlias expands a destination through split-receiver aliases to
+// the currently-registered worlds.
+func (rt *Runtime) resolveAlias(dest ids.PID) []ids.PID {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []ids.PID
+	seen := make(map[ids.PID]bool)
+	stack := []ids.PID{dest}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if copies, ok := rt.aliases[p]; ok {
+			stack = append(stack, copies...)
+			continue
+		}
+		if _, live := rt.worlds[p]; live {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Copies returns the live worlds reachable from pid through
+// split-receiver aliases — pid's own world if it never split, else the
+// surviving copies. Experiment harnesses use it to audit and shut down
+// server trees.
+func (rt *Runtime) Copies(pid ids.PID) []*World {
+	var out []*World
+	for _, p := range rt.resolveAlias(pid) {
+		if w := rt.worldByPID(p); w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// sendFrom routes data from a sender (with predicate snapshot) to dest,
+// expanding split-receiver aliases.
+func (rt *Runtime) sendFrom(sender ids.PID, senderPreds *predicate.Set, dest ids.PID, data any) error {
+	targets := rt.resolveAlias(dest)
+	if len(targets) == 0 {
+		return msg.ErrUnknownReceiver
+	}
+	var firstErr error
+	for _, t := range targets {
+		if err := rt.router.Send(sender, senderPreds, t, data); err != nil {
+			if errors.Is(err, msg.ErrUnknownReceiver) {
+				continue // target died between expansion and send
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// propEvent is a unit of work for the propagation engine: either an
+// elimination of a world or the resolution of a process's fate.
+type propEvent struct {
+	eliminate  *World
+	resolvePID ids.PID
+	completed  bool
+}
+
+// propagate applies eliminations and predicate resolutions
+// transitively: eliminating a world resolves its PID as failed, which
+// may contradict other worlds' assumptions (killing, e.g., the
+// assume-copy of a split receiver), which eliminates them, and so on
+// (§3.2.1, §3.4.2).
+func (rt *Runtime) propagate(events []propEvent) {
+	queue := events
+	for len(queue) > 0 {
+		ev := queue[0]
+		queue = queue[1:]
+		if ev.eliminate != nil {
+			w := ev.eliminate
+			if !rt.eliminateOne(w) {
+				continue
+			}
+			queue = append(queue, propEvent{resolvePID: w.pid, completed: false})
+			// Cascade to the world's live descendants: a dead parent's
+			// in-flight alternative block must not leave orphans.
+			for _, cp := range rt.procs.Children(w.pid) {
+				if cw := rt.worldByPID(cp); cw != nil {
+					queue = append(queue, propEvent{eliminate: cw})
+				}
+			}
+			continue
+		}
+		for _, w := range rt.liveWorlds() {
+			outcome, nowResolved := w.applyResolution(ev.resolvePID, ev.completed)
+			switch outcome {
+			case predicate.Contradicted:
+				rt.log.Addf(rt.be.now(), trace.KindContradiction, w.pid,
+					"assumption about %v failed", ev.resolvePID)
+				queue = append(queue, propEvent{eliminate: w})
+			case predicate.Simplified:
+				if nowResolved {
+					w.flushDeferred()
+				}
+			}
+		}
+	}
+}
+
+// eliminateOne terminates one world; reports false if it was already
+// terminated. Space pages are released by the world's own exit path.
+func (rt *Runtime) eliminateOne(w *World) bool {
+	if !w.markTerminated() {
+		return false
+	}
+	_ = rt.procs.SetStatus(w.pid, proc.Eliminated)
+	rt.unregisterWorld(w)
+	if w.handle != nil {
+		w.handle.kill()
+	} else {
+		// Never spawned: nobody else will release its pages.
+		w.discardSpace()
+	}
+	rt.log.Add(rt.be.now(), trace.KindEliminate, w.pid, w.name)
+	return true
+}
+
+// chargeFork bills the simulated setup cost of forking an address
+// space with the given number of resident pages (§4.1 item 1, §4.3
+// "setup").
+func (rt *Runtime) chargeFork(ctx execCtx, pages int) {
+	if rt.profile == nil || ctx == nil {
+		return
+	}
+	ctx.compute(rt.profile.ForkCost(pages))
+}
+
+// chargeCopies bills COW write faults (§4.3 "runtime").
+func (rt *Runtime) chargeCopies(ctx execCtx, copies int64) {
+	if rt.profile == nil || ctx == nil || copies <= 0 {
+		return
+	}
+	ctx.compute(rt.profile.CopyCost(int(copies)))
+}
+
+// chargeElimination bills issuing elimination instructions for k
+// siblings (§4.1 item 2, §4.3 "selection").
+func (rt *Runtime) chargeElimination(ctx execCtx, k int) {
+	if rt.profile == nil || ctx == nil || k <= 0 {
+		return
+	}
+	ctx.compute(time.Duration(k) * rt.profile.CommitPerSibling)
+}

@@ -1,0 +1,93 @@
+package device_test
+
+import (
+	"testing"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/device"
+	"altrun/internal/page"
+	"altrun/internal/sim"
+)
+
+// Integration: recovery-block alternates "may attempt to update shared
+// state, e.g., database files" (§5.1.2). Each alternative updates the
+// shared FileStore through its own COW view; after the block commits,
+// exactly the winner's view is published.
+
+func TestFileStoreRacedUpdates(t *testing.T) {
+	rt := core.NewSim(core.SimConfig{
+		Profile: sim.MachineProfile{Name: "zero", PageSize: 64, CPUs: 0},
+	})
+	fs := device.NewFileStore(page.NewStore(64))
+	if err := fs.Create("accounts.db", 256); err != nil {
+		t.Fatal(err)
+	}
+	// Seed committed contents.
+	seed, err := fs.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.WriteAt("accounts.db", []byte("balance=100"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	views := make([]*device.View, 2)
+	rt.GoRoot("root", 64, func(w *core.World) {
+		res, err := w.RunAlt(core.Options{SyncElimination: true},
+			core.Alt{Name: "fast-path", Body: func(cw *core.World) error {
+				v, err := fs.View()
+				if err != nil {
+					return err
+				}
+				views[0] = v
+				cw.Compute(time.Second)
+				return v.WriteAt("accounts.db", []byte("balance=150"), 0)
+			}},
+			core.Alt{Name: "slow-path", Body: func(cw *core.World) error {
+				v, err := fs.View()
+				if err != nil {
+					return err
+				}
+				views[1] = v
+				if err := v.WriteAt("accounts.db", []byte("balance=999"), 0); err != nil {
+					return err
+				}
+				cw.Compute(time.Hour)
+				return nil
+			}},
+		)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Publish exactly the winner's view; discard the rest — the
+		// "performing the updates made by C_best" selection step
+		// (§4.3).
+		for i, v := range views {
+			if v == nil {
+				continue
+			}
+			if i == res.Index {
+				if err := v.Commit(); err != nil {
+					t.Error(err)
+				}
+			} else {
+				v.Discard()
+			}
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if err := fs.ReadAt("accounts.db", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "balance=150" {
+		t.Fatalf("committed DB = %q, want the winner's update", buf)
+	}
+}

@@ -1,0 +1,190 @@
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"altrun/internal/cluster"
+	"altrun/internal/mem"
+	"altrun/internal/sim"
+)
+
+// Network-transparent paged files (§3.1): "files are named sets of
+// pages, and thus mechanisms which are used to transparently access
+// files over networks [Sandberg 1985: NFS] can be utilized to hide the
+// network through the page management abstraction."
+//
+// A PageServer exports a FileStore's committed contents page by page
+// over the simulated cluster; a RemoteFile is a client-side window that
+// fetches pages on demand and caches them, so repeated reads of the
+// same page cost one round trip — the remote fork experiment (E5) uses
+// the same idea in bulk.
+
+// Wire messages.
+type (
+	// PageRequest asks for one page of a named file.
+	PageRequest struct {
+		File  string
+		Page  int64
+		Reply cluster.Addr
+	}
+	// PageReply carries the page contents (nil Data with OK=false for
+	// missing files or out-of-range pages).
+	PageReply struct {
+		File string
+		Page int64
+		OK   bool
+		Data []byte
+	}
+)
+
+// PageServer serves a FileStore's pages on a node.
+type PageServer struct {
+	fs   *FileStore
+	node *cluster.Node
+	c    *cluster.Cluster
+	port string
+	proc *sim.Proc
+
+	served int
+}
+
+// ServePort is the well-known port page servers bind.
+const ServePort = "pagesvc"
+
+// NewPageServer starts a page service for fs on node. Call Shutdown to
+// stop it (so simulations can drain).
+func NewPageServer(c *cluster.Cluster, node *cluster.Node, fs *FileStore) *PageServer {
+	s := &PageServer{fs: fs, node: node, c: c, port: ServePort}
+	inbox := node.Bind(s.port)
+	s.proc = c.Engine().Spawn(fmt.Sprintf("pagesvc-%v", node.ID()), func(p *sim.Proc) {
+		for {
+			env, _ := inbox.Recv(p).(cluster.Envelope)
+			req, ok := env.Payload.(PageRequest)
+			if !ok {
+				continue
+			}
+			s.served++
+			reply := PageReply{File: req.File, Page: req.Page}
+			ps := int64(s.fs.store.PageSize())
+			buf := make([]byte, ps)
+			if err := s.fs.ReadAt(req.File, buf, req.Page*ps); err == nil {
+				reply.OK = true
+				reply.Data = buf
+			}
+			// Page transfer cost: latency is added by the link; the
+			// per-byte cost is modelled on the server.
+			p.Sleep(time.Duration(len(reply.Data)) * node.Profile().NetPerByte)
+			c.Send(node, req.Reply, reply)
+		}
+	})
+	return s
+}
+
+// Served returns how many page requests the server has answered.
+func (s *PageServer) Served() int { return s.served }
+
+// Shutdown stops the server process.
+func (s *PageServer) Shutdown() { s.c.Engine().Kill(s.proc) }
+
+// RemoteFile is a client-side, page-cached window onto a served file.
+// It is used from a single simulated process.
+type RemoteFile struct {
+	c        *cluster.Cluster
+	node     *cluster.Node
+	server   cluster.Addr
+	name     string
+	size     int64
+	pageSize int64
+	cache    map[int64][]byte
+	port     string
+
+	fetches int
+	hits    int
+}
+
+// OpenRemote opens a window of `size` bytes onto file `name` served at
+// serverNode. pageSize must match the server store's geometry (in the
+// paper's single-level store there is one page size system-wide, §3.1).
+func OpenRemote(c *cluster.Cluster, node *cluster.Node, serverNode *cluster.Node, name string, size int64, pageSize int) *RemoteFile {
+	return &RemoteFile{
+		c:        c,
+		node:     node,
+		server:   cluster.Addr{Node: serverNode.ID(), Port: ServePort},
+		name:     name,
+		size:     size,
+		pageSize: int64(pageSize),
+		cache:    make(map[int64][]byte),
+		port:     fmt.Sprintf("pagecli/%s/%v", name, node.ID()),
+	}
+}
+
+// Fetches returns the number of remote page fetches performed.
+func (f *RemoteFile) Fetches() int { return f.fetches }
+
+// Hits returns the number of reads satisfied from the page cache.
+func (f *RemoteFile) Hits() int { return f.hits }
+
+// pageSize is learned from the first reply; until then assume the
+// server's store page size via a fetch.
+func (f *RemoteFile) fetchPage(p *sim.Proc, pageNo int64) ([]byte, error) {
+	if data, ok := f.cache[pageNo]; ok {
+		f.hits++
+		return data, nil
+	}
+	inbox := f.node.Bind(f.port)
+	f.c.Send(f.node, f.server, PageRequest{
+		File:  f.name,
+		Page:  pageNo,
+		Reply: cluster.Addr{Node: f.node.ID(), Port: f.port},
+	})
+	for {
+		env, ok := inbox.RecvTimeout(p, 5*time.Second)
+		if !ok {
+			return nil, fmt.Errorf("device: page fetch %s/%d timed out", f.name, pageNo)
+		}
+		reply, isReply := env.(cluster.Envelope).Payload.(PageReply)
+		if !isReply || reply.File != f.name || reply.Page != pageNo {
+			continue // stale reply from an earlier fetch
+		}
+		if !reply.OK {
+			return nil, fmt.Errorf("device: no page %s/%d on server", f.name, pageNo)
+		}
+		f.fetches++
+		f.cache[pageNo] = reply.Data
+		return reply.Data, nil
+	}
+}
+
+// ReadAt fills buf from the remote file, fetching missing pages over
+// the network. The page size is the server store's; the caller's
+// offsets are plain byte offsets — the network is hidden behind the
+// page abstraction.
+func (f *RemoteFile) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	if off < 0 || off+int64(len(buf)) > f.size {
+		return fmt.Errorf("%w: [%d,%d) of %d", mem.ErrOutOfRange, off, off+int64(len(buf)), f.size)
+	}
+	ps := f.pageSize
+	for len(buf) > 0 {
+		pageNo := off / ps
+		data, err := f.fetchPage(p, pageNo)
+		if err != nil {
+			return err
+		}
+		po := off % ps
+		n := ps - po
+		if int64(len(buf)) < n {
+			n = int64(len(buf))
+		}
+		copy(buf[:n], data[po:po+n])
+		buf = buf[n:]
+		off += n
+	}
+	return nil
+}
+
+// Invalidate drops the page cache (e.g., after the server's contents
+// were re-committed).
+func (f *RemoteFile) Invalidate() {
+	f.cache = make(map[int64][]byte)
+}

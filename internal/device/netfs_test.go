@@ -1,0 +1,209 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"altrun/internal/cluster"
+	"altrun/internal/page"
+	"altrun/internal/sim"
+)
+
+func netfsFixture(t *testing.T) (*sim.Engine, *cluster.Cluster, *cluster.Node, *cluster.Node, *FileStore, *PageServer) {
+	t.Helper()
+	e := sim.New(0)
+	c := cluster.New(e, 3)
+	serverNode := c.AddNode(sim.ProfileHP9000())
+	clientNode := c.AddNode(sim.ProfileHP9000())
+	fs := NewFileStore(page.NewStore(64))
+	if err := fs.Create("data", 640); err != nil {
+		t.Fatal(err)
+	}
+	v, err := fs.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 640)
+	for i := range content {
+		content[i] = byte(i % 251)
+	}
+	if err := v.WriteAt("data", content, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewPageServer(c, serverNode, fs)
+	return e, c, serverNode, clientNode, fs, srv
+}
+
+func TestRemoteReadMatchesServer(t *testing.T) {
+	e, c, serverNode, clientNode, _, srv := netfsFixture(t)
+	e.Spawn("client", func(p *sim.Proc) {
+		defer srv.Shutdown()
+		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
+		got := make([]byte, 200)
+		if err := rf.ReadAt(p, got, 37); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range got {
+			if got[i] != byte((37+i)%251) {
+				t.Errorf("byte %d = %d, want %d", i, got[i], byte((37+i)%251))
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteReadCaches(t *testing.T) {
+	e, c, serverNode, clientNode, _, srv := netfsFixture(t)
+	e.Spawn("client", func(p *sim.Proc) {
+		defer srv.Shutdown()
+		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
+		buf := make([]byte, 64)
+		start := e.Now()
+		if err := rf.ReadAt(p, buf, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		firstCost := e.Since(start)
+		if firstCost < clientNode.Profile().NetLatency {
+			t.Errorf("first read cost %v, want at least one round trip", firstCost)
+		}
+		start = e.Now()
+		for i := 0; i < 10; i++ {
+			if err := rf.ReadAt(p, buf, 0); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if repeat := e.Since(start); repeat != 0 {
+			t.Errorf("cached reads cost %v, want 0 (no network)", repeat)
+		}
+		if rf.Fetches() != 1 || rf.Hits() < 10 {
+			t.Errorf("fetches=%d hits=%d", rf.Fetches(), rf.Hits())
+		}
+		if srv.Served() != 1 {
+			t.Errorf("server answered %d requests, want 1", srv.Served())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteReadSpansPages(t *testing.T) {
+	e, c, serverNode, clientNode, fs, srv := netfsFixture(t)
+	e.Spawn("client", func(p *sim.Proc) {
+		defer srv.Shutdown()
+		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
+		got := make([]byte, 640)
+		if err := rf.ReadAt(p, got, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		want := make([]byte, 640)
+		if err := fs.ReadAt("data", want, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("remote window differs from the served file")
+		}
+		if rf.Fetches() != 10 {
+			t.Errorf("fetches = %d, want 10 (one per page)", rf.Fetches())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteReadErrors(t *testing.T) {
+	e, c, serverNode, clientNode, _, srv := netfsFixture(t)
+	e.Spawn("client", func(p *sim.Proc) {
+		defer srv.Shutdown()
+		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
+		if err := rf.ReadAt(p, make([]byte, 1), 640); err == nil {
+			t.Error("out-of-range read must fail")
+		}
+		missing := OpenRemote(c, clientNode, serverNode, "nope", 64, 64)
+		if err := missing.ReadAt(p, make([]byte, 1), 0); err == nil {
+			t.Error("missing file must fail")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteInvalidateSeesNewCommit(t *testing.T) {
+	e, c, serverNode, clientNode, fs, srv := netfsFixture(t)
+	e.Spawn("client", func(p *sim.Proc) {
+		defer srv.Shutdown()
+		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
+		buf := make([]byte, 4)
+		if err := rf.ReadAt(p, buf, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		// A new committed version on the server.
+		v, err := fs.View()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.WriteAt("data", []byte("NEW!"), 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Commit(); err != nil {
+			t.Error(err)
+			return
+		}
+		// Cached window still shows the old version until invalidated.
+		if err := rf.ReadAt(p, buf, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if string(buf) == "NEW!" {
+			t.Error("cache must serve the old version until invalidated")
+		}
+		rf.Invalidate()
+		if err := rf.ReadAt(p, buf, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if string(buf) != "NEW!" {
+			t.Errorf("after invalidate got %q", buf)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteFetchTimeoutOnPartition(t *testing.T) {
+	e, c, serverNode, clientNode, _, srv := netfsFixture(t)
+	e.Spawn("client", func(p *sim.Proc) {
+		defer srv.Shutdown()
+		c.Partition(serverNode.ID(), clientNode.ID())
+		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
+		start := e.Now()
+		err := rf.ReadAt(p, make([]byte, 1), 0)
+		if err == nil {
+			t.Error("partitioned fetch must fail")
+		}
+		if e.Since(start) < 5*time.Second {
+			t.Error("fetch must wait out its timeout")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

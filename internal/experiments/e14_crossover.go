@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/perf"
+)
+
+// E14: §7's "best situation" conditions, quantified. With τ = (10, 20,
+// 30)s the analytic crossover is at overhead = mean - best = 10s; we
+// sweep the modelled setup overhead through that point and verify the
+// measured PI crosses 1 where the model says it should.
+
+// E14Row is one overhead point.
+type E14Row struct {
+	Overhead   time.Duration
+	AnalyticPI float64
+	MeasuredPI float64
+	RacingWins bool
+}
+
+// E14Result is the crossover sweep.
+type E14Result struct {
+	Rows []E14Row
+	// AnalyticCrossover is mean-best for the τ vector.
+	AnalyticCrossover time.Duration
+}
+
+// E14 sweeps total overhead from 0 to 15s.
+func E14() (E14Result, error) {
+	times := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	mean, err := perf.Mean(times)
+	if err != nil {
+		return E14Result{}, err
+	}
+	cross, err := perf.CrossoverOverhead(times)
+	if err != nil {
+		return E14Result{}, err
+	}
+	out := E14Result{AnalyticCrossover: cross}
+	for _, overhead := range []time.Duration{
+		0, 2 * time.Second, 5 * time.Second, 8 * time.Second,
+		10 * time.Second, 12 * time.Second, 15 * time.Second,
+	} {
+		profile := zeroProfile(4096)
+		// All overhead as setup, split across the 3 forks.
+		profile.ForkBase = overhead / time.Duration(len(times))
+		oc, err := raceDurations(profile, times, core.Options{})
+		if err != nil {
+			return out, err
+		}
+		if oc.Err != nil {
+			return out, oc.Err
+		}
+		analytic, err := perf.PI(times, overhead)
+		if err != nil {
+			return out, err
+		}
+		measured := float64(mean) / float64(oc.Elapsed)
+		out.Rows = append(out.Rows, E14Row{
+			Overhead:   overhead,
+			AnalyticPI: analytic,
+			MeasuredPI: measured,
+			// Strictly greater than break-even, with tolerance for the
+			// nanosecond truncation of overhead/3 in the fork model.
+			RacingWins: measured > 1+1e-6,
+		})
+	}
+	return out, nil
+}
+
+// Format renders the sweep.
+func (r E14Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmtSecs(row.Overhead),
+			fmt.Sprintf("%.2f", row.AnalyticPI),
+			fmt.Sprintf("%.2f", row.MeasuredPI),
+			fmt.Sprintf("%v", row.RacingWins),
+		}
+	}
+	return fmt.Sprintf("E14 — §7 crossover: PI vs overhead for τ=(10,20,30)s; analytic crossover at %s\n",
+		fmtSecs(r.AnalyticCrossover)) +
+		table([]string{"overhead", "analytic PI", "measured PI", "racing wins"}, rows)
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/sim"
+)
+
+// E15: COW vs full-copy spawn (DESIGN.md §6). The paper's default is
+// copy-on-write ("reduces the amount of state which must be
+// maintained", §5.1.2); recovery blocks may pay for full copies to
+// avoid new failure modes. This ablation prices that choice as a
+// function of how much of the space the alternative actually writes.
+
+// E15Row is one (fraction-written) point.
+type E15Row struct {
+	FractionWritten float64
+	COW             time.Duration
+	FullCopy        time.Duration
+	// Penalty is FullCopy/COW.
+	Penalty float64
+}
+
+// E15Result is the spawn-mode table.
+type E15Result struct {
+	SpaceKB int
+	Rows    []E15Row
+}
+
+// E15 runs a 2-alternative block over a 320 KB space on the HP profile
+// in both spawn modes, sweeping the fraction the winner writes.
+func E15() (E15Result, error) {
+	const spaceSize = 320 << 10
+	profile := sim.ProfileHP9000()
+	out := E15Result{SpaceKB: spaceSize >> 10}
+	for _, frac := range []float64{0.01, 0.1, 0.25, 0.5, 1.0} {
+		cow, err := measureSpawnMode(profile, spaceSize, frac, false)
+		if err != nil {
+			return out, err
+		}
+		full, err := measureSpawnMode(profile, spaceSize, frac, true)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, E15Row{
+			FractionWritten: frac,
+			COW:             cow,
+			FullCopy:        full,
+			Penalty:         float64(full) / float64(cow),
+		})
+	}
+	return out, nil
+}
+
+func measureSpawnMode(profile sim.MachineProfile, size int, frac float64, fullCopy bool) (time.Duration, error) {
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	var elapsed time.Duration
+	var failure error
+	rt.GoRoot("root", int64(size), func(w *core.World) {
+		if err := w.WriteAt(bytes.Repeat([]byte{1}, size), 0); err != nil {
+			failure = err
+			return
+		}
+		totalPages := size / profile.PageSize
+		writePages := int(frac * float64(totalPages))
+		ps := int64(profile.PageSize)
+		res, err := w.RunAlt(core.Options{FullCopy: fullCopy, SyncElimination: true},
+			core.Alt{Name: "writer", Body: func(cw *core.World) error {
+				for p := 0; p < writePages; p++ {
+					if err := cw.WriteAt([]byte{2}, int64(p)*ps); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+			// The sibling sleeps (no CPU demand) so the measurement
+			// isolates spawn/copy cost from CPU sharing.
+			core.Alt{Name: "idle", Body: func(cw *core.World) error {
+				cw.Sleep(time.Hour)
+				return nil
+			}},
+		)
+		if err != nil {
+			failure = err
+			return
+		}
+		elapsed = res.Elapsed
+	})
+	if err := rt.Run(); err != nil {
+		return 0, err
+	}
+	return elapsed, failure
+}
+
+// Format renders the spawn-mode comparison.
+func (r E15Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("%.0f%%", row.FractionWritten*100),
+			fmtDur(row.COW), fmtDur(row.FullCopy),
+			fmt.Sprintf("%.1fx", row.Penalty),
+		}
+	}
+	return fmt.Sprintf("E15 — ablation: COW vs full-copy spawn (%dKB space, HP profile, 2 alternatives)\n", r.SpaceKB) +
+		table([]string{"winner writes", "COW block", "full-copy block", "full-copy penalty"}, rows)
+}
+
+// E16: guard placement (DESIGN.md §6). The paper expects the child to
+// evaluate the guard, "thus speeding up spawning and synchronization"
+// (§3.2), but allows re-checking it at the synchronization point "for
+// redundancy". This ablation prices the redundant re-check against the
+// guard's own cost.
+
+// E16Row is one guard-cost point.
+type E16Row struct {
+	GuardCost    time.Duration
+	ChildOnly    time.Duration
+	WithRecheck  time.Duration
+	RecheckDelta time.Duration
+}
+
+// E16Result is the guard-placement table. The PreCheck pair measures
+// the third placement: with mostly-closed guards, screening before
+// spawning skips the setup cost of closed alternatives entirely.
+type E16Result struct {
+	Rows []E16Row
+	// ClosedAlts is the number of guard-closed alternatives in the
+	// pre-check scenario (plus one open).
+	ClosedAlts int
+	// ChildSideClosed is the block time paying fork setup for every
+	// alternative and failing the closed ones in their children.
+	ChildSideClosed time.Duration
+	// PreCheckClosed is the block time screening guards pre-spawn.
+	PreCheckClosed time.Duration
+}
+
+// E16 sweeps the guard's evaluation cost for a block whose body takes
+// one second.
+func E16() (E16Result, error) {
+	var out E16Result
+	for _, guardCost := range []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+	} {
+		childOnly, err := measureGuardMode(guardCost, false)
+		if err != nil {
+			return out, err
+		}
+		recheck, err := measureGuardMode(guardCost, true)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, E16Row{
+			GuardCost:    guardCost,
+			ChildOnly:    childOnly,
+			WithRecheck:  recheck,
+			RecheckDelta: recheck - childOnly,
+		})
+	}
+	out.ClosedAlts = 7
+	var err error
+	out.ChildSideClosed, err = measureClosedGuards(out.ClosedAlts, false)
+	if err != nil {
+		return out, err
+	}
+	out.PreCheckClosed, err = measureClosedGuards(out.ClosedAlts, true)
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// measureClosedGuards runs one open alternative plus n closed ones,
+// with a 10ms fork cost, in the chosen guard-placement mode.
+func measureClosedGuards(n int, preCheck bool) (time.Duration, error) {
+	profile := zeroProfile(4096)
+	profile.ForkBase = 10 * time.Millisecond
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	var elapsed time.Duration
+	var failure error
+	rt.GoRoot("root", 1<<16, func(w *core.World) {
+		alts := make([]core.Alt, 0, n+1)
+		alts = append(alts, core.Alt{
+			Name:  "open",
+			Body:  func(cw *core.World) error { cw.Compute(time.Second); return nil },
+			Guard: func(cw *core.World) (bool, error) { return true, nil },
+		})
+		for i := 0; i < n; i++ {
+			alts = append(alts, core.Alt{
+				Name:  "closed",
+				Body:  func(cw *core.World) error { return nil },
+				Guard: func(cw *core.World) (bool, error) { return false, nil },
+			})
+		}
+		res, err := w.RunAlt(core.Options{PreCheckGuard: preCheck, SyncElimination: true}, alts...)
+		if err != nil {
+			failure = err
+			return
+		}
+		elapsed = res.Elapsed
+	})
+	if err := rt.Run(); err != nil {
+		return 0, err
+	}
+	return elapsed, failure
+}
+
+func measureGuardMode(guardCost time.Duration, recheck bool) (time.Duration, error) {
+	rt := core.NewSim(core.SimConfig{Profile: zeroProfile(4096)})
+	var elapsed time.Duration
+	var failure error
+	rt.GoRoot("root", 1<<16, func(w *core.World) {
+		res, err := w.RunAlt(core.Options{RecheckGuard: recheck, SyncElimination: true},
+			core.Alt{
+				Name: "worker",
+				Body: func(cw *core.World) error {
+					cw.Compute(time.Second)
+					return nil
+				},
+				Guard: func(cw *core.World) (bool, error) {
+					cw.Compute(guardCost)
+					return true, nil
+				},
+			},
+		)
+		if err != nil {
+			failure = err
+			return
+		}
+		elapsed = res.Elapsed
+	})
+	if err := rt.Run(); err != nil {
+		return 0, err
+	}
+	return elapsed, failure
+}
+
+// Format renders the guard-placement comparison.
+func (r E16Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmtDur(row.GuardCost),
+			fmtDur(row.ChildOnly), fmtDur(row.WithRecheck), fmtDur(row.RecheckDelta),
+		}
+	}
+	return "E16 — ablation: guard placement (1s body)\n" +
+		table([]string{"guard cost", "child-only", "with re-check", "re-check adds"}, rows) +
+		fmt.Sprintf("pre-spawn screening with %d closed guards + 1 open (10ms fork): child-side %s vs pre-check %s\n",
+			r.ClosedAlts, fmtDur(r.ChildSideClosed), fmtDur(r.PreCheckClosed))
+}

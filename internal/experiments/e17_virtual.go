@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/perf"
+)
+
+// E17: real vs virtual concurrency. §4.2 notes "there are two
+// possibilities for concurrent execution, real and virtual. Real
+// concurrency means that the evaluation of C_i is taking place
+// simultaneously with that of C_j; virtual means that there is some
+// sharing of hardware, for example through multiprocessing." The §4.3
+// analysis assumes real concurrency; this experiment measures how the
+// win erodes as N alternatives share fewer processors, because "if
+// C_best is sharing resources, e.g., CPU time, with some C_j ... C_j's
+// runtime must be added to the runtime overhead of C_best".
+
+// E17Row is one processor count.
+type E17Row struct {
+	CPUs       int // 0 = unlimited (real concurrency)
+	Elapsed    time.Duration
+	MeasuredPI float64
+	RacingWins bool
+}
+
+// E17Result is the virtual-concurrency table.
+type E17Result struct {
+	Times []time.Duration
+	Rows  []E17Row
+}
+
+// E17 races τ = (10, 20, 30)s with zero overhead on 1, 2, 3 and
+// unlimited CPUs.
+func E17() (E17Result, error) {
+	times := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	mean, err := perf.Mean(times)
+	if err != nil {
+		return E17Result{}, err
+	}
+	out := E17Result{Times: times}
+	for _, cpus := range []int{1, 2, 3, 0} {
+		profile := zeroProfile(4096)
+		profile.CPUs = cpus
+		oc, err := raceDurations(profile, times, core.Options{})
+		if err != nil {
+			return out, err
+		}
+		if oc.Err != nil {
+			return out, oc.Err
+		}
+		pi := float64(mean) / float64(oc.Elapsed)
+		out.Rows = append(out.Rows, E17Row{
+			CPUs:       cpus,
+			Elapsed:    oc.Elapsed,
+			MeasuredPI: pi,
+			RacingWins: pi > 1+1e-9,
+		})
+	}
+	return out, nil
+}
+
+// Format renders the table.
+func (r E17Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cpus := fmt.Sprintf("%d", row.CPUs)
+		if row.CPUs == 0 {
+			cpus = "unlimited (real)"
+		}
+		rows[i] = []string{cpus, fmtSecs(row.Elapsed), fmt.Sprintf("%.2f", row.MeasuredPI),
+			fmt.Sprintf("%v", row.RacingWins)}
+	}
+	return "E17 — §4.2 real vs virtual concurrency: τ=(10,20,30)s, zero overhead, processor-sharing CPUs\n" +
+		table([]string{"CPUs", "elapsed", "measured PI", "racing wins"}, rows)
+}

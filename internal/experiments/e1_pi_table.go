@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/perf"
+)
+
+// E1: the paper's §4.3 table — six τ vectors, overhead 5 units,
+// analytic PI.
+
+// E1Result is the regenerated analytic table.
+type E1Result struct {
+	Rows []perf.TableRow
+}
+
+// E1 regenerates the §4.3 table analytically.
+func E1() E1Result { return E1Result{Rows: perf.PaperTable()} }
+
+// Format renders the table in the paper's layout.
+func (r E1Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("(%d)", i+1),
+			fmt.Sprintf("%.0f", row.Times[0].Seconds()),
+			fmt.Sprintf("%.0f", row.Times[1].Seconds()),
+			fmt.Sprintf("%.0f", row.Times[2].Seconds()),
+			fmt.Sprintf("%.2f", row.PI),
+			fmt.Sprintf("%.2f", row.PaperPI),
+		}
+	}
+	return "E1 — §4.3 analytic PI table (N=3, overhead=5)\n" +
+		table([]string{"row", "τ(C1)", "τ(C2)", "τ(C3)", "PI", "paper"}, rows)
+}
+
+// E2: the same six rows *measured* in the simulator. The synthetic
+// profile is calibrated so that the modelled overhead of a 3-way block
+// is exactly 5 units (3 × 1s fork setup + 2 × 1s synchronous sibling
+// elimination), which is the configuration the paper's table assumes.
+
+// E2Row is one measured row.
+type E2Row struct {
+	Times      [3]time.Duration
+	AnalyticPI float64
+	Elapsed    time.Duration
+	MeasuredPI float64
+}
+
+// E2Result is the measured table.
+type E2Result struct {
+	Rows []E2Row
+}
+
+// E2 measures the §4.3 table in the simulator.
+func E2() (E2Result, error) {
+	profile := zeroProfile(4096)
+	profile.ForkBase = time.Second
+	profile.CommitPerSibling = time.Second
+
+	var out E2Result
+	for _, row := range perf.PaperTable() {
+		times := row.Times[:]
+		oc, err := raceDurations(profile, times, core.Options{SyncElimination: true})
+		if err != nil {
+			return out, err
+		}
+		if oc.Err != nil {
+			return out, fmt.Errorf("block: %w", oc.Err)
+		}
+		mean, err := perf.Mean(times)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, E2Row{
+			Times:      row.Times,
+			AnalyticPI: row.PI,
+			Elapsed:    oc.Elapsed,
+			MeasuredPI: float64(mean) / float64(oc.Elapsed),
+		})
+	}
+	return out, nil
+}
+
+// Format renders the measured table next to the analytic one.
+func (r E2Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("(%d)", i+1),
+			fmt.Sprintf("%.0f,%.0f,%.0f", row.Times[0].Seconds(), row.Times[1].Seconds(), row.Times[2].Seconds()),
+			fmtSecs(row.Elapsed),
+			fmt.Sprintf("%.2f", row.MeasuredPI),
+			fmt.Sprintf("%.2f", row.AnalyticPI),
+		}
+	}
+	return "E2 — §4.3 table measured in the simulator (overhead modelled as 3×1s fork + 2×1s elimination)\n" +
+		table([]string{"row", "τ vector", "elapsed", "measured PI", "analytic PI"}, rows)
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"altrun/internal/checkpoint"
+	"altrun/internal/cluster"
+	"altrun/internal/core"
+	"altrun/internal/ids"
+	"altrun/internal/mem"
+	"altrun/internal/page"
+	"altrun/internal/sim"
+)
+
+// E3: §4.4 fork latency. "For the 3B2, a fork() (with no memory updates
+// to a 320K address space) takes about 31 milliseconds; under the same
+// conditions the HP requires about 12 milliseconds."
+
+// E3Row is one measured fork.
+type E3Row struct {
+	Profile string
+	SizeKB  int
+	Fork    time.Duration
+}
+
+// E3Result is the fork-latency table.
+type E3Result struct {
+	Rows []E3Row
+}
+
+// E3 measures COW fork latency (spawning one no-op alternative over a
+// fully-resident space) against address-space size on both machine
+// profiles.
+func E3() (E3Result, error) {
+	var out E3Result
+	for _, profile := range []sim.MachineProfile{sim.Profile3B2(), sim.ProfileHP9000()} {
+		for _, sizeKB := range []int{64, 128, 256, 320, 512, 1024} {
+			elapsed, err := measureFork(profile, sizeKB<<10)
+			if err != nil {
+				return out, err
+			}
+			out.Rows = append(out.Rows, E3Row{Profile: profile.Name, SizeKB: sizeKB, Fork: elapsed})
+		}
+	}
+	return out, nil
+}
+
+// measureFork touches every page of a `size`-byte space, then times an
+// alternative block with a single empty alternative: the elapsed time
+// is the fork (page-map duplication) cost.
+func measureFork(profile sim.MachineProfile, size int) (time.Duration, error) {
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	var elapsed time.Duration
+	var failure error
+	rt.GoRoot("root", int64(size), func(w *core.World) {
+		if err := w.WriteAt(bytes.Repeat([]byte{1}, size), 0); err != nil {
+			failure = err
+			return
+		}
+		res, err := w.RunAlt(core.Options{SyncElimination: true},
+			core.Alt{Name: "noop", Body: func(cw *core.World) error { return nil }})
+		if err != nil {
+			failure = err
+			return
+		}
+		elapsed = res.Elapsed
+	})
+	if err := rt.Run(); err != nil {
+		return 0, err
+	}
+	return elapsed, failure
+}
+
+// Format renders the fork table, flagging the paper's calibration
+// points.
+func (r E3Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		note := ""
+		if row.SizeKB == 320 {
+			note = "paper: 31ms (3B2) / 12ms (HP)"
+		}
+		rows[i] = []string{row.Profile, fmt.Sprintf("%dKB", row.SizeKB), fmtDur(row.Fork), note}
+	}
+	return "E3 — §4.4 COW fork latency vs address-space size\n" +
+		table([]string{"machine", "space", "fork", "note"}, rows)
+}
+
+// E4: §4.4 page-copy service rate. "The measured service rate of page
+// copying was 326 2K pages/second for the 3B2, and 1034 4K pages/second
+// for the HP. The fraction of the pages in the address space which are
+// written is the important independent variable."
+
+// E4Row is one point of the fraction-written sweep.
+type E4Row struct {
+	Profile     string
+	Fraction    float64
+	CopiedPages int64
+	CopyTime    time.Duration
+	RatePerSec  float64
+}
+
+// E4Result is the page-copy table.
+type E4Result struct {
+	Rows []E4Row
+}
+
+// E4 sweeps the fraction of a 320 KB space an alternative writes and
+// measures the incremental COW copying cost.
+func E4() (E4Result, error) {
+	const spaceSize = 320 << 10
+	var out E4Result
+	for _, profile := range []sim.MachineProfile{sim.Profile3B2(), sim.ProfileHP9000()} {
+		baseline, err := measureFork(profile, spaceSize)
+		if err != nil {
+			return out, err
+		}
+		totalPages := spaceSize / profile.PageSize
+		for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+			writePages := int(frac * float64(totalPages))
+			row, err := measureCopies(profile, spaceSize, writePages, baseline)
+			if err != nil {
+				return out, err
+			}
+			row.Fraction = frac
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func measureCopies(profile sim.MachineProfile, size, writePages int, baseline time.Duration) (E4Row, error) {
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	row := E4Row{Profile: profile.Name}
+	var failure error
+	rt.GoRoot("root", int64(size), func(w *core.World) {
+		if err := w.WriteAt(bytes.Repeat([]byte{1}, size), 0); err != nil {
+			failure = err
+			return
+		}
+		ps := int64(profile.PageSize)
+		res, err := w.RunAlt(core.Options{SyncElimination: true},
+			core.Alt{Name: "writer", Body: func(cw *core.World) error {
+				for p := 0; p < writePages; p++ {
+					if err := cw.WriteAt([]byte{2}, int64(p)*ps); err != nil {
+						return err
+					}
+				}
+				return nil
+			}})
+		if err != nil {
+			failure = err
+			return
+		}
+		row.CopiedPages = res.WinnerCopies
+		row.CopyTime = res.Elapsed - baseline
+	})
+	if err := rt.Run(); err != nil {
+		return row, err
+	}
+	if failure != nil {
+		return row, failure
+	}
+	if row.CopyTime > 0 {
+		row.RatePerSec = float64(row.CopiedPages) / row.CopyTime.Seconds()
+	}
+	return row, nil
+}
+
+// Format renders the sweep with the paper's service rates for
+// comparison.
+func (r E4Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Profile,
+			fmt.Sprintf("%.0f%%", row.Fraction*100),
+			fmt.Sprintf("%d", row.CopiedPages),
+			fmtDur(row.CopyTime),
+			fmt.Sprintf("%.0f", row.RatePerSec),
+		}
+	}
+	return "E4 — §4.4 COW page-copy cost vs fraction of pages written (320KB space; paper rates: 326 2K-pages/s on 3B2, 1034 4K-pages/s on HP)\n" +
+		table([]string{"machine", "written", "copied pages", "copy time", "pages/s"}, rows)
+}
+
+// E5: §4.4 remote fork. "An rfork() of a 70K process requires slightly
+// less than a second, and network delays gave us an observed average
+// execution time of about 1.3 seconds ... the major cost was creating a
+// checkpoint of the process in its entirety."
+
+// E5Row is one remote fork measurement.
+type E5Row struct {
+	SizeKB     int
+	Checkpoint time.Duration
+	Transfer   time.Duration
+	Restore    time.Duration
+	Total      time.Duration
+}
+
+// E5Result is the rfork table.
+type E5Result struct {
+	Rows []E5Row
+}
+
+// E5 measures the checkpoint/ship/restore remote-fork pipeline across a
+// simulated two-node 3B2 cluster for several process sizes.
+func E5() (E5Result, error) {
+	var out E5Result
+	for _, sizeKB := range []int{16, 32, 70, 128, 256} {
+		row, err := measureRFork(sizeKB << 10)
+		if err != nil {
+			return out, err
+		}
+		row.SizeKB = sizeKB
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func measureRFork(size int) (E5Row, error) {
+	profile := sim.Profile3B2()
+	e := sim.New(profile.CPUs)
+	c := cluster.New(e, 1)
+	src := c.AddNode(profile)
+	dst := c.AddNode(profile)
+
+	store := page.NewStore(profile.PageSize)
+	space := mem.New(store, int64(size))
+	if err := space.WriteAt(bytes.Repeat([]byte{7}, size), 0); err != nil {
+		return E5Row{}, err
+	}
+
+	var row E5Row
+	var failure error
+	inbox := dst.Bind("rfork")
+	e.Spawn("rfork-receiver", func(p *sim.Proc) {
+		env, ok := inbox.RecvTimeout(p, time.Hour)
+		if !ok {
+			failure = fmt.Errorf("rfork: image never arrived")
+			return
+		}
+		wire, isBytes := env.(cluster.Envelope).Payload.([]byte)
+		if !isBytes {
+			failure = fmt.Errorf("rfork: bad payload")
+			return
+		}
+		img, err := checkpoint.Decode(wire)
+		if err != nil {
+			failure = err
+			return
+		}
+		p.Compute(profile.RestoreCost(img.Bytes()))
+		remoteStore := page.NewStore(profile.PageSize)
+		restored, err := img.Restore(remoteStore)
+		if err != nil {
+			failure = err
+			return
+		}
+		if restored.Size() != int64(size) {
+			failure = fmt.Errorf("rfork: restored %d bytes, want %d", restored.Size(), size)
+		}
+	})
+	e.Spawn("rfork-sender", func(p *sim.Proc) {
+		start := e.Now()
+		img, err := checkpoint.Capture(ids.PID(1), "migrant", space, map[string]int64{"pc": 42})
+		if err != nil {
+			failure = err
+			return
+		}
+		p.Compute(profile.CheckpointCost(img.Bytes()))
+		row.Checkpoint = e.Since(start)
+
+		wire, err := img.Encode()
+		if err != nil {
+			failure = err
+			return
+		}
+		tStart := e.Now()
+		p.Sleep(src.TransferCost(len(wire)) - profile.NetLatency) // serialization delay
+		c.Send(src, cluster.Addr{Node: dst.ID(), Port: "rfork"}, wire)
+		row.Transfer = e.Since(tStart) + profile.NetLatency
+	})
+	if err := e.Run(); err != nil {
+		return row, err
+	}
+	if failure != nil {
+		return row, failure
+	}
+	row.Total = e.Now().Sub(time.Unix(0, 0).UTC())
+	row.Restore = row.Total - row.Checkpoint - row.Transfer
+	return row, nil
+}
+
+// Format renders the rfork pipeline costs.
+func (r E5Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		note := ""
+		if row.SizeKB == 70 {
+			note = "paper: ≈1s checkpoint, ≈1.3s observed"
+		}
+		rows[i] = []string{
+			fmt.Sprintf("%dKB", row.SizeKB),
+			fmtDur(row.Checkpoint), fmtDur(row.Transfer), fmtDur(row.Restore), fmtDur(row.Total),
+			note,
+		}
+	}
+	return "E5 — §4.4 remote fork (checkpoint → ship → restore) on a simulated 3B2 pair\n" +
+		table([]string{"process", "checkpoint", "transfer", "restore", "total", "note"}, rows)
+}

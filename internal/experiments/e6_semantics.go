@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/trace"
+)
+
+// E6: Figures 1 and 2 — the construct and its concurrent execution.
+// This experiment executes an alternative block with guards (two
+// satisfiable, one failing) and reports the lifecycle event counts that
+// Figure 2 depicts: spawn, guard outcomes, exactly one commit, sibling
+// elimination — plus the transparency check (parent state equals the
+// winner's sequential result).
+
+// E6Result summarizes the execution transcript.
+type E6Result struct {
+	Winner       string
+	Spawns       int
+	GuardPasses  int
+	GuardFails   int
+	Commits      int
+	TooLate      int
+	Eliminations int
+	Transparent  bool
+	Elapsed      time.Duration
+}
+
+// E6 runs the Figure-1 block concurrently and audits the transcript.
+func E6() (E6Result, error) {
+	rt := core.NewSim(core.SimConfig{Profile: zeroProfile(4096), Trace: true})
+	var out E6Result
+	var failure error
+	rt.GoRoot("root", 1<<16, func(w *core.World) {
+		mk := func(name string, d time.Duration, guardOK bool, payload string) core.Alt {
+			return core.Alt{
+				Name: name,
+				Body: func(cw *core.World) error {
+					cw.Compute(d)
+					return cw.WriteAt([]byte(payload), 0)
+				},
+				Guard: func(cw *core.World) (bool, error) { return guardOK, nil },
+			}
+		}
+		res, err := w.RunAlt(core.Options{SyncElimination: true},
+			mk("method1", 8*time.Second, true, "m1-result"),
+			mk("method2", 3*time.Second, false, "m2-result"), // guard fails
+			mk("method3", 5*time.Second, true, "m3-result"),
+			mk("method4", 20*time.Second, true, "m4-result"),
+		)
+		if err != nil {
+			failure = err
+			return
+		}
+		out.Winner = res.Name
+		out.Elapsed = res.Elapsed
+		got := make([]byte, 9)
+		if err := w.ReadAt(got, 0); err != nil {
+			failure = err
+			return
+		}
+		out.Transparent = bytes.Equal(got, []byte("m3-result"))
+	})
+	if err := rt.Run(); err != nil {
+		return out, err
+	}
+	if failure != nil {
+		return out, failure
+	}
+	log := rt.Log()
+	out.Spawns = log.Count(trace.KindSpawn)
+	out.GuardPasses = log.Count(trace.KindGuardPass)
+	out.GuardFails = log.Count(trace.KindGuardFail)
+	out.Commits = log.Count(trace.KindCommit)
+	out.TooLate = log.Count(trace.KindTooLate)
+	out.Eliminations = log.Count(trace.KindEliminate)
+	return out, nil
+}
+
+// Format renders the transcript summary.
+func (r E6Result) Format() string {
+	rows := [][]string{
+		{"winner", r.Winner},
+		{"elapsed", fmtDur(r.Elapsed)},
+		{"spawns", fmt.Sprintf("%d", r.Spawns)},
+		{"guard passes", fmt.Sprintf("%d", r.GuardPasses)},
+		{"guard fails", fmt.Sprintf("%d", r.GuardFails)},
+		{"commits", fmt.Sprintf("%d", r.Commits)},
+		{"too-late", fmt.Sprintf("%d", r.TooLate)},
+		{"eliminations", fmt.Sprintf("%d", r.Eliminations)},
+		{"transparent", fmt.Sprintf("%v", r.Transparent)},
+	}
+	return "E6 — Figures 1+2: concurrent execution of an alternative block (4 methods, one failing guard)\n" +
+		table([]string{"property", "value"}, rows)
+}

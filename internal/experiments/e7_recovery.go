@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/recovery"
+	"altrun/internal/workload"
+)
+
+// E7: §5.1 distributed execution of recovery blocks. The paper (citing
+// Kim 1984 and Welch 1983) claims concurrent execution finds "a rapid
+// failure-free path through the computation". We compare sequential
+// try-rollback-retry against concurrent fastest-first on three
+// scenarios: a healthy primary (racing buys little), a pathologically
+// slow primary (racing wins big), and a faulty primary (racing skips
+// the rollback).
+
+// E7Row is one scenario measurement.
+type E7Row struct {
+	Scenario   string
+	Alternates int
+	Sequential time.Duration
+	Concurrent time.Duration
+	Speedup    float64
+}
+
+// E7Result is the recovery-block table.
+type E7Result struct {
+	Rows []E7Row
+}
+
+// E7 measures sequential vs concurrent recovery-block execution.
+func E7() (E7Result, error) {
+	const perCompare = time.Microsecond
+	type scenario struct {
+		name  string
+		input []int
+		block func(xs []int) *recovery.Block
+	}
+	rng := rand.New(rand.NewSource(42))
+	scenarios := []scenario{
+		{
+			name:  "healthy-primary(random-input)",
+			input: workload.RandomList(400, rng),
+			block: func(xs []int) *recovery.Block { return sortBlock(xs, perCompare, false) },
+		},
+		{
+			name:  "slow-primary(sorted-input)",
+			input: workload.SortedList(400),
+			block: func(xs []int) *recovery.Block { return sortBlock(xs, perCompare, false) },
+		},
+		{
+			name:  "faulty-primary(random-input)",
+			input: workload.RandomList(400, rng),
+			block: func(xs []int) *recovery.Block { return sortBlock(xs, perCompare, true) },
+		},
+	}
+	var out E7Result
+	for _, sc := range scenarios {
+		seq, err := runRecovery(sc.input, sc.block, false)
+		if err != nil {
+			return out, fmt.Errorf("%s sequential: %w", sc.name, err)
+		}
+		con, err := runRecovery(sc.input, sc.block, true)
+		if err != nil {
+			return out, fmt.Errorf("%s concurrent: %w", sc.name, err)
+		}
+		out.Rows = append(out.Rows, E7Row{
+			Scenario:   sc.name,
+			Alternates: 3,
+			Sequential: seq,
+			Concurrent: con,
+			Speedup:    float64(seq) / float64(con),
+		})
+	}
+	return out, nil
+}
+
+func sortBlock(xs []int, perCompare time.Duration, faultyPrimary bool) *recovery.Block {
+	return &recovery.Block{
+		Name: "sortblock",
+		Alternates: []recovery.Alternate{
+			recovery.SortVersion("primary-quicksort", workload.NaiveQuicksort, perCompare, faultyPrimary),
+			recovery.SortVersion("secondary-heapsort", workload.Heapsort, perCompare, false),
+			recovery.SortVersion("tertiary-insertion", workload.InsertionSort, perCompare, false),
+		},
+		AcceptanceTest: recovery.SortedAcceptanceTest(recovery.Sum(xs)),
+	}
+}
+
+func runRecovery(xs []int, mk func([]int) *recovery.Block, concurrent bool) (time.Duration, error) {
+	profile := zeroProfile(256)
+	profile.ForkBase = 500 * time.Microsecond // realistic spawn overhead
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	var elapsed time.Duration
+	var failure error
+	rt.GoRoot("root", recovery.ArraySpaceSize(len(xs)), func(w *core.World) {
+		if err := recovery.WriteIntArray(w, xs); err != nil {
+			failure = err
+			return
+		}
+		b := mk(xs)
+		start := rt.Now()
+		if concurrent {
+			_, failure = b.RunConcurrent(w, recovery.DefaultConcurrentOptions(0))
+		} else {
+			_, failure = b.RunSequential(w)
+		}
+		elapsed = rt.Now().Sub(start)
+	})
+	if err := rt.Run(); err != nil {
+		return 0, err
+	}
+	return elapsed, failure
+}
+
+// Format renders the recovery-block comparison.
+func (r E7Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Scenario,
+			fmt.Sprintf("%d", row.Alternates),
+			fmtDur(row.Sequential),
+			fmtDur(row.Concurrent),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		}
+	}
+	return "E7 — §5.1 recovery blocks: sequential (rollback) vs concurrent (fastest-first)\n" +
+		table([]string{"scenario", "alternates", "sequential", "concurrent", "speedup"}, rows)
+}

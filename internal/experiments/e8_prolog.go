@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/prolog"
+)
+
+// E8: §5.2 OR-parallelism in Prolog. "It appears that parallel
+// implementation of logic programming languages provides such an
+// environment, because the computation is data-driven, and thus the
+// execution time and control flow can vary greatly with the input"
+// (§7). We sweep the skew between clause branches: the first clause of
+// the raced predicate burns `depth` inferences before succeeding, the
+// second succeeds immediately; sequential SLD explores clause order,
+// OR-parallel commits the fast branch.
+
+// E8Row is one skew point.
+type E8Row struct {
+	SkewDepth  int
+	SeqSteps   int64
+	ParSteps   int64
+	Sequential time.Duration
+	Parallel   time.Duration
+	Speedup    float64
+}
+
+// E8Result is the OR-parallel table.
+type E8Result struct {
+	Rows []E8Row
+}
+
+// E8 measures sequential vs OR-parallel first-solution time.
+func E8() (E8Result, error) {
+	const stepCost = 100 * time.Microsecond
+	var out E8Result
+	for _, depth := range []int{250, 500, 1000, 2000, 4000} {
+		db, err := skewedProgram(depth)
+		if err != nil {
+			return out, err
+		}
+		goals, qvars, err := prolog.ParseQuery("pick(X)")
+		if err != nil {
+			return out, err
+		}
+
+		seq := &prolog.Solver{DB: db}
+		if _, found, err := seq.SolveFirst(goals, qvars); err != nil || !found {
+			return out, fmt.Errorf("sequential depth %d: found=%v err=%v", depth, found, err)
+		}
+		seqTime := time.Duration(seq.Steps()) * stepCost
+
+		parTime, parSteps, err := runORQuery(db, "pick(X)", stepCost)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, E8Row{
+			SkewDepth:  depth,
+			SeqSteps:   seq.Steps(),
+			ParSteps:   parSteps,
+			Sequential: seqTime,
+			Parallel:   parTime,
+			Speedup:    float64(seqTime) / float64(parTime),
+		})
+	}
+	return out, nil
+}
+
+func skewedProgram(depth int) (*prolog.DB, error) {
+	var b strings.Builder
+	b.WriteString("burn(zero).\nburn(s(N)) :- burn(N).\n")
+	b.WriteString("pick(slow) :- burn(")
+	for i := 0; i < depth; i++ {
+		b.WriteString("s(")
+	}
+	b.WriteString("zero")
+	for i := 0; i < depth; i++ {
+		b.WriteString(")")
+	}
+	b.WriteString(").\npick(fast).\n")
+	db := prolog.NewDB()
+	if err := db.Load(b.String()); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func runORQuery(db *prolog.DB, query string, stepCost time.Duration) (time.Duration, int64, error) {
+	goals, qvars, err := prolog.ParseQuery(query)
+	if err != nil {
+		return 0, 0, err
+	}
+	profile := zeroProfile(256)
+	profile.ForkBase = time.Millisecond // process-maintenance overhead (§5.2)
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	o := &prolog.OrSolver{DB: db, Cfg: prolog.OrConfig{StepCost: stepCost, ChunkSize: 16}}
+	var elapsed time.Duration
+	var failure error
+	rt.GoRoot("query", 4096, func(w *core.World) {
+		start := rt.Now()
+		_, failure = o.SolveFirst(w, goals, qvars)
+		elapsed = rt.Now().Sub(start)
+	})
+	if err := rt.Run(); err != nil {
+		return 0, 0, err
+	}
+	return elapsed, o.Steps(), failure
+}
+
+// Format renders the OR-parallel sweep.
+func (r E8Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("%d", row.SkewDepth),
+			fmt.Sprintf("%d", row.SeqSteps),
+			fmt.Sprintf("%d", row.ParSteps),
+			fmtDur(row.Sequential),
+			fmtDur(row.Parallel),
+			fmt.Sprintf("%.1fx", row.Speedup),
+		}
+	}
+	return "E8 — §5.2 OR-parallel Prolog: first solution, sequential SLD vs raced clause choices\n" +
+		table([]string{"skew depth", "seq steps", "par steps (incl. wasted)", "sequential", "parallel", "speedup"}, rows)
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"altrun/internal/cluster"
+	"altrun/internal/consensus"
+	"altrun/internal/core"
+	"altrun/internal/ids"
+	"altrun/internal/perf"
+	"altrun/internal/sim"
+	"altrun/internal/workload"
+)
+
+// E9: §3.2.1 synchronous vs asynchronous sibling elimination. "We
+// suspect that asynchronous elimination will give better execution-time
+// performance, once again at the expense of resource utilization."
+
+// E9Row compares the two modes at one block width.
+type E9Row struct {
+	N     int
+	Sync  time.Duration
+	Async time.Duration
+}
+
+// E9Result is the elimination table.
+type E9Result struct {
+	Rows []E9Row
+}
+
+// E9 races one fast alternative against N-1 slow ones with a 50 ms
+// per-sibling elimination cost, in both modes.
+func E9() (E9Result, error) {
+	profile := zeroProfile(4096)
+	profile.CommitPerSibling = 50 * time.Millisecond
+	var out E9Result
+	for _, n := range []int{2, 4, 8, 16} {
+		times := make([]time.Duration, n)
+		times[0] = time.Second
+		for i := 1; i < n; i++ {
+			times[i] = time.Hour
+		}
+		syncOut, err := raceDurations(profile, times, core.Options{SyncElimination: true})
+		if err != nil {
+			return out, err
+		}
+		asyncOut, err := raceDurations(profile, times, core.Options{})
+		if err != nil {
+			return out, err
+		}
+		if syncOut.Err != nil || asyncOut.Err != nil {
+			return out, fmt.Errorf("block failed: %v / %v", syncOut.Err, asyncOut.Err)
+		}
+		out.Rows = append(out.Rows, E9Row{N: n, Sync: syncOut.Elapsed, Async: asyncOut.Elapsed})
+	}
+	return out, nil
+}
+
+// Format renders the elimination comparison.
+func (r E9Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("%d", row.N), fmtDur(row.Sync), fmtDur(row.Async),
+			fmtDur(row.Sync - row.Async),
+		}
+	}
+	return "E9 — §3.2.1 sibling elimination: synchronous vs asynchronous (50ms per sibling; fastest alternative 1s)\n" +
+		table([]string{"N", "sync", "async", "async saves"}, rows)
+}
+
+// E10: §3.2.1 majority-consensus commit. "The additional communication
+// and protocol of multiple-node synchronization is the price paid for
+// increased robustness."
+
+// E10Row is one quorum configuration.
+type E10Row struct {
+	Nodes     int
+	Crashes   int
+	Committed bool
+	Latency   time.Duration
+	Ballots   int
+}
+
+// E10Result is the consensus table.
+type E10Result struct {
+	Rows []E10Row
+}
+
+// E10 measures commit latency and crash tolerance of the majority-
+// consensus 0-1 semaphore across quorum sizes and voter-crash counts.
+func E10() (E10Result, error) {
+	var out E10Result
+	configs := []struct{ nodes, crashes int }{
+		{1, 0}, {3, 0}, {3, 1}, {5, 0}, {5, 2}, {5, 3}, {7, 0}, {7, 3},
+	}
+	for _, cfg := range configs {
+		row, err := measureConsensus(cfg.nodes, cfg.crashes)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func measureConsensus(nodes, crashes int) (E10Row, error) {
+	profile := sim.ProfileHP9000()
+	e := sim.New(0)
+	c := cluster.New(e, 11)
+	var members []*cluster.Node
+	for i := 0; i < nodes; i++ {
+		members = append(members, c.AddNode(profile))
+	}
+	g := consensus.NewGroup("e10", c, members, consensus.Config{
+		ReplyTimeout: 200 * time.Millisecond,
+		MaxAttempts:  3,
+	})
+	row := E10Row{Nodes: nodes, Crashes: crashes}
+	e.Spawn("claimant", func(p *sim.Proc) {
+		for i := 0; i < crashes; i++ {
+			g.CrashVoter(i)
+		}
+		p.Sleep(time.Millisecond)
+		start := e.Now()
+		res := g.Claim(p, members[nodes-1], ids.PID(100))
+		row.Latency = e.Since(start)
+		row.Committed = res.Won
+		row.Ballots = res.Ballots
+		g.Shutdown()
+	})
+	if err := e.Run(); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// Format renders the consensus table.
+func (r E10Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.Crashes),
+			fmt.Sprintf("%v", row.Committed),
+			fmtDur(row.Latency),
+			fmt.Sprintf("%d", row.Ballots),
+		}
+	}
+	return "E10 — §3.2.1/§5.1.2 majority-consensus commit: latency and crash tolerance (HP network profile)\n" +
+		table([]string{"nodes", "voter crashes", "committed", "latency", "ballots"}, rows)
+}
+
+// E11: §4.1 item 3 — throughput cost ("wasted work"). Racing trades
+// total CPU for latency. The CPU cost factor is TotalCPU / mean(τ):
+// for identical alternatives it is N (pure waste, nothing gained); as
+// dispersion grows it falls — in the memoryless (exponential) limit
+// E[min of N] = mean/N, so racing N alternatives costs roughly the
+// *same* CPU as running one, while cutting latency by ~N.
+
+// E11Row is one (distribution, N) cell.
+type E11Row struct {
+	Workload   string
+	N          int
+	Elapsed    time.Duration
+	TotalCPU   time.Duration
+	MeanSeqCPU time.Duration
+	WasteRatio float64 // TotalCPU / MeanSeqCPU
+}
+
+// E11Result is the wasted-work table.
+type E11Result struct {
+	Rows []E11Row
+}
+
+// E11 measures total CPU consumed by the race versus the sequential
+// expectation across distributions of increasing dispersion.
+func E11() (E11Result, error) {
+	rng := rand.New(rand.NewSource(7))
+	dists := []workload.Dist{
+		workload.Constant(10 * time.Second),
+		workload.Uniform{Lo: 5 * time.Second, Hi: 15 * time.Second},
+		workload.Exponential{M: 10 * time.Second},
+	}
+	profile := zeroProfile(4096)
+	var out E11Result
+	for _, dist := range dists {
+		for _, n := range []int{2, 4, 8} {
+			const trials = 30
+			var sumElapsed, sumCPU, sumMean time.Duration
+			for trial := 0; trial < trials; trial++ {
+				times := workload.CostVector(dist, n, rng)
+				oc, err := raceDurations(profile, times, core.Options{SyncElimination: true})
+				if err != nil {
+					return out, err
+				}
+				if oc.Err != nil {
+					return out, oc.Err
+				}
+				mean, err := perf.Mean(times)
+				if err != nil {
+					return out, err
+				}
+				sumElapsed += oc.Elapsed
+				sumCPU += oc.TotalCPU
+				sumMean += mean
+			}
+			out.Rows = append(out.Rows, E11Row{
+				Workload:   dist.Name(),
+				N:          n,
+				Elapsed:    sumElapsed / trials,
+				TotalCPU:   sumCPU / trials,
+				MeanSeqCPU: sumMean / trials,
+				WasteRatio: float64(sumCPU) / float64(sumMean),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Format renders the wasted-work table.
+func (r E11Result) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Workload,
+			fmt.Sprintf("%d", row.N),
+			fmtSecs(row.Elapsed), fmtSecs(row.TotalCPU), fmtSecs(row.MeanSeqCPU),
+			fmt.Sprintf("%.2fx", row.WasteRatio),
+		}
+	}
+	return "E11 — §4.1 wasted work: racing's CPU cost factor vs dispersion (30 trials per cell)\n" +
+		table([]string{"workload", "N", "mean latency", "mean total CPU", "sequential CPU", "CPU cost factor"}, rows)
+}

@@ -1,0 +1,89 @@
+// Package experiments implements the reproduction harness: one
+// function per table/figure/claim in the paper (see DESIGN.md §5 for
+// the index E1-E14). Each returns structured rows plus a formatted
+// table; cmd/altbench prints them and the repository-root benchmarks
+// re-run them under `go test -bench`.
+//
+// All experiments run in the deterministic simulator, so the printed
+// numbers are reproducible bit-for-bit across machines; EXPERIMENTS.md
+// records them against the paper's.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/sim"
+)
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// zeroProfile is a cost-free machine with unlimited CPUs: timing then
+// reflects only explicit Compute demands.
+func zeroProfile(pageSize int) sim.MachineProfile {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	return sim.MachineProfile{Name: "ideal", PageSize: pageSize, CPUs: 0}
+}
+
+// RaceOutcome is what one simulated alternative block measured.
+type RaceOutcome struct {
+	// Elapsed is the block's virtual execution time.
+	Elapsed time.Duration
+	// WinnerIndex is the committed alternative.
+	WinnerIndex int
+	// TotalCPU is processor time consumed by the whole simulation.
+	TotalCPU time.Duration
+	// MaxProcs is the peak number of live simulated processes.
+	MaxProcs int
+	// Err is the block error (ErrAllFailed, ErrTimeout), if any.
+	Err error
+}
+
+// raceDurations runs one alternative block whose alternatives are pure
+// compute demands, under the given profile, and measures it.
+func raceDurations(profile sim.MachineProfile, times []time.Duration, opts core.Options) (RaceOutcome, error) {
+	rt := core.NewSim(core.SimConfig{Profile: profile})
+	var out RaceOutcome
+	rt.GoRoot("root", 1<<16, func(w *core.World) {
+		alts := make([]core.Alt, len(times))
+		for i, d := range times {
+			d := d
+			alts[i] = core.Alt{
+				Name: fmt.Sprintf("C%d", i+1),
+				Body: func(cw *core.World) error { cw.Compute(d); return nil },
+			}
+		}
+		res, err := w.RunAlt(opts, alts...)
+		out.Err = err
+		out.Elapsed = res.Elapsed
+		out.WinnerIndex = res.Index
+		if err != nil {
+			out.Elapsed = 0
+		}
+	})
+	if err := rt.Run(); err != nil {
+		return out, fmt.Errorf("simulation: %w", err)
+	}
+	out.TotalCPU = rt.Engine().TotalCPU()
+	out.MaxProcs = rt.Engine().MaxLiveProcs()
+	return out, nil
+}
+
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+func fmtSecs(d time.Duration) string { return fmt.Sprintf("%.2fs", d.Seconds()) }

@@ -1,0 +1,52 @@
+// Package ids allocates the identifiers used throughout the runtime.
+//
+// The paper (§3.4.1) requires that "each process in a multiprocessing
+// system has a unique identifier, used to identify the process both
+// within the system ... and further, for interaction with other
+// processes". Predicates (§3.3) are lists of such identifiers, so the
+// identifier type is shared by the process, predicate, and message
+// layers.
+package ids
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// PID identifies a process (equivalently, a speculative world). PIDs are
+// never reused within a Generator's lifetime; predicate resolution
+// depends on a completed PID never coming back to life.
+type PID int64
+
+// None is the zero PID; it never names a real process.
+const None PID = 0
+
+// String renders the PID as "p<n>".
+func (p PID) String() string {
+	if p == None {
+		return "p0(none)"
+	}
+	return "p" + strconv.FormatInt(int64(p), 10)
+}
+
+// IsValid reports whether the PID names a real process.
+func (p PID) IsValid() bool { return p > 0 }
+
+// NodeID identifies a node in the (simulated) distributed system.
+type NodeID int32
+
+// String renders the NodeID as "n<n>".
+func (n NodeID) String() string { return "n" + strconv.FormatInt(int64(n), 10) }
+
+// Generator hands out unique identifiers. The zero value is ready to
+// use, and it is safe for concurrent use.
+type Generator struct {
+	pid  atomic.Int64
+	node atomic.Int32
+}
+
+// NextPID returns a fresh process identifier.
+func (g *Generator) NextPID() PID { return PID(g.pid.Add(1)) }
+
+// NextNode returns a fresh node identifier.
+func (g *Generator) NextNode() NodeID { return NodeID(g.node.Add(1)) }

@@ -1,0 +1,82 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNextPIDUnique(t *testing.T) {
+	var g Generator
+	seen := make(map[PID]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		p := g.NextPID()
+		if !p.IsValid() {
+			t.Fatalf("NextPID returned invalid PID %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate PID %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestNextPIDConcurrent(t *testing.T) {
+	var g Generator
+	const workers, per = 8, 500
+	out := make(chan PID, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- g.NextPID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[PID]bool, workers*per)
+	for p := range out {
+		if seen[p] {
+			t.Fatalf("duplicate PID %v under concurrency", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique PIDs, want %d", len(seen), workers*per)
+	}
+}
+
+func TestPIDString(t *testing.T) {
+	tests := []struct {
+		pid  PID
+		want string
+	}{
+		{None, "p0(none)"},
+		{PID(1), "p1"},
+		{PID(42), "p42"},
+	}
+	for _, tt := range tests {
+		if got := tt.pid.String(); got != tt.want {
+			t.Errorf("PID(%d).String() = %q, want %q", int64(tt.pid), got, tt.want)
+		}
+	}
+}
+
+func TestNoneInvalid(t *testing.T) {
+	if None.IsValid() {
+		t.Fatal("None must not be a valid PID")
+	}
+}
+
+func TestNextNode(t *testing.T) {
+	var g Generator
+	a, b := g.NextNode(), g.NextNode()
+	if a == b {
+		t.Fatalf("node IDs must be unique: %v == %v", a, b)
+	}
+	if a.String() == "" || b.String() == "" {
+		t.Fatal("node IDs must render")
+	}
+}

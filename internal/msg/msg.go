@@ -1,0 +1,258 @@
+// Package msg implements the paper's specialized message layer (§3.4):
+// every message carries (1) the sending predicate — "the assumptions
+// under which the sender sends the message" — (2) the data, and (3)
+// control information (sender id, destination id).
+//
+// Delivery applies the multiple-worlds rule of §3.4.2: if the
+// receiver's predicates imply the sender's, the message is accepted; if
+// they conflict, it is ignored; if the receiver would have to make
+// further assumptions, the receiver is split into two copies — one that
+// assumes the sender completes (and accepts the message) and one that
+// assumes it does not (and never sees it). The split itself — cloning a
+// blocked process — is performed by the Receiver implementation (the
+// core runtime forks the world's COW address space); this package only
+// decides and dispatches.
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"altrun/internal/ids"
+	"altrun/internal/predicate"
+	"altrun/internal/trace"
+)
+
+// ErrUnknownReceiver is returned when the destination is not registered.
+var ErrUnknownReceiver = errors.New("msg: unknown receiver")
+
+// Message is the three-part message of §3.4.1.
+type Message struct {
+	// Seq is a router-assigned sequence number (control information).
+	Seq int64
+	// Sender identifies the sending process (control information).
+	Sender ids.PID
+	// SenderPredicates is the sending predicate: a snapshot of the
+	// sender's assumptions at send time.
+	SenderPredicates *predicate.Set
+	// Dest identifies the destination process (control information).
+	Dest ids.PID
+	// Data is the message contents.
+	Data any
+}
+
+// Receiver is a process that can accept messages. The core runtime's
+// worlds implement it.
+type Receiver interface {
+	// PID returns the receiver's process identifier.
+	PID() ids.PID
+	// Predicates returns the receiver's current assumption set. The
+	// router reads it at delivery time.
+	Predicates() *predicate.Set
+	// Deliver enqueues an accepted message.
+	Deliver(m Message)
+	// Split replaces the receiver with two copies: the assume-copy
+	// (predicates `assume`) which must receive m, and the deny-copy
+	// (predicates `deny`) which must not. The implementation registers
+	// the copies with the router and unregisters itself.
+	Split(assume, deny *predicate.Set, m Message) error
+}
+
+// Stats counts delivery decisions; the worlds experiment (E13) reports
+// them.
+type Stats struct {
+	Sent     int
+	Accepted int
+	Ignored  int
+	Splits   int
+}
+
+// Router dispatches messages to registered receivers. It is safe for
+// concurrent use.
+type Router struct {
+	mu        sync.Mutex
+	seq       int64
+	receivers map[ids.PID]Receiver
+	stats     Stats
+	now       func() time.Time
+	log       *trace.Log
+}
+
+// NewRouter returns an empty router. now supplies trace timestamps
+// (virtual or wall time); log may be nil.
+func NewRouter(now func() time.Time, log *trace.Log) *Router {
+	return &Router{
+		receivers: make(map[ids.PID]Receiver),
+		now:       now,
+		log:       log,
+	}
+}
+
+// Register makes rcv addressable. Re-registering a PID replaces the
+// previous receiver.
+func (r *Router) Register(rcv Receiver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.receivers[rcv.PID()] = rcv
+}
+
+// Unregister removes the receiver for pid.
+func (r *Router) Unregister(pid ids.PID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.receivers, pid)
+}
+
+// Registered reports whether pid is addressable.
+func (r *Router) Registered(pid ids.PID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.receivers[pid]
+	return ok
+}
+
+// Stats returns a snapshot of the delivery counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Send routes data from the sender (with predicate snapshot senderPred)
+// to pid, applying the accept/ignore/split rule. senderPred is cloned;
+// the caller keeps ownership of its set.
+func (r *Router) Send(sender ids.PID, senderPred *predicate.Set, dest ids.PID, data any) error {
+	r.mu.Lock()
+	rcv, ok := r.receivers[dest]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrUnknownReceiver, dest)
+	}
+	r.seq++
+	m := Message{
+		Seq:              r.seq,
+		Sender:           sender,
+		SenderPredicates: senderPred.Clone(),
+		Dest:             dest,
+		Data:             data,
+	}
+	r.stats.Sent++
+	r.mu.Unlock()
+
+	r.log.Addf(r.now(), trace.KindMsgSend, sender, "to %v seq %d pred %v", dest, m.Seq, m.SenderPredicates)
+
+	switch predicate.Decide(rcv.Predicates(), m.SenderPredicates) {
+	case predicate.Accept:
+		r.count(func(s *Stats) { s.Accepted++ })
+		r.log.Addf(r.now(), trace.KindMsgAccept, dest, "seq %d from %v", m.Seq, sender)
+		rcv.Deliver(m)
+		return nil
+	case predicate.Ignore:
+		r.count(func(s *Stats) { s.Ignored++ })
+		r.log.Addf(r.now(), trace.KindMsgIgnore, dest, "seq %d from %v (conflicting worlds)", m.Seq, sender)
+		return nil
+	default: // Split
+		assume, deny, err := predicate.SplitWorlds(rcv.Predicates(), m.SenderPredicates, sender)
+		if err != nil {
+			// The receiver cannot coherently assume either outcome;
+			// treat as ignore (the sender's world is already dead from
+			// the receiver's perspective).
+			r.count(func(s *Stats) { s.Ignored++ })
+			r.log.Addf(r.now(), trace.KindMsgIgnore, dest, "seq %d from %v (split impossible: %v)", m.Seq, sender, err)
+			return nil
+		}
+		r.count(func(s *Stats) { s.Splits++ })
+		r.log.Addf(r.now(), trace.KindMsgSplit, dest, "seq %d from %v", m.Seq, sender)
+		if err := rcv.Split(assume, deny, m); err != nil {
+			return fmt.Errorf("split receiver %v: %w", dest, err)
+		}
+		return nil
+	}
+}
+
+func (r *Router) count(f func(*Stats)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(&r.stats)
+}
+
+// Mailbox is a simple unbounded FIFO queue usable as a Receiver's
+// delivery buffer in real (goroutine) mode. It is safe for concurrent
+// use.
+type Mailbox struct {
+	mu     sync.Mutex
+	queue  []Message
+	notify chan struct{}
+}
+
+// NewMailbox returns an empty mailbox.
+func NewMailbox() *Mailbox {
+	return &Mailbox{notify: make(chan struct{}, 1)}
+}
+
+// Put enqueues m.
+func (b *Mailbox) Put(m Message) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Len returns the queue length.
+func (b *Mailbox) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// TryGet dequeues a message if one is available.
+func (b *Mailbox) TryGet() (Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.queue) == 0 {
+		return Message{}, false
+	}
+	m := b.queue[0]
+	b.queue = b.queue[1:]
+	return m, true
+}
+
+// Get dequeues a message, blocking until one arrives, the timer (if
+// timeout >= 0) fires, or cancel is closed. ok is false on timeout or
+// cancellation.
+func (b *Mailbox) Get(timeout time.Duration, cancel <-chan struct{}) (Message, bool) {
+	var timer *time.Timer
+	var timeC <-chan time.Time
+	if timeout >= 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeC = timer.C
+	}
+	for {
+		if m, ok := b.TryGet(); ok {
+			return m, true
+		}
+		select {
+		case <-b.notify:
+		case <-timeC:
+			return Message{}, false
+		case <-cancel:
+			return Message{}, false
+		}
+	}
+}
+
+// Drain returns and removes all queued messages (used when splitting a
+// receiver: the pending queue is duplicated into both copies).
+func (b *Mailbox) Drain() []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.queue
+	b.queue = nil
+	return out
+}

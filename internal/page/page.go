@@ -1,0 +1,216 @@
+// Package page implements the paged, copy-on-write single-level store
+// the paper builds on (§3.1, §3.3).
+//
+// "Sink state is manipulated as fixed-size pages. All sink state can be
+// represented in this fashion ... thus we bury the entire memory
+// hierarchy under the page abstraction." Each speculative alternative
+// gets a page Table inherited from its parent ("page map inheritance",
+// §3.3, citing TENEX); pages are shared until written, and a write to a
+// shared page copies it first ("copy-on-write", Bobrow 1972). The commit
+// of a winning alternative is an atomic swap of the parent's table for
+// the child's (§3.2: "atomically replacing its page pointer with that of
+// the child").
+//
+// Concurrency contract: a Table belongs to exactly one world and is not
+// safe for concurrent use. Pages may be shared by many tables across
+// goroutines; that sharing is safe because a table only writes pages it
+// holds exclusively (reference count 1), and reference counts are
+// atomic.
+package page
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultPageSize matches the HP 9000/350's 4 KB pages (§4.4).
+const DefaultPageSize = 4096
+
+// ErrReleased is returned when using a table after Release.
+var ErrReleased = errors.New("page: table already released")
+
+// Store is a page allocator with global copy/alloc accounting. It is
+// safe for concurrent use.
+type Store struct {
+	pageSize int
+	allocs   atomic.Int64
+	copies   atomic.Int64
+	clones   atomic.Int64
+}
+
+// NewStore returns a Store with the given page size; size <= 0 selects
+// DefaultPageSize.
+func NewStore(pageSize int) *Store {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Store{pageSize: pageSize}
+}
+
+// PageSize returns the store's page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Allocs returns the number of fresh pages ever allocated.
+func (s *Store) Allocs() int64 { return s.allocs.Load() }
+
+// Copies returns the number of COW page copies ever performed. The
+// experiments use this as the "memory copying" overhead measure (§4.1
+// item 1).
+func (s *Store) Copies() int64 { return s.copies.Load() }
+
+// Clones returns the number of table clones (forks) ever performed.
+func (s *Store) Clones() int64 { return s.clones.Load() }
+
+// A page is a fixed-size unit of sink state with an atomic reference
+// count. refs counts how many tables map it.
+type pageBuf struct {
+	refs atomic.Int32
+	data []byte
+}
+
+// Table is one world's page map: page number → page. The zero value is
+// unusable; obtain tables from Store.NewTable or Table.Clone.
+type Table struct {
+	store    *Store
+	pages    map[int64]*pageBuf
+	copies   int64 // COW copies performed by this table
+	released bool
+}
+
+// NewTable returns an empty page table.
+func (s *Store) NewTable() *Table {
+	return &Table{store: s, pages: make(map[int64]*pageBuf)}
+}
+
+// Len returns the number of resident pages.
+func (t *Table) Len() int { return len(t.pages) }
+
+// Copies returns the number of COW page copies this table has performed
+// since creation (write faults to shared pages).
+func (t *Table) Copies() int64 { return t.copies }
+
+// SharedWith returns how many of t's resident pages are also mapped by
+// at least one other table (reference count > 1). The experiments use
+// this to verify maximal sharing (§3.3: predicates and COW "maximize
+// sharing").
+func (t *Table) SharedWith() int {
+	n := 0
+	for _, p := range t.pages {
+		if p.refs.Load() > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a new table mapping exactly the same pages, all shared
+// (reference counts bumped). This is the page-map inheritance of a COW
+// fork: O(resident pages) map work, no data copying.
+func (t *Table) Clone() (*Table, error) {
+	if t.released {
+		return nil, ErrReleased
+	}
+	nt := &Table{store: t.store, pages: make(map[int64]*pageBuf, len(t.pages))}
+	for n, p := range t.pages {
+		p.refs.Add(1)
+		nt.pages[n] = p
+	}
+	t.store.clones.Add(1)
+	return nt, nil
+}
+
+// Read returns a read-only view of page n. Missing pages read as a
+// shared zero page (nil slice: callers treat nil as all-zero). The
+// returned slice must not be modified or retained across table
+// operations.
+func (t *Table) Read(n int64) ([]byte, error) {
+	if t.released {
+		return nil, ErrReleased
+	}
+	p, ok := t.pages[n]
+	if !ok {
+		return nil, nil
+	}
+	return p.data, nil
+}
+
+// Write returns a writable view of page n, allocating or copying as
+// needed. A write fault on a shared page copies the page first and is
+// counted in Copies.
+func (t *Table) Write(n int64) ([]byte, error) {
+	if t.released {
+		return nil, ErrReleased
+	}
+	p, ok := t.pages[n]
+	if !ok {
+		np := &pageBuf{data: make([]byte, t.store.pageSize)}
+		np.refs.Store(1)
+		t.pages[n] = np
+		t.store.allocs.Add(1)
+		return np.data, nil
+	}
+	if p.refs.Load() == 1 {
+		// Exclusive: write in place.
+		return p.data, nil
+	}
+	// Shared: copy-on-write.
+	np := &pageBuf{data: make([]byte, t.store.pageSize)}
+	copy(np.data, p.data)
+	np.refs.Store(1)
+	p.refs.Add(-1)
+	t.pages[n] = np
+	t.copies++
+	t.store.copies.Add(1)
+	return np.data, nil
+}
+
+// Drop unmaps page n (it reads as zeros afterwards).
+func (t *Table) Drop(n int64) error {
+	if t.released {
+		return ErrReleased
+	}
+	if p, ok := t.pages[n]; ok {
+		p.refs.Add(-1)
+		delete(t.pages, n)
+	}
+	return nil
+}
+
+// Release drops every mapping. Further use returns ErrReleased. Release
+// is idempotent.
+func (t *Table) Release() {
+	if t.released {
+		return
+	}
+	for n, p := range t.pages {
+		p.refs.Add(-1)
+		delete(t.pages, n)
+	}
+	t.released = true
+}
+
+// Swap atomically exchanges the mappings of t and other — the commit
+// primitive: the parent absorbs the winning child's state by taking its
+// page map (§3.2). After Swap, the child's table holds the parent's old
+// map (typically Released next).
+func (t *Table) Swap(other *Table) error {
+	if t.released || other.released {
+		return ErrReleased
+	}
+	if t.store != other.store {
+		return fmt.Errorf("page: swap across stores (%p vs %p)", t.store, other.store)
+	}
+	t.pages, other.pages = other.pages, t.pages
+	t.copies, other.copies = other.copies, t.copies
+	return nil
+}
+
+// SamePage reports whether t and other map the same physical page at n
+// (i.e., the page is still shared, not copied). Test helper for COW
+// invariants.
+func (t *Table) SamePage(other *Table, n int64) bool {
+	a, okA := t.pages[n]
+	b, okB := other.pages[n]
+	return okA && okB && a == b
+}

@@ -1,0 +1,205 @@
+// Package perf implements the paper's §4 analytic performance model.
+//
+// With N alternatives C_1..C_N applied to input x, nondeterministic
+// sequential selection costs the mean of the τ(C_i, x); concurrent
+// execution costs τ(C_best, x) + τ(overhead). The performance
+// improvement is
+//
+//	PI = τ(C_mean, x) / (τ(C_best, x) + τ(overhead))
+//
+// and overhead decomposes into setup (creating execution environments),
+// runtime (memory copying and CPU sharing), and selection (choosing
+// C_best and deleting the others).
+package perf
+
+import (
+	"errors"
+	"time"
+
+	"altrun/internal/stats"
+)
+
+// ErrNoAlternatives is returned when a cost vector is empty.
+var ErrNoAlternatives = errors.New("perf: no alternatives")
+
+// Overhead is the §4.3 decomposition of τ(overhead).
+type Overhead struct {
+	// Setup: "creating execution environments for C1..CN; for example,
+	// setting up process table entries and page map tables."
+	Setup time.Duration
+	// Runtime: "copying memory areas which are shared ... when updates
+	// are attempted", plus CPU sharing with siblings.
+	Runtime time.Duration
+	// Selection: "selecting C_best, e.g., deleting C_j ... cleaning up
+	// system state."
+	Selection time.Duration
+}
+
+// Total returns the summed overhead.
+func (o Overhead) Total() time.Duration { return o.Setup + o.Runtime + o.Selection }
+
+// Mean returns the mean of the cost vector — the expected cost of
+// Scheme B (random selection), §4.2.
+func Mean(times []time.Duration) (time.Duration, error) {
+	if len(times) == 0 {
+		return 0, ErrNoAlternatives
+	}
+	return stats.MeanDuration(times)
+}
+
+// Best returns the fastest alternative's cost.
+func Best(times []time.Duration) (time.Duration, error) {
+	if len(times) == 0 {
+		return 0, ErrNoAlternatives
+	}
+	return stats.MinDuration(times)
+}
+
+// PI computes the §4.3 performance improvement for the given per-
+// alternative costs and total overhead.
+func PI(times []time.Duration, overhead time.Duration) (float64, error) {
+	mean, err := Mean(times)
+	if err != nil {
+		return 0, err
+	}
+	best, err := Best(times)
+	if err != nil {
+		return 0, err
+	}
+	denom := best + overhead
+	if denom <= 0 {
+		return 0, errors.New("perf: non-positive denominator")
+	}
+	return float64(mean) / float64(denom), nil
+}
+
+// CrossoverOverhead returns the overhead at which PI = 1 for the given
+// costs: racing wins iff τ(overhead) < mean - best (§4.3's examples (3)
+// and (5) show the dispersion is what matters).
+func CrossoverOverhead(times []time.Duration) (time.Duration, error) {
+	mean, err := Mean(times)
+	if err != nil {
+		return 0, err
+	}
+	best, err := Best(times)
+	if err != nil {
+		return 0, err
+	}
+	return mean - best, nil
+}
+
+// Variance returns the dispersion of the cost vector in seconds², the
+// statistic the paper says "well-encapsulate[s]" the opportunity.
+func Variance(times []time.Duration) (float64, error) {
+	if len(times) == 0 {
+		return 0, ErrNoAlternatives
+	}
+	var s stats.Sample
+	for _, d := range times {
+		s.AddDuration(d)
+	}
+	return s.Variance(), nil
+}
+
+// TableRow is one row of the paper's §4.3 illustration (N=3,
+// τ(overhead)=5 abstract units).
+type TableRow struct {
+	// Times are τ(C1..C3, x) in abstract units.
+	Times [3]time.Duration
+	// Overhead is τ(overhead).
+	Overhead time.Duration
+	// PI is the computed performance improvement.
+	PI float64
+	// PaperPI is the value printed in the paper (2 significant
+	// figures).
+	PaperPI float64
+}
+
+// PaperTable regenerates the §4.3 table. One abstract unit is mapped
+// to one second. Row 2's middle column appears as "10 6" in scans of
+// the paper; the value is 106 (which is what reproduces PI = 7.0).
+func PaperTable() []TableRow {
+	rows := []struct {
+		t       [3]int64
+		paperPI float64
+	}{
+		{[3]int64{10, 20, 30}, 1.33},
+		{[3]int64{1, 19, 106}, 7.0},
+		{[3]int64{20, 20, 20}, 0.8},
+		{[3]int64{1, 2, 3}, 0.33},
+		{[3]int64{115, 120, 125}, 1.0},
+		{[3]int64{100, 200, 300}, 1.9},
+	}
+	const overhead = 5 * time.Second
+	out := make([]TableRow, len(rows))
+	for i, r := range rows {
+		times := [3]time.Duration{
+			time.Duration(r.t[0]) * time.Second,
+			time.Duration(r.t[1]) * time.Second,
+			time.Duration(r.t[2]) * time.Second,
+		}
+		pi, err := PI(times[:], overhead)
+		if err != nil {
+			// Static inputs cannot fail; keep the zero row if they do.
+			continue
+		}
+		out[i] = TableRow{Times: times, Overhead: overhead, PI: pi, PaperPI: r.paperPI}
+	}
+	return out
+}
+
+// Scheme identifies the §4.2 selection strategies.
+type Scheme int
+
+// The three schemes of §4.2 for unpredictable inputs.
+const (
+	// SchemeStatistical always picks the alternative with the best
+	// average behaviour ("quicksort is almost always O(n log n)").
+	SchemeStatistical Scheme = iota + 1
+	// SchemeRandom picks an alternative at random; expected cost is
+	// the arithmetic mean.
+	SchemeRandom
+	// SchemeRace runs all alternatives concurrently and takes the
+	// first — this paper's method.
+	SchemeRace
+)
+
+// String renders the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeStatistical:
+		return "A-statistical"
+	case SchemeRandom:
+		return "B-random"
+	case SchemeRace:
+		return "C-race"
+	default:
+		return "unknown"
+	}
+}
+
+// SchemeCost returns the modelled cost of running one scheme on a cost
+// vector: A = times[statIndex] (the statically-preferred alternative),
+// B = mean, C = best + overhead.
+func SchemeCost(s Scheme, times []time.Duration, statIndex int, overhead time.Duration) (time.Duration, error) {
+	if len(times) == 0 {
+		return 0, ErrNoAlternatives
+	}
+	switch s {
+	case SchemeStatistical:
+		if statIndex < 0 || statIndex >= len(times) {
+			return 0, errors.New("perf: statIndex out of range")
+		}
+		return times[statIndex], nil
+	case SchemeRandom:
+		return Mean(times)
+	case SchemeRace:
+		best, err := Best(times)
+		if err != nil {
+			return 0, err
+		}
+		return best + overhead, nil
+	default:
+		return 0, errors.New("perf: unknown scheme")
+	}
+}

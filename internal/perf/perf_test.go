@@ -1,0 +1,181 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func d(n int64) time.Duration { return time.Duration(n) * time.Second }
+
+func TestPaperTableMatchesPaper(t *testing.T) {
+	rows := PaperTable()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// The paper prints 2-significant-figure values; allow 0.01 slack
+	// except row 1 (1.33 vs 20/15 = 1.333…).
+	for i, r := range rows {
+		if !approx(r.PI, r.PaperPI, 0.01) {
+			t.Errorf("row %d: PI = %.4f, paper says %.2f", i+1, r.PI, r.PaperPI)
+		}
+	}
+	// Qualitative structure: rows 3 and 4 lose (PI < 1), row 5 breaks
+	// even, rows 1, 2, 6 win.
+	if rows[2].PI >= 1 || rows[3].PI >= 1 {
+		t.Error("identical/small alternatives must lose")
+	}
+	if !approx(rows[4].PI, 1.0, 1e-9) {
+		t.Errorf("row 5 must break even, got %v", rows[4].PI)
+	}
+	if rows[0].PI <= 1 || rows[1].PI <= 1 || rows[5].PI <= 1 {
+		t.Error("dispersed alternatives must win")
+	}
+	// Row 2 has the biggest win (largest mean-best gap).
+	for i, r := range rows {
+		if i != 1 && r.PI >= rows[1].PI {
+			t.Errorf("row 2 must dominate, but row %d has PI %v", i+1, r.PI)
+		}
+	}
+}
+
+func TestPIBasics(t *testing.T) {
+	times := []time.Duration{d(10), d(20), d(30)}
+	pi, err := PI(times, d(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pi, 20.0/15.0, 1e-9) {
+		t.Fatalf("PI = %v", pi)
+	}
+	if _, err := PI(nil, d(5)); err == nil {
+		t.Fatal("empty vector must fail")
+	}
+	if _, err := PI([]time.Duration{0}, 0); err == nil {
+		t.Fatal("zero denominator must fail")
+	}
+}
+
+func TestMeanBest(t *testing.T) {
+	times := []time.Duration{d(3), d(1), d(2)}
+	m, err := Mean(times)
+	if err != nil || m != d(2) {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	b, err := Best(times)
+	if err != nil || b != d(1) {
+		t.Fatalf("Best = %v, %v", b, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("empty Mean must fail")
+	}
+	if _, err := Best(nil); err == nil {
+		t.Fatal("empty Best must fail")
+	}
+}
+
+func TestCrossoverOverhead(t *testing.T) {
+	times := []time.Duration{d(10), d(20), d(30)}
+	co, err := CrossoverOverhead(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co != d(10) {
+		t.Fatalf("crossover = %v, want 10s", co)
+	}
+	// At exactly the crossover, PI = 1.
+	pi, err := PI(times, co)
+	if err != nil || !approx(pi, 1.0, 1e-9) {
+		t.Fatalf("PI at crossover = %v, %v", pi, err)
+	}
+	// Identical alternatives: crossover 0 — racing never wins.
+	co, err = CrossoverOverhead([]time.Duration{d(5), d(5)})
+	if err != nil || co != 0 {
+		t.Fatalf("constant crossover = %v, %v", co, err)
+	}
+}
+
+func TestOverheadTotal(t *testing.T) {
+	o := Overhead{Setup: d(1), Runtime: d(2), Selection: d(3)}
+	if o.Total() != d(6) {
+		t.Fatalf("Total = %v", o.Total())
+	}
+}
+
+func TestVariance(t *testing.T) {
+	v, err := Variance([]time.Duration{d(1), d(1), d(1)})
+	if err != nil || v != 0 {
+		t.Fatalf("constant variance = %v, %v", v, err)
+	}
+	v2, err := Variance([]time.Duration{d(1), d(100)})
+	if err != nil || v2 <= 0 {
+		t.Fatalf("dispersed variance = %v, %v", v2, err)
+	}
+	if _, err := Variance(nil); err == nil {
+		t.Fatal("empty variance must fail")
+	}
+}
+
+func TestSchemeCosts(t *testing.T) {
+	times := []time.Duration{d(10), d(20), d(60)}
+	a, err := SchemeCost(SchemeStatistical, times, 1, d(5))
+	if err != nil || a != d(20) {
+		t.Fatalf("A = %v, %v", a, err)
+	}
+	b, err := SchemeCost(SchemeRandom, times, 0, d(5))
+	if err != nil || b != d(30) {
+		t.Fatalf("B = %v, %v", b, err)
+	}
+	c, err := SchemeCost(SchemeRace, times, 0, d(5))
+	if err != nil || c != d(15) {
+		t.Fatalf("C = %v, %v", c, err)
+	}
+	if _, err := SchemeCost(SchemeStatistical, times, 9, 0); err == nil {
+		t.Fatal("out-of-range statIndex must fail")
+	}
+	if _, err := SchemeCost(Scheme(99), times, 0, 0); err == nil {
+		t.Fatal("unknown scheme must fail")
+	}
+	if _, err := SchemeCost(SchemeRace, nil, 0, 0); err == nil {
+		t.Fatal("empty times must fail")
+	}
+	for _, s := range []Scheme{SchemeStatistical, SchemeRandom, SchemeRace, Scheme(99)} {
+		if s.String() == "" {
+			t.Fatal("scheme must render")
+		}
+	}
+}
+
+// Property: PI > 1 iff overhead < mean - best (the paper's win
+// condition), for positive cost vectors.
+func TestWinConditionProperty(t *testing.T) {
+	f := func(raw []uint16, ovRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		times := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			times[i] = time.Duration(int64(r)+1) * time.Millisecond
+		}
+		overhead := time.Duration(ovRaw) * time.Millisecond
+		pi, err := PI(times, overhead)
+		if err != nil {
+			return false
+		}
+		mean, _ := Mean(times)
+		best, _ := Best(times)
+		wins := pi > 1
+		shouldWin := overhead < mean-best
+		// Integer division in Mean can shave < 1ns; tolerate boundary.
+		if mean-best-overhead <= time.Duration(len(raw)) && mean-best-overhead >= -time.Duration(len(raw)) {
+			return true
+		}
+		return wins == shouldWin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

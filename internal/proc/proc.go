@@ -1,0 +1,216 @@
+// Package proc is the process-status registry. Predicates are "lists of
+// process identifiers" whose value is updated "as processes change
+// status" (§3.3); this package is where status lives and where the
+// predicate and message layers learn about changes.
+//
+// It deliberately knows nothing about memory or scheduling: it records
+// who exists, how they relate (parent, sibling group), and how they
+// ended (completed, failed, eliminated), and broadcasts transitions to
+// subscribers. The core runtime wires those broadcasts into predicate
+// resolution and world elimination.
+package proc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"altrun/internal/ids"
+)
+
+// Status is a process's lifecycle state.
+type Status int
+
+// Status values. A process ends in exactly one of Completed, Failed, or
+// Eliminated; transitions out of terminal states are rejected.
+const (
+	// Running: executing (or runnable).
+	Running Status = iota + 1
+	// Blocked: waiting (on a source, a message, or synchronization).
+	Blocked
+	// Completed: finished successfully and won its synchronization (or
+	// had none).
+	Completed
+	// Failed: its guard failed or it aborted.
+	Failed
+	// Eliminated: a sibling won; this process was killed (§3.2.1).
+	Eliminated
+	// Forked: the process was superseded by two copies of itself by the
+	// multiple-worlds message layer (§3.4.2). For predicate resolution
+	// it is neither a completion nor a failure: its copies carry its
+	// obligations forward.
+	Forked
+)
+
+var statusNames = map[Status]string{
+	Running:    "running",
+	Blocked:    "blocked",
+	Completed:  "completed",
+	Failed:     "failed",
+	Eliminated: "eliminated",
+	Forked:     "forked",
+}
+
+// String renders the status.
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == Completed || s == Failed || s == Eliminated || s == Forked
+}
+
+// Succeeded reports whether the terminal status means "completed
+// successfully" for predicate-resolution purposes; Failed and Eliminated
+// both count as not completing (§3.2.1).
+func (s Status) Succeeded() bool { return s == Completed }
+
+// Event is a status transition.
+type Event struct {
+	PID ids.PID
+	Old Status
+	New Status
+}
+
+// Entry is the registry's record of one process.
+type Entry struct {
+	PID    ids.PID
+	Parent ids.PID
+	Name   string
+	Status Status
+}
+
+// Table is the process registry. It is safe for concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	gen     *ids.Generator
+	entries map[ids.PID]*Entry
+	subs    map[int]func(Event)
+	nextSub int
+}
+
+// NewTable returns an empty registry drawing PIDs from gen.
+func NewTable(gen *ids.Generator) *Table {
+	return &Table{
+		gen:     gen,
+		entries: make(map[ids.PID]*Entry),
+		subs:    make(map[int]func(Event)),
+	}
+}
+
+// Register creates a new Running process and returns its PID.
+func (t *Table) Register(parent ids.PID, name string) ids.PID {
+	pid := t.gen.NextPID()
+	t.mu.Lock()
+	t.entries[pid] = &Entry{PID: pid, Parent: parent, Name: name, Status: Running}
+	t.mu.Unlock()
+	return pid
+}
+
+// Get returns a copy of the entry for pid.
+func (t *Table) Get(pid ids.PID) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[pid]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Status returns the status of pid, or 0 if unknown.
+func (t *Table) Status(pid ids.PID) Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[pid]; ok {
+		return e.Status
+	}
+	return 0
+}
+
+// SetStatus transitions pid to st and notifies subscribers (outside the
+// lock). Transitions out of a terminal state, or on unknown PIDs, are
+// rejected.
+func (t *Table) SetStatus(pid ids.PID, st Status) error {
+	t.mu.Lock()
+	e, ok := t.entries[pid]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("proc: unknown pid %v", pid)
+	}
+	if e.Status.Terminal() {
+		old := e.Status
+		t.mu.Unlock()
+		if old == st {
+			return nil // idempotent
+		}
+		return fmt.Errorf("proc: %v already terminal (%v), cannot set %v", pid, old, st)
+	}
+	old := e.Status
+	e.Status = st
+	subs := make([]func(Event), 0, len(t.subs))
+	for _, f := range t.subs {
+		subs = append(subs, f)
+	}
+	t.mu.Unlock()
+	ev := Event{PID: pid, Old: old, New: st}
+	for _, f := range subs {
+		f(ev)
+	}
+	return nil
+}
+
+// Subscribe registers a callback for every status transition and
+// returns an unsubscribe function. Callbacks run synchronously on the
+// goroutine calling SetStatus and must not call back into the Table's
+// mutating methods for the same PID.
+func (t *Table) Subscribe(f func(Event)) (unsubscribe func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextSub
+	t.nextSub++
+	t.subs[id] = f
+	return func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		delete(t.subs, id)
+	}
+}
+
+// Children returns the PIDs whose parent is pid, in ascending order.
+func (t *Table) Children(pid ids.PID) []ids.PID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []ids.PID
+	for _, e := range t.entries {
+		if e.Parent == pid {
+			out = append(out, e.PID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Live returns the number of processes not in a terminal state.
+func (t *Table) Live() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.entries {
+		if !e.Status.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of registered processes, live or terminal.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

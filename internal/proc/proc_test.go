@@ -1,0 +1,149 @@
+package proc
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"altrun/internal/ids"
+)
+
+func newTable() *Table { return NewTable(&ids.Generator{}) }
+
+func TestRegisterAndGet(t *testing.T) {
+	tb := newTable()
+	parent := tb.Register(ids.None, "parent")
+	child := tb.Register(parent, "child")
+	e, ok := tb.Get(child)
+	if !ok || e.Parent != parent || e.Name != "child" || e.Status != Running {
+		t.Fatalf("entry = %+v ok=%v", e, ok)
+	}
+	if _, ok := tb.Get(ids.PID(999)); ok {
+		t.Fatal("unknown PID must not resolve")
+	}
+	if tb.Len() != 2 || tb.Live() != 2 {
+		t.Fatalf("Len=%d Live=%d", tb.Len(), tb.Live())
+	}
+}
+
+func TestSetStatusAndTerminal(t *testing.T) {
+	tb := newTable()
+	p := tb.Register(ids.None, "p")
+	if err := tb.SetStatus(p, Blocked); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Status(p) != Blocked {
+		t.Fatal("status not updated")
+	}
+	if err := tb.SetStatus(p, Completed); err != nil {
+		t.Fatal(err)
+	}
+	// Terminal → terminal (different) is rejected.
+	if err := tb.SetStatus(p, Failed); err == nil {
+		t.Fatal("transition out of terminal must fail")
+	}
+	// Idempotent terminal set is fine.
+	if err := tb.SetStatus(p, Completed); err != nil {
+		t.Fatalf("idempotent terminal set: %v", err)
+	}
+	if err := tb.SetStatus(ids.PID(999), Running); err == nil {
+		t.Fatal("unknown PID must fail")
+	}
+	if tb.Live() != 0 {
+		t.Fatal("completed proc is not live")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	tb := newTable()
+	p := tb.Register(ids.None, "p")
+	var events []Event
+	unsub := tb.Subscribe(func(e Event) { events = append(events, e) })
+	if err := tb.SetStatus(p, Blocked); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetStatus(p, Failed); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0].Old != Running || events[0].New != Blocked {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if events[1].New != Failed {
+		t.Fatalf("second event = %+v", events[1])
+	}
+	unsub()
+	q := tb.Register(ids.None, "q")
+	if err := tb.SetStatus(q, Completed); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatal("unsubscribed callback must not fire")
+	}
+}
+
+func TestChildren(t *testing.T) {
+	tb := newTable()
+	parent := tb.Register(ids.None, "parent")
+	c1 := tb.Register(parent, "c1")
+	c2 := tb.Register(parent, "c2")
+	tb.Register(c1, "grandchild")
+	kids := tb.Children(parent)
+	if len(kids) != 2 || kids[0] != c1 || kids[1] != c2 {
+		t.Fatalf("children = %v", kids)
+	}
+	if len(tb.Children(ids.PID(999))) != 0 {
+		t.Fatal("unknown parent has no children")
+	}
+}
+
+func TestStatusStringsAndPredicates(t *testing.T) {
+	for _, s := range []Status{Running, Blocked, Completed, Failed, Eliminated} {
+		if strings.HasPrefix(s.String(), "Status(") {
+			t.Fatalf("status %d has no name", int(s))
+		}
+	}
+	if Status(99).String() == "" {
+		t.Fatal("unknown status must render")
+	}
+	if Running.Terminal() || Blocked.Terminal() {
+		t.Fatal("running/blocked are not terminal")
+	}
+	if !Completed.Terminal() || !Failed.Terminal() || !Eliminated.Terminal() {
+		t.Fatal("completed/failed/eliminated are terminal")
+	}
+	if !Completed.Succeeded() || Failed.Succeeded() || Eliminated.Succeeded() {
+		t.Fatal("Succeeded wrong")
+	}
+}
+
+func TestConcurrentRegisterAndStatus(t *testing.T) {
+	tb := newTable()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	count := 0
+	tb.Subscribe(func(Event) { mu.Lock(); count++; mu.Unlock() })
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := tb.Register(ids.None, "w")
+				if err := tb.SetStatus(p, Completed); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Len() != 400 || tb.Live() != 0 {
+		t.Fatalf("Len=%d Live=%d", tb.Len(), tb.Live())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 400 {
+		t.Fatalf("subscriber saw %d events, want 400", count)
+	}
+}

@@ -1,0 +1,149 @@
+package prolog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// isBuiltinGoal reports whether the OR-parallel solver should treat the
+// goal as deterministic (no clause choice point to race).
+func isBuiltinGoal(goal Term) bool {
+	switch g := goal.(type) {
+	case Atom:
+		return g == "true" || g == "fail" || g == "false"
+	case *Compound:
+		switch key := fmt.Sprintf("%s/%d", g.Functor, len(g.Args)); key {
+		case "=/2", "\\=/2", "not/1", "plus/3", "times/3", "lt/2", "le/2":
+			return true
+		}
+	}
+	return false
+}
+
+// builtin handles compound builtins; handled=false means "not a
+// builtin, resolve against the database".
+func (s *Solver) builtin(g *Compound, rest []Term, depth int, succeed func() bool) (handled bool, err error) {
+	key := fmt.Sprintf("%s/%d", g.Functor, len(g.Args))
+	switch key {
+	case "=/2":
+		mark := len(s.tr)
+		if Unify(s.binds, &s.tr, g.Args[0], g.Args[1], s.OccursCheck) {
+			if err := s.solve(rest, depth+1, succeed); err != nil {
+				return true, err
+			}
+		}
+		undo(s.binds, &s.tr, mark)
+		return true, nil
+
+	case "\\=/2":
+		// Succeeds iff the arguments do NOT unify (checked, undone).
+		mark := len(s.tr)
+		unifies := Unify(s.binds, &s.tr, g.Args[0], g.Args[1], s.OccursCheck)
+		undo(s.binds, &s.tr, mark)
+		if unifies {
+			return true, nil
+		}
+		return true, s.solve(rest, depth+1, succeed)
+
+	case "not/1":
+		// Negation as failure: not(G) succeeds iff G has no solution
+		// under the current bindings. Bindings made while proving G
+		// are discarded either way.
+		mark := len(s.tr)
+		found := false
+		err := s.solve([]Term{g.Args[0]}, depth+1, func() bool {
+			found = true
+			return true // one solution is enough
+		})
+		undo(s.binds, &s.tr, mark)
+		if err != nil && !errors.Is(err, errStopSearch) {
+			return true, err
+		}
+		if found {
+			return true, nil
+		}
+		return true, s.solve(rest, depth+1, succeed)
+
+	case "plus/3":
+		return true, s.arith3(g, rest, depth, succeed, func(a, b int64) int64 { return a + b },
+			func(c, a int64) int64 { return c - a })
+
+	case "times/3":
+		// times(A, B, C): C = A*B. Backwards modes only when exact.
+		a, aok := s.intArg(g.Args[0])
+		b, bok := s.intArg(g.Args[1])
+		c, cok := s.intArg(g.Args[2])
+		mark := len(s.tr)
+		ok := false
+		switch {
+		case aok && bok:
+			ok = Unify(s.binds, &s.tr, g.Args[2], Int(a*b), false)
+		case aok && cok && a != 0 && c%a == 0:
+			ok = Unify(s.binds, &s.tr, g.Args[1], Int(c/a), false)
+		case bok && cok && b != 0 && c%b == 0:
+			ok = Unify(s.binds, &s.tr, g.Args[0], Int(c/b), false)
+		}
+		if ok {
+			if err := s.solve(rest, depth+1, succeed); err != nil {
+				return true, err
+			}
+		}
+		undo(s.binds, &s.tr, mark)
+		return true, nil
+
+	case "lt/2":
+		a, aok := s.intArg(g.Args[0])
+		b, bok := s.intArg(g.Args[1])
+		if !aok || !bok {
+			return true, fmt.Errorf("prolog: lt/2 needs ground integers, got %v", g)
+		}
+		if a < b {
+			return true, s.solve(rest, depth+1, succeed)
+		}
+		return true, nil
+
+	case "le/2":
+		a, aok := s.intArg(g.Args[0])
+		b, bok := s.intArg(g.Args[1])
+		if !aok || !bok {
+			return true, fmt.Errorf("prolog: le/2 needs ground integers, got %v", g)
+		}
+		if a <= b {
+			return true, s.solve(rest, depth+1, succeed)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// arith3 implements plus-style three-place relations with full
+// reversibility: forward (a op b = c), and both backward modes via inv.
+func (s *Solver) arith3(g *Compound, rest []Term, depth int, succeed func() bool,
+	op func(a, b int64) int64, inv func(c, x int64) int64) error {
+	a, aok := s.intArg(g.Args[0])
+	b, bok := s.intArg(g.Args[1])
+	c, cok := s.intArg(g.Args[2])
+	mark := len(s.tr)
+	ok := false
+	switch {
+	case aok && bok:
+		ok = Unify(s.binds, &s.tr, g.Args[2], Int(op(a, b)), false)
+	case aok && cok:
+		ok = Unify(s.binds, &s.tr, g.Args[1], Int(inv(c, a)), false)
+	case bok && cok:
+		ok = Unify(s.binds, &s.tr, g.Args[0], Int(inv(c, b)), false)
+	}
+	if ok {
+		if err := s.solve(rest, depth+1, succeed); err != nil {
+			return err
+		}
+	}
+	undo(s.binds, &s.tr, mark)
+	return nil
+}
+
+// intArg resolves an argument to an integer if it is ground.
+func (s *Solver) intArg(t Term) (int64, bool) {
+	v, ok := s.binds.Walk(t).(Int)
+	return int64(v), ok
+}

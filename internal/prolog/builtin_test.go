@@ -1,0 +1,252 @@
+package prolog
+
+import (
+	"testing"
+)
+
+func builtinDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	err := db.Load(`
+color(red).
+color(green).
+color(blue).
+% fib via plus/3 arithmetic
+fib(0, 0).
+fib(1, 1).
+fib(N, F) :- lt(1, N), plus(N1, 1, N), plus(N2, 2, N),
+             fib(N1, F1), fib(N2, F2), plus(F1, F2, F).
+% different/2 via \=
+different(X, Y) :- color(X), color(Y), X \= Y.
+% unmarried via negation as failure
+married(alice).
+single(X) :- color_person(X), not(married(X)).
+color_person(alice).
+color_person(bob).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNotUnify(t *testing.T) {
+	db := builtinDB(t)
+	sols := solveAll(t, db, "a \\= b", 0)
+	if len(sols) != 1 {
+		t.Fatalf("a \\= b: %v", sols)
+	}
+	sols = solveAll(t, db, "a \\= a", 0)
+	if len(sols) != 0 {
+		t.Fatalf("a \\= a must fail: %v", sols)
+	}
+	// With variables: X \= Y fails when they can unify.
+	sols = solveAll(t, db, "different(X, Y)", 0)
+	if len(sols) != 6 { // 3×3 minus the 3 diagonal pairs
+		t.Fatalf("different pairs = %d, want 6 (%v)", len(sols), sols)
+	}
+}
+
+func TestNegationAsFailure(t *testing.T) {
+	db := builtinDB(t)
+	sols := solveAll(t, db, "single(X)", 0)
+	if len(sols) != 1 || sols[0]["X"] != "bob" {
+		t.Fatalf("single = %v", sols)
+	}
+	// not/1 must not leak bindings.
+	sols = solveAll(t, db, "not(color(purple)), X = ok", 0)
+	if len(sols) != 1 || sols[0]["X"] != "ok" {
+		t.Fatalf("not + continuation = %v", sols)
+	}
+	if sols := solveAll(t, db, "not(color(red))", 0); len(sols) != 0 {
+		t.Fatal("not(provable) must fail")
+	}
+}
+
+func TestPlusModes(t *testing.T) {
+	db := builtinDB(t)
+	tests := []struct {
+		query string
+		want  string
+	}{
+		{"plus(2, 3, Z)", "Z=5"},
+		{"plus(2, Y, 5)", "Y=3"},
+		{"plus(X, 3, 5)", "X=2"},
+	}
+	for _, tt := range tests {
+		sols := solveAll(t, db, tt.query, 0)
+		if len(sols) != 1 || sols[0].String() != tt.want {
+			t.Errorf("%s = %v, want %s", tt.query, sols, tt.want)
+		}
+	}
+	// Non-ground in two positions: no solution (fails, not error).
+	if sols := solveAll(t, db, "plus(X, Y, 5)", 0); len(sols) != 0 {
+		t.Fatalf("underdetermined plus = %v", sols)
+	}
+}
+
+func TestTimesModes(t *testing.T) {
+	db := builtinDB(t)
+	tests := []struct {
+		query string
+		nsol  int
+		want  string
+	}{
+		{"times(3, 4, Z)", 1, "Z=12"},
+		{"times(3, Y, 12)", 1, "Y=4"},
+		{"times(X, 4, 12)", 1, "X=3"},
+		{"times(3, Y, 13)", 0, ""}, // inexact division
+		{"times(0, Y, 5)", 0, ""},  // division by zero guarded
+	}
+	for _, tt := range tests {
+		sols := solveAll(t, db, tt.query, 0)
+		if len(sols) != tt.nsol {
+			t.Errorf("%s: %d solutions, want %d", tt.query, len(sols), tt.nsol)
+			continue
+		}
+		if tt.nsol == 1 && sols[0].String() != tt.want {
+			t.Errorf("%s = %v, want %s", tt.query, sols[0], tt.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	db := builtinDB(t)
+	if sols := solveAll(t, db, "lt(1, 2)", 0); len(sols) != 1 {
+		t.Fatal("lt(1,2) must succeed")
+	}
+	if sols := solveAll(t, db, "lt(2, 2)", 0); len(sols) != 0 {
+		t.Fatal("lt(2,2) must fail")
+	}
+	if sols := solveAll(t, db, "le(2, 2)", 0); len(sols) != 1 {
+		t.Fatal("le(2,2) must succeed")
+	}
+	// Unbound comparison is an error, not a silent failure.
+	goals, qvars, _ := ParseQuery("lt(X, 2)")
+	s := &Solver{DB: db}
+	if _, _, err := s.SolveFirst(goals, qvars); err == nil {
+		t.Fatal("lt with unbound arg must error")
+	}
+}
+
+func TestFibonacci(t *testing.T) {
+	db := builtinDB(t)
+	sols := solveAll(t, db, "fib(10, F)", 1)
+	if len(sols) != 1 || sols[0]["F"] != "55" {
+		t.Fatalf("fib(10) = %v, want 55", sols)
+	}
+}
+
+func TestBuiltinsInORParallel(t *testing.T) {
+	db := builtinDB(t)
+	sol, _, _, err := orFirst(t, db, "different(X, Y)", OrConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol["X"] == sol["Y"] {
+		t.Fatalf("different returned equal pair: %v", sol)
+	}
+	sol, _, _, err = orFirst(t, db, "fib(8, F)", OrConfig{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol["F"] != "21" {
+		t.Fatalf("or-parallel fib(8) = %v, want 21", sol)
+	}
+}
+
+func TestIsBuiltinGoal(t *testing.T) {
+	cases := map[string]bool{
+		"X = a":           true,
+		"a \\= b":         true,
+		"not(color(red))": true,
+		"plus(1,2,X)":     true,
+		"times(1,2,X)":    true,
+		"lt(1,2)":         true,
+		"le(1,2)":         true,
+		"color(X)":        false,
+	}
+	for q, want := range cases {
+		goals, _, err := ParseQuery(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if got := isBuiltinGoal(goals[0]); got != want {
+			t.Errorf("isBuiltinGoal(%s) = %v, want %v", q, got, want)
+		}
+	}
+	if !isBuiltinGoal(Atom("true")) || !isBuiltinGoal(Atom("fail")) || isBuiltinGoal(Atom("other")) {
+		t.Error("atom builtins wrong")
+	}
+}
+
+// queensSrc solves N-queens with permutation generation and \=/plus
+// attack checks — a classic combinatorial program exercising the
+// builtins and the prelude together.
+const queensSrc = `
+queens(L, Qs) :- permutation(L, Qs), safe(Qs).
+safe([]).
+safe([Q|Qs]) :- noattack(Q, Qs, 1), safe(Qs).
+noattack(_, [], _).
+noattack(Q, [Q1|Qs], D) :-
+    Q \= Q1,
+    plus(Q1, D, S1), Q \= S1,
+    plus(Q, D, S2), Q1 \= S2,
+    plus(D, 1, D1),
+    noattack(Q, Qs, D1).
+`
+
+func queensDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.Load(Prelude); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(queensSrc); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQueensSequential(t *testing.T) {
+	db := queensDB(t)
+	sols := solveAll(t, db, "queens([1,2,3,4], Qs)", 0)
+	if len(sols) != 2 {
+		t.Fatalf("4-queens solutions = %d, want 2 (%v)", len(sols), sols)
+	}
+	want := map[string]bool{"Qs=[2,4,1,3]": true, "Qs=[3,1,4,2]": true}
+	for _, s := range sols {
+		if !want[s.String()] {
+			t.Fatalf("unexpected solution %v", s)
+		}
+	}
+	// 5-queens has 10 solutions.
+	sols = solveAll(t, db, "queens([1,2,3,4,5], Qs)", 0)
+	if len(sols) != 10 {
+		t.Fatalf("5-queens solutions = %d, want 10", len(sols))
+	}
+	// 3-queens has none.
+	if sols := solveAll(t, db, "queens([1,2,3], Qs)", 0); len(sols) != 0 {
+		t.Fatalf("3-queens must have no solutions, got %v", sols)
+	}
+}
+
+func TestQueensORParallel(t *testing.T) {
+	db := queensDB(t)
+	sol, _, _, err := orFirst(t, db, "queens([1,2,3,4,5], Qs)", OrConfig{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate the committed solution against the sequential set.
+	all := solveAll(t, db, "queens([1,2,3,4,5], Qs)", 0)
+	ok := false
+	for _, s := range all {
+		if s.String() == sol.String() {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("or-parallel queens produced invalid board %v", sol)
+	}
+}

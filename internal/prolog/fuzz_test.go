@@ -1,0 +1,69 @@
+package prolog
+
+import (
+	"testing"
+)
+
+// Fuzz targets: the parser and solver must never panic on arbitrary
+// input — they return errors. Run long with:
+//
+//	go test -fuzz=FuzzParseProgram ./internal/prolog
+
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"parent(tom, bob).",
+		"anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+		"append([H|T], L, [H|R]) :- append(T, L, R).",
+		"p([a, b | T]).",
+		"x :- a, b, c.",
+		"% comment\nfact(1).",
+		"bad(",
+		"f(g(h(i(j(k)))))).",
+		"X \\= Y.",
+		"deep([[[[[]]]]]).",
+		"n(-42).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		clauses, err := ParseProgram(src)
+		if err != nil {
+			return
+		}
+		// Anything that parses must re-render and be assertable.
+		db := NewDB()
+		for _, c := range clauses {
+			_ = c.Head.String()
+			_ = db.Assert(c) // may reject non-callable heads; must not panic
+		}
+	})
+}
+
+func FuzzQueryRoundTrip(f *testing.F) {
+	f.Add("parent(tom, X)", "parent(tom, bob). parent(tom, liz).")
+	f.Add("anc(X, Y)", "anc(X, Y) :- parent(X, Y). parent(a, b).")
+	f.Add("X = f(Y), Y = g(X)", "t.")
+	f.Add("member(X, [a,b,c])", "member(X, [X|_]). member(X, [_|T]) :- member(X, T).")
+	f.Fuzz(func(t *testing.T, query, program string) {
+		db := NewDB()
+		if err := db.Load(program); err != nil {
+			return
+		}
+		goals, qvars, err := ParseQuery(query)
+		if err != nil {
+			return
+		}
+		// Bounded search must terminate without panicking.
+		s := &Solver{DB: db, MaxDepth: 200}
+		steps := 0
+		s.OnStep = func() error {
+			steps++
+			if steps > 20000 {
+				return ErrStopped
+			}
+			return nil
+		}
+		_, _ = s.SolveAll(goals, qvars, 8)
+	})
+}

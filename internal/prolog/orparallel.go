@@ -1,0 +1,249 @@
+package prolog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"altrun/internal/core"
+)
+
+// OR-parallel execution (§5.2): when the current goal matches several
+// clauses, the clause choices are mutually exclusive alternatives —
+// exactly the paper's construct. Each choice runs in a speculative
+// world; bindings are branch-private (the method "copies, and since we
+// choose only one alternative, no merging is necessary"); the first
+// branch to derive a solution commits it by writing the rendered
+// solution into its world's address space, which the commit absorbs
+// into the parent.
+//
+// How aggressively parallelism is exploited "is a function of the
+// overhead associated with maintaining a process" (§5.2): OrConfig.Depth
+// bounds how many nested choice points race; below it, branches run the
+// sequential engine.
+
+// OrConfig tunes the OR-parallel solver.
+type OrConfig struct {
+	// StepCost is the simulated CPU charged per inference step.
+	StepCost time.Duration
+	// ChunkSize is how many steps run between charging/cancellation
+	// checks (default 64).
+	ChunkSize int
+	// Depth is how many nested choice points are raced (default 1:
+	// top-level OR-parallelism only).
+	Depth int
+	// Timeout bounds each raced block (0 = none).
+	Timeout time.Duration
+	// MaxDepth bounds derivations in the sequential leaves.
+	MaxDepth int
+}
+
+func (c OrConfig) withDefaults() OrConfig {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 64
+	}
+	if c.Depth <= 0 {
+		c.Depth = 1
+	}
+	return c
+}
+
+// ErrNoSolution is returned when the query has no derivation.
+var ErrNoSolution = errors.New("prolog: no solution")
+
+// solution layout in a world's space: u64 count, then per variable
+// (u64 len, name bytes, u64 len, value bytes), at solutionOffset.
+const solutionOffset = 0
+
+func writeSolution(w *core.World, sol Solution) error {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, uint64(len(sol)))
+	out := append([]byte{}, buf...)
+	appendStr := func(s string) {
+		var l [8]byte
+		binary.BigEndian.PutUint64(l[:], uint64(len(s)))
+		out = append(out, l[:]...)
+		out = append(out, s...)
+	}
+	for k, v := range sol {
+		appendStr(k)
+		appendStr(v)
+	}
+	return w.WriteAt(out, solutionOffset)
+}
+
+func readSolution(w *core.World) (Solution, error) {
+	n, err := w.ReadUint64(solutionOffset)
+	if err != nil {
+		return nil, err
+	}
+	off := int64(solutionOffset + 8)
+	readStr := func() (string, error) {
+		l, err := w.ReadUint64(off)
+		if err != nil {
+			return "", err
+		}
+		off += 8
+		if l > uint64(w.Size()) {
+			return "", fmt.Errorf("prolog: corrupt solution length %d", l)
+		}
+		buf := make([]byte, l)
+		if err := w.ReadAt(buf, off); err != nil {
+			return "", err
+		}
+		off += int64(l)
+		return string(buf), nil
+	}
+	sol := make(Solution, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		sol[k] = v
+	}
+	return sol, nil
+}
+
+// OrSolver runs queries OR-parallel inside an existing world. It is
+// safe to use from concurrently-executing branch worlds (real mode):
+// the only shared mutable state is the atomic step counter; variable
+// renaming uses a per-branch ID region derived from the branch world's
+// unique PID.
+type OrSolver struct {
+	DB  *DB
+	Cfg OrConfig
+
+	// steps accumulates inference steps across all branches (wasted
+	// work included) — the throughput cost of §4.1.
+	steps atomic.Int64
+}
+
+// Steps returns total inferences performed across every branch.
+func (o *OrSolver) Steps() int64 { return o.steps.Load() }
+
+// stepHook charges simulated CPU per chunk and aborts eliminated
+// branches.
+func (o *OrSolver) stepHook(w *core.World) func() error {
+	pending := 0
+	return func() error {
+		o.steps.Add(1)
+		pending++
+		if pending >= o.Cfg.ChunkSize {
+			if o.Cfg.StepCost > 0 {
+				w.Compute(time.Duration(pending) * o.Cfg.StepCost)
+			}
+			pending = 0
+			if w.Cancelled() {
+				return ErrStopped
+			}
+		}
+		return nil
+	}
+}
+
+// branchRegion returns a variable-ID region disjoint from the query's
+// variables and from every other branch's region.
+func branchRegion(w *core.World) int64 { return int64(w.PID()) << 32 }
+
+// SolveFirst proves the query, racing clause choices up to Cfg.Depth
+// nested choice points, and returns the first committed solution.
+func (o *OrSolver) SolveFirst(w *core.World, goals []Term, queryVars []Var) (Solution, error) {
+	o.Cfg = o.Cfg.withDefaults()
+	counter := branchRegion(w)
+	for _, g := range goals {
+		for _, v := range Vars(g) {
+			if v.ID >= counter {
+				counter = v.ID + 1
+			}
+		}
+	}
+	if err := o.orSolve(w, goals, make(Bindings), queryVars, o.Cfg.Depth, &counter); err != nil {
+		return nil, err
+	}
+	return readSolution(w)
+}
+
+// orSolve proves goals inside w, writing the solution into w's space.
+func (o *OrSolver) orSolve(w *core.World, goals []Term, binds Bindings, queryVars []Var, raceDepth int, counter *int64) error {
+	// Skip builtins and deterministic prefixes sequentially until we
+	// hit a real choice point.
+	for {
+		if len(goals) == 0 {
+			return writeSolution(w, MakeSolution(queryVars, binds))
+		}
+		goal := binds.Walk(goals[0])
+		if v, ok := goal.(Var); ok {
+			return fmt.Errorf("prolog: unbound goal %v", v)
+		}
+		clauses := o.DB.Match(goal)
+		isBuiltin := isBuiltinGoal(goal)
+		if raceDepth <= 0 || (!isBuiltin && len(clauses) < 2) || isBuiltin {
+			// No (or no more) racing here: hand the rest to the
+			// sequential engine inside this world.
+			return o.solveSequentialLeaf(w, goals, binds, queryVars, counter)
+		}
+		// A genuine OR choice point with racing budget: spawn one
+		// alternative per clause.
+		alts := make([]core.Alt, 0, len(clauses))
+		for _, c := range clauses {
+			c := c
+			branchBinds := binds.Clone()
+			alts = append(alts, core.Alt{
+				Name: fmt.Sprintf("clause-%v", c.Head),
+				Body: func(cw *core.World) error {
+					branchCounter := branchRegion(cw)
+					rn := newRenamer(&branchCounter)
+					head := rn.rename(c.Head)
+					var tr trail
+					if !Unify(branchBinds, &tr, goal, head, false) {
+						return core.ErrGuardFailed
+					}
+					body := make([]Term, 0, len(c.Body)+len(goals)-1)
+					for _, b := range c.Body {
+						body = append(body, rn.rename(b))
+					}
+					body = append(body, goals[1:]...)
+					return o.orSolve(cw, body, branchBinds, queryVars, raceDepth-1, &branchCounter)
+				},
+			})
+		}
+		_, err := w.RunAlt(core.Options{Timeout: o.Cfg.Timeout}, alts...)
+		if errors.Is(err, core.ErrAllFailed) {
+			return ErrNoSolution
+		}
+		return err
+	}
+}
+
+// solveSequentialLeaf runs the plain SLD engine for the remaining
+// goals, with charging and cancellation, and writes the first solution
+// into the world.
+func (o *OrSolver) solveSequentialLeaf(w *core.World, goals []Term, binds Bindings, queryVars []Var, counter *int64) error {
+	s := &Solver{
+		DB:       o.DB,
+		MaxDepth: o.Cfg.MaxDepth,
+		OnStep:   o.stepHook(w),
+	}
+	s.binds = binds
+	s.counter = *counter
+	var sol Solution
+	found, err := s.Solve(goals, func(b Bindings) bool {
+		sol = MakeSolution(queryVars, b)
+		return true
+	})
+	*counter = s.counter
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNoSolution
+	}
+	return writeSolution(w, sol)
+}

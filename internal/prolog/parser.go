@@ -1,0 +1,363 @@
+package prolog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The surface syntax is a small Edinburgh subset: facts and rules
+// (`h :- b1, b2.`), atoms, integers, variables, compounds, and lists
+// with [H|T] notation. Comments run from % to end of line.
+
+type tokenKind int
+
+const (
+	tokAtom tokenKind = iota + 1
+	tokVar
+	tokInt
+	tokPunct // ( ) [ ] | ,
+	tokNeck  // :-
+	tokDot   // clause terminator
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src []rune
+	i   int
+}
+
+func (l *lexer) error(pos int, formatStr string, args ...any) error {
+	return fmt.Errorf("prolog: %s at offset %d", fmt.Sprintf(formatStr, args...), pos)
+}
+
+func (l *lexer) next() (token, error) {
+	for l.i < len(l.src) {
+		r := l.src[l.i]
+		switch {
+		case r == '%':
+			for l.i < len(l.src) && l.src[l.i] != '\n' {
+				l.i++
+			}
+		case unicode.IsSpace(r):
+			l.i++
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.i}, nil
+scan:
+	start := l.i
+	r := l.src[l.i]
+	switch {
+	case r == '(' || r == ')' || r == '[' || r == ']' || r == '|' || r == ',':
+		l.i++
+		return token{kind: tokPunct, text: string(r), pos: start}, nil
+	case r == ':':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '-' {
+			l.i += 2
+			return token{kind: tokNeck, text: ":-", pos: start}, nil
+		}
+		return token{}, l.error(start, "unexpected ':'")
+	case r == '.':
+		// A dot followed by space/EOF/'%' terminates a clause.
+		l.i++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case unicode.IsDigit(r) || (r == '-' && l.i+1 < len(l.src) && unicode.IsDigit(l.src[l.i+1])):
+		l.i++
+		for l.i < len(l.src) && unicode.IsDigit(l.src[l.i]) {
+			l.i++
+		}
+		return token{kind: tokInt, text: string(l.src[start:l.i]), pos: start}, nil
+	case unicode.IsLower(r):
+		for l.i < len(l.src) && isIdent(l.src[l.i]) {
+			l.i++
+		}
+		return token{kind: tokAtom, text: string(l.src[start:l.i]), pos: start}, nil
+	case unicode.IsUpper(r) || r == '_':
+		for l.i < len(l.src) && isIdent(l.src[l.i]) {
+			l.i++
+		}
+		return token{kind: tokVar, text: string(l.src[start:l.i]), pos: start}, nil
+	case r == '=':
+		l.i++
+		return token{kind: tokAtom, text: "=", pos: start}, nil
+	case r == '\\':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+			l.i += 2
+			return token{kind: tokAtom, text: "\\=", pos: start}, nil
+		}
+		return token{}, l.error(start, "unexpected '\\'")
+	default:
+		return token{}, l.error(start, "unexpected %q", string(r))
+	}
+}
+
+func isIdent(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// maxNesting bounds term depth so hostile input errors instead of
+// exhausting the stack.
+const maxNesting = 10_000
+
+type parser struct {
+	lex   *lexer
+	tok   token
+	vars  *renamer
+	depth int
+}
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNesting {
+		return fmt.Errorf("prolog: term nesting exceeds %d", maxNesting)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return fmt.Errorf("prolog: expected %q, got %q at offset %d", s, p.tok.text, p.tok.pos)
+	}
+	return p.advance()
+}
+
+// parseTerm parses one term.
+func (p *parser) parseTerm() (Term, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// Infix '=' and '\=' (the only operators supported).
+	if p.tok.kind == tokAtom && (p.tok.text == "=" || p.tok.text == "\\=") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Compound{Functor: op, Args: []Term{left, right}}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrimary() (Term, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	switch p.tok.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("prolog: bad integer %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Int(n), nil
+	case tokVar:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.vars.rename(Var{Name: name}), nil
+	case tokAtom:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			args, err := p.parseTermList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &Compound{Functor: name, Args: args}, nil
+		}
+		return Atom(name), nil
+	case tokPunct:
+		if p.tok.text == "[" {
+			return p.parseList()
+		}
+		if p.tok.text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("prolog: unexpected token %q at offset %d", p.tok.text, p.tok.pos)
+}
+
+func (p *parser) parseTermList() ([]Term, error) {
+	var out []Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) parseList() (Term, error) {
+	if err := p.advance(); err != nil { // consume '['
+		return nil, err
+	}
+	if p.tok.kind == tokPunct && p.tok.text == "]" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return EmptyList, nil
+	}
+	elems, err := p.parseTermList()
+	if err != nil {
+		return nil, err
+	}
+	var tail Term = EmptyList
+	if p.tok.kind == tokPunct && p.tok.text == "|" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		tail, err = p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	t := tail
+	for i := len(elems) - 1; i >= 0; i-- {
+		t = Cons(elems[i], t)
+	}
+	return t, nil
+}
+
+// Clause is head :- body (facts have an empty body).
+type Clause struct {
+	Head Term
+	Body []Term
+}
+
+// parseClause parses one clause ending in '.'.
+func (p *parser) parseClause() (Clause, error) {
+	head, err := p.parseTerm()
+	if err != nil {
+		return Clause{}, err
+	}
+	var body []Term
+	if p.tok.kind == tokNeck {
+		if err := p.advance(); err != nil {
+			return Clause{}, err
+		}
+		body, err = p.parseTermList()
+		if err != nil {
+			return Clause{}, err
+		}
+	}
+	if p.tok.kind != tokDot {
+		return Clause{}, fmt.Errorf("prolog: expected '.', got %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return Clause{}, err
+	}
+	return Clause{Head: head, Body: body}, nil
+}
+
+// ParseProgram parses a whole program. Variable scope is per clause.
+func ParseProgram(src string) ([]Clause, error) {
+	lex := &lexer{src: []rune(src)}
+	p := &parser{lex: lex}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []Clause
+	var counter int64
+	for p.tok.kind != tokEOF {
+		p.vars = newRenamer(&counter) // fresh scope per clause
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ParseQuery parses a comma-separated goal list (without trailing dot,
+// which is accepted but optional). It returns the goals and the query's
+// variables in first-occurrence order.
+func ParseQuery(src string) ([]Term, []Var, error) {
+	src = strings.TrimSpace(src)
+	lex := &lexer{src: []rune(src)}
+	var counter int64
+	p := &parser{lex: lex, vars: newRenamer(&counter)}
+	if err := p.advance(); err != nil {
+		return nil, nil, err
+	}
+	goals, err := p.parseTermList()
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, nil, fmt.Errorf("prolog: trailing input %q", p.tok.text)
+	}
+	var qvars []Var
+	seen := make(map[string]bool)
+	for _, g := range goals {
+		for _, v := range Vars(g) {
+			if v.Name != "_" && !seen[v.Name] {
+				seen[v.Name] = true
+				qvars = append(qvars, v)
+			}
+		}
+	}
+	return goals, qvars, nil
+}

@@ -1,0 +1,46 @@
+package prolog
+
+// Prelude is a small standard library of list predicates, written in
+// the engine's own surface syntax. Numbers in recursive positions use
+// Peano naturals (zero, s(N)) because the engine deliberately has no
+// arithmetic builtins. Load it with DB.Load(Prelude), or pass
+// -prelude to cmd/prolog.
+const Prelude = `
+% --- list construction and access -----------------------------------
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+% reverse/2 via an accumulator.
+reverse(L, R) :- rev_acc(L, [], R).
+rev_acc([], A, A).
+rev_acc([H|T], A, R) :- rev_acc(T, [H|A], R).
+
+% naive reverse, the classic LIPS benchmark.
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+
+% --- Peano-number list predicates ------------------------------------
+len([], zero).
+len([_|T], s(N)) :- len(T, N).
+
+nth0(zero, [X|_], X).
+nth0(s(N), [_|T], X) :- nth0(N, T, X).
+
+% --- selection and permutation ---------------------------------------
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+% --- misc -------------------------------------------------------------
+prefix(P, L) :- append(P, _, L).
+suffix(S, L) :- append(_, S, L).
+sublist(S, L) :- prefix(P, L), suffix(S, P).
+`

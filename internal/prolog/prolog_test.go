@@ -1,0 +1,494 @@
+package prolog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const familySrc = `
+% a small family tree
+parent(tom, bob).
+parent(tom, liz).
+parent(bob, ann).
+parent(bob, pat).
+parent(pat, jim).
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+`
+
+func familyDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.Load(familySrc); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func solveAll(t *testing.T, db *DB, query string, limit int) []Solution {
+	t.Helper()
+	goals, qvars, err := ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Solver{DB: db}
+	sols, err := s.SolveAll(goals, qvars, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sols
+}
+
+func TestParseProgram(t *testing.T) {
+	cs, err := ParseProgram(familySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 13 {
+		t.Fatalf("clauses = %d, want 13", len(cs))
+	}
+	// Rule structure.
+	rule := cs[5] // anc(X,Y) :- parent(X,Y).
+	if len(rule.Body) != 1 {
+		t.Fatalf("rule body = %v", rule.Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"foo(",
+		"foo(a",
+		"foo(a).bar", // dangling text ok? bar then EOF mid-clause
+		"Foo :- .",
+		"foo(a) :-",
+		"foo : bar.",
+		"foo(a,).",
+		"@weird.",
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) must fail", src)
+		}
+	}
+	if _, _, err := ParseQuery("foo(X) extra"); err == nil {
+		t.Error("trailing input must fail")
+	}
+}
+
+func TestParseListSugar(t *testing.T) {
+	goals, _, err := ParseQuery("append([1,2], [3], R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "append([1,2],[3],R_1)"
+	if goals[0].String() != want {
+		t.Fatalf("parsed %q, want %q", goals[0].String(), want)
+	}
+	goals, _, err = ParseQuery("member(X, [a|T])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(goals[0].String(), "[a|T_") {
+		t.Fatalf("parsed %q", goals[0].String())
+	}
+}
+
+func TestSolveFacts(t *testing.T) {
+	db := familyDB(t)
+	sols := solveAll(t, db, "parent(tom, X)", 0)
+	if len(sols) != 2 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	if sols[0]["X"] != "bob" || sols[1]["X"] != "liz" {
+		t.Fatalf("solutions = %v", sols)
+	}
+}
+
+func TestSolveRecursive(t *testing.T) {
+	db := familyDB(t)
+	sols := solveAll(t, db, "anc(tom, X)", 0)
+	got := make(map[string]bool)
+	for _, s := range sols {
+		got[s["X"]] = true
+	}
+	for _, want := range []string{"bob", "liz", "ann", "pat", "jim"} {
+		if !got[want] {
+			t.Errorf("missing descendant %s (got %v)", want, sols)
+		}
+	}
+	if len(sols) != 5 {
+		t.Fatalf("solutions = %d, want 5", len(sols))
+	}
+}
+
+func TestSolveNoSolution(t *testing.T) {
+	db := familyDB(t)
+	sols := solveAll(t, db, "parent(jim, X)", 0)
+	if len(sols) != 0 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	goals, qvars, _ := ParseQuery("parent(jim, X)")
+	s := &Solver{DB: db}
+	_, found, err := s.SolveFirst(goals, qvars)
+	if err != nil || found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+}
+
+func TestSolveAppend(t *testing.T) {
+	db := familyDB(t)
+	sols := solveAll(t, db, "append([1,2], [3,4], R)", 0)
+	if len(sols) != 1 || sols[0]["R"] != "[1,2,3,4]" {
+		t.Fatalf("solutions = %v", sols)
+	}
+	// Backwards: all splits of a 3-list.
+	sols = solveAll(t, db, "append(A, B, [x,y,z])", 0)
+	if len(sols) != 4 {
+		t.Fatalf("splits = %v", sols)
+	}
+}
+
+func TestSolveNrev(t *testing.T) {
+	db := familyDB(t)
+	sols := solveAll(t, db, "nrev([a,b,c,d], R)", 0)
+	if len(sols) != 1 || sols[0]["R"] != "[d,c,b,a]" {
+		t.Fatalf("solutions = %v", sols)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	db := familyDB(t)
+	if sols := solveAll(t, db, "true", 0); len(sols) != 1 {
+		t.Fatal("true must succeed once")
+	}
+	if sols := solveAll(t, db, "fail", 0); len(sols) != 0 {
+		t.Fatal("fail must fail")
+	}
+	sols := solveAll(t, db, "X = hello", 0)
+	if len(sols) != 1 || sols[0]["X"] != "hello" {
+		t.Fatalf("unify builtin: %v", sols)
+	}
+	if sols := solveAll(t, db, "a = b", 0); len(sols) != 0 {
+		t.Fatal("a = b must fail")
+	}
+}
+
+func TestUnboundGoalErrors(t *testing.T) {
+	db := familyDB(t)
+	goals, qvars, _ := ParseQuery("X")
+	s := &Solver{DB: db}
+	if _, _, err := s.SolveFirst(goals, qvars); err == nil {
+		t.Fatal("unbound goal must error")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	db := NewDB()
+	if err := db.Load("loop :- loop."); err != nil {
+		t.Fatal(err)
+	}
+	goals, qvars, _ := ParseQuery("loop")
+	s := &Solver{DB: db, MaxDepth: 100}
+	_, _, err := s.SolveFirst(goals, qvars)
+	if !errors.Is(err, ErrDepthExceeded) {
+		t.Fatalf("err = %v, want ErrDepthExceeded", err)
+	}
+}
+
+func TestOnStepAborts(t *testing.T) {
+	db := familyDB(t)
+	goals, qvars, _ := ParseQuery("nrev([a,b,c,d,e,f,g], R)")
+	stop := errors.New("budget")
+	n := 0
+	s := &Solver{DB: db, OnStep: func() error {
+		n++
+		if n > 3 {
+			return stop
+		}
+		return nil
+	}}
+	_, _, err := s.SolveFirst(goals, qvars)
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	db := familyDB(t)
+	goals, qvars, _ := ParseQuery("nrev([a,b,c,d,e,f], R)")
+	s := &Solver{DB: db}
+	if _, _, err := s.SolveFirst(goals, qvars); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps() < 20 {
+		t.Fatalf("steps = %d, suspiciously few", s.Steps())
+	}
+}
+
+func TestAssertErrors(t *testing.T) {
+	db := NewDB()
+	if err := db.Assert(Clause{Head: Int(3)}); err == nil {
+		t.Fatal("integer head must be rejected")
+	}
+	if err := db.Assert(Clause{Head: Var{Name: "X", ID: 1}}); err == nil {
+		t.Fatal("variable head must be rejected")
+	}
+	if db.Len() != 0 {
+		t.Fatal("failed asserts must not count")
+	}
+}
+
+func TestUnifyBasics(t *testing.T) {
+	b := make(Bindings)
+	var tr trail
+	x := Var{Name: "X", ID: 1}
+	if !Unify(b, &tr, x, Atom("a"), false) {
+		t.Fatal("var-atom must unify")
+	}
+	if b.Walk(x) != Atom("a") {
+		t.Fatal("binding not recorded")
+	}
+	// Trail undo restores.
+	mark := len(tr)
+	y := Var{Name: "Y", ID: 2}
+	if !Unify(b, &tr, y, Int(5), false) {
+		t.Fatal("var-int must unify")
+	}
+	undo(b, &tr, mark)
+	if _, bound := b[y.ID]; bound {
+		t.Fatal("undo must unbind")
+	}
+	// Mismatches.
+	if Unify(b, &tr, Atom("a"), Atom("b"), false) {
+		t.Fatal("distinct atoms must not unify")
+	}
+	if Unify(b, &tr, Int(1), Int(2), false) {
+		t.Fatal("distinct ints must not unify")
+	}
+	if Unify(b, &tr, Atom("a"), Int(1), false) {
+		t.Fatal("atom-int must not unify")
+	}
+	f1 := &Compound{Functor: "f", Args: []Term{Atom("a")}}
+	f2 := &Compound{Functor: "f", Args: []Term{Atom("a"), Atom("b")}}
+	if Unify(b, &tr, f1, f2, false) {
+		t.Fatal("different arity must not unify")
+	}
+}
+
+func TestOccursCheck(t *testing.T) {
+	b := make(Bindings)
+	var tr trail
+	x := Var{Name: "X", ID: 9}
+	fx := &Compound{Functor: "f", Args: []Term{x}}
+	if Unify(b, &tr, x, fx, true) {
+		t.Fatal("X = f(X) must fail with occurs check")
+	}
+	if !Unify(b, &tr, x, fx, false) {
+		t.Fatal("X = f(X) succeeds without occurs check (standard)")
+	}
+}
+
+// Property: unification is symmetric for ground-ish random terms, and
+// a successful unification makes both sides resolve identically.
+func TestUnifyProperties(t *testing.T) {
+	// Build random terms over a tiny signature.
+	var build func(seed uint64, depth int) Term
+	build = func(seed uint64, depth int) Term {
+		switch seed % 5 {
+		case 0:
+			return Atom("a")
+		case 1:
+			return Atom("b")
+		case 2:
+			return Int(int64(seed % 3))
+		case 3:
+			return Var{Name: "V", ID: int64(seed%4 + 1)}
+		default:
+			if depth <= 0 {
+				return Atom("leaf")
+			}
+			return &Compound{Functor: "f", Args: []Term{
+				build(seed/5, depth-1), build(seed/7, depth-1),
+			}}
+		}
+	}
+	f := func(s1, s2 uint64) bool {
+		t1, t2 := build(s1, 3), build(s2, 3)
+		b1 := make(Bindings)
+		var tr1 trail
+		ok1 := Unify(b1, &tr1, t1, t2, true)
+		b2 := make(Bindings)
+		var tr2 trail
+		ok2 := Unify(b2, &tr2, t2, t1, true)
+		if ok1 != ok2 {
+			return false // symmetry
+		}
+		if ok1 {
+			// Substitution makes the terms equal.
+			if b1.Resolve(t1).String() != b1.Resolve(t2).String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermRendering(t *testing.T) {
+	tests := []struct {
+		t    Term
+		want string
+	}{
+		{Atom("foo"), "foo"},
+		{Int(-3), "-3"},
+		{Var{Name: "X", ID: 0}, "X"},
+		{Var{Name: "X", ID: 7}, "X_7"},
+		{MkList(Atom("a"), Int(1)), "[a,1]"},
+		{EmptyList, "[]"},
+		{Cons(Atom("h"), Var{Name: "T", ID: 1}), "[h|T_1]"},
+		{&Compound{Functor: "f", Args: []Term{Atom("x"), Atom("y")}}, "f(x,y)"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSolutionString(t *testing.T) {
+	s := Solution{"Y": "b", "X": "a"}
+	if s.String() != "X=a Y=b" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestIndicator(t *testing.T) {
+	if k, ok := Indicator(Atom("foo")); !ok || k != "foo/0" {
+		t.Fatalf("atom indicator = %q %v", k, ok)
+	}
+	if k, ok := Indicator(&Compound{Functor: "f", Args: []Term{Int(1)}}); !ok || k != "f/1" {
+		t.Fatalf("compound indicator = %q %v", k, ok)
+	}
+	if _, ok := Indicator(Int(3)); ok {
+		t.Fatal("int has no indicator")
+	}
+	if _, ok := Indicator(Var{Name: "X"}); ok {
+		t.Fatal("var has no indicator")
+	}
+}
+
+func TestPreludeLoads(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(Prelude); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() < 15 {
+		t.Fatalf("prelude has %d clauses, suspiciously few", db.Len())
+	}
+}
+
+func TestPreludePredicates(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(Prelude); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		query string
+		want  []string // expected solution strings, in order; nil = no solutions
+	}{
+		{"reverse([a,b,c], R)", []string{"R=[c,b,a]"}},
+		{"nrev([a,b,c], R)", []string{"R=[c,b,a]"}},
+		{"last([x,y,z], X)", []string{"X=z"}},
+		{"len([a,b], N)", []string{"N=s(s(zero))"}},
+		{"nth0(s(zero), [a,b,c], X)", []string{"X=b"}},
+		{"select(b, [a,b,c], R)", []string{"R=[a,c]"}},
+		{"prefix([a,b], [a,b,c])", []string{""}},
+		{"suffix([c], [a,b,c])", []string{""}},
+		{"sublist([b], [a,b,c])", []string{""}},
+		{"last([], X)", nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.query, func(t *testing.T) {
+			sols := solveAll(t, db, tt.query, 1)
+			if tt.want == nil {
+				if len(sols) != 0 {
+					t.Fatalf("solutions = %v, want none", sols)
+				}
+				return
+			}
+			if len(sols) == 0 {
+				t.Fatal("no solutions")
+			}
+			if got := sols[0].String(); got != tt.want[0] {
+				t.Fatalf("first solution = %q, want %q", got, tt.want[0])
+			}
+		})
+	}
+}
+
+func TestPreludePermutations(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(Prelude); err != nil {
+		t.Fatal(err)
+	}
+	sols := solveAll(t, db, "permutation([a,b,c], P)", 0)
+	if len(sols) != 6 {
+		t.Fatalf("permutations of 3 elements = %d, want 6", len(sols))
+	}
+	seen := map[string]bool{}
+	for _, s := range sols {
+		if seen[s.String()] {
+			t.Fatalf("duplicate permutation %v", s)
+		}
+		seen[s.String()] = true
+	}
+}
+
+func TestCyclicBindingsRenderFinitely(t *testing.T) {
+	// Regression (found by fuzzing): without the occurs check,
+	// X = f(Y), Y = g(X) builds a cyclic substitution; Resolve and
+	// solution rendering must cut the cycle instead of overflowing
+	// the stack.
+	db := NewDB()
+	if err := db.Load("t."); err != nil {
+		t.Fatal(err)
+	}
+	sols := solveAll(t, db, "X = f(Y), Y = g(X)", 0)
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	if sols[0]["X"] == "" || sols[0]["Y"] == "" {
+		t.Fatalf("cyclic solution rendered empty: %v", sols[0])
+	}
+	// Direct self-reference too.
+	sols = solveAll(t, db, "X = f(X)", 0)
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %v", sols)
+	}
+}
+
+func TestDeepNestingRejected(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("p(")
+	for i := 0; i < maxNesting+10; i++ {
+		b.WriteString("f(")
+	}
+	b.WriteString("a")
+	for i := 0; i < maxNesting+10; i++ {
+		b.WriteString(")")
+	}
+	b.WriteString(").")
+	if _, err := ParseProgram(b.String()); err == nil {
+		t.Fatal("absurd nesting must be rejected, not crash")
+	}
+}

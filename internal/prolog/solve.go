@@ -1,0 +1,213 @@
+package prolog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DB is a clause database indexed by functor/arity — the "database of
+// predicate values and rules" of §5.2.
+type DB struct {
+	clauses map[string][]Clause
+	order   []string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{clauses: make(map[string][]Clause)} }
+
+// Load parses src and asserts every clause.
+func (db *DB) Load(src string) error {
+	cs, err := ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	for _, c := range cs {
+		if err := db.Assert(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Assert appends a clause.
+func (db *DB) Assert(c Clause) error {
+	key, ok := Indicator(c.Head)
+	if !ok {
+		return fmt.Errorf("prolog: clause head %v is not callable", c.Head)
+	}
+	if _, exists := db.clauses[key]; !exists {
+		db.order = append(db.order, key)
+	}
+	db.clauses[key] = append(db.clauses[key], c)
+	return nil
+}
+
+// Match returns the clauses whose head could match the goal (by
+// functor/arity), in assertion order.
+func (db *DB) Match(goal Term) []Clause {
+	key, ok := Indicator(goal)
+	if !ok {
+		return nil
+	}
+	return db.clauses[key]
+}
+
+// Len returns the number of clauses.
+func (db *DB) Len() int {
+	n := 0
+	for _, cs := range db.clauses {
+		n += len(cs)
+	}
+	return n
+}
+
+// Errors reported by the solvers.
+var (
+	// ErrDepthExceeded aborts runaway derivations.
+	ErrDepthExceeded = errors.New("prolog: max depth exceeded")
+	// ErrStopped is returned by a step hook to abandon the search
+	// (cancellation of an eliminated sibling).
+	ErrStopped = errors.New("prolog: search stopped")
+)
+
+// Solver is a sequential SLD resolution engine with chronological
+// backtracking. It counts inference steps so the experiments can
+// convert work into simulated time.
+type Solver struct {
+	// DB is the clause database.
+	DB *DB
+	// MaxDepth bounds the derivation depth (0 = 1_000_000).
+	MaxDepth int
+	// OccursCheck enables the unification occurs check.
+	OccursCheck bool
+	// OnStep, if non-nil, runs before every inference; returning an
+	// error aborts the search with that error.
+	OnStep func() error
+
+	steps   int64
+	counter int64
+	binds   Bindings
+	tr      trail
+}
+
+// Steps returns the number of inferences performed so far.
+func (s *Solver) Steps() int64 { return s.steps }
+
+// Solve proves the goal conjunction, invoking yield for each solution.
+// yield returning true stops the search. It reports whether at least
+// one solution was found.
+func (s *Solver) Solve(goals []Term, yield func(Bindings) bool) (bool, error) {
+	if s.MaxDepth <= 0 {
+		s.MaxDepth = 1_000_000
+	}
+	if s.binds == nil {
+		s.binds = make(Bindings)
+	}
+	// Seed the renaming counter above any variable ID in the query.
+	maxID := int64(0)
+	for _, g := range goals {
+		for _, v := range Vars(g) {
+			if v.ID > maxID {
+				maxID = v.ID
+			}
+		}
+	}
+	if s.counter <= maxID {
+		s.counter = maxID + 1
+	}
+	found := false
+	err := s.solve(goals, 0, func() bool {
+		found = true
+		return yield(s.binds)
+	})
+	if err != nil && !errors.Is(err, errStopSearch) {
+		return found, err
+	}
+	return found, nil
+}
+
+// errStopSearch signals "enough solutions" internally.
+var errStopSearch = errors.New("prolog: stop")
+
+// solve proves goals; succeed is called with the current bindings on
+// success and returns true to stop the whole search.
+func (s *Solver) solve(goals []Term, depth int, succeed func() bool) error {
+	if depth > s.MaxDepth {
+		return ErrDepthExceeded
+	}
+	if len(goals) == 0 {
+		if succeed() {
+			return errStopSearch
+		}
+		return nil
+	}
+	goal := s.binds.Walk(goals[0])
+	rest := goals[1:]
+
+	if s.OnStep != nil {
+		if err := s.OnStep(); err != nil {
+			return err
+		}
+	}
+	s.steps++
+
+	// Builtins.
+	switch g := goal.(type) {
+	case Atom:
+		switch g {
+		case "true":
+			return s.solve(rest, depth+1, succeed)
+		case "fail", "false":
+			return nil
+		}
+	case *Compound:
+		if handled, err := s.builtin(g, rest, depth, succeed); handled {
+			return err
+		}
+	case Var:
+		return fmt.Errorf("prolog: unbound goal %v", g)
+	}
+
+	// User clauses: try each matching clause (the OR choice point).
+	for _, c := range s.DB.Match(goal) {
+		rn := newRenamer(&s.counter)
+		head := rn.rename(c.Head)
+		mark := len(s.tr)
+		if Unify(s.binds, &s.tr, goal, head, s.OccursCheck) {
+			body := make([]Term, 0, len(c.Body)+len(rest))
+			for _, b := range c.Body {
+				body = append(body, rn.rename(b))
+			}
+			body = append(body, rest...)
+			if err := s.solve(body, depth+1, succeed); err != nil {
+				return err
+			}
+		}
+		undo(s.binds, &s.tr, mark)
+	}
+	return nil
+}
+
+// SolveFirst returns the first solution of the query (rendered for the
+// given query variables), or found=false.
+func (s *Solver) SolveFirst(goals []Term, queryVars []Var) (Solution, bool, error) {
+	var sol Solution
+	found, err := s.Solve(goals, func(b Bindings) bool {
+		sol = MakeSolution(queryVars, b)
+		return true
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return sol, found, nil
+}
+
+// SolveAll collects up to limit solutions (limit <= 0 = unlimited).
+func (s *Solver) SolveAll(goals []Term, queryVars []Var, limit int) ([]Solution, error) {
+	var out []Solution
+	_, err := s.Solve(goals, func(b Bindings) bool {
+		out = append(out, MakeSolution(queryVars, b))
+		return limit > 0 && len(out) >= limit
+	})
+	return out, err
+}

@@ -1,0 +1,277 @@
+// Package prolog is a from-scratch Prolog engine built to reproduce the
+// paper's second application (§5.2): OR-parallelism. "The alternatives
+// here are specialized to predicates": when a goal matches several
+// clauses, the clause bodies are mutually exclusive alternatives — the
+// first to yield a solution is selected and the rest are irrelevant.
+// The engine provides a sequential SLD solver with backtracking (the
+// baseline) and an OR-parallel solver that races clause choices through
+// the core runtime's speculative worlds, where "what our method does is
+// copy, and since we choose only one alternative, no merging is
+// necessary".
+package prolog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a Prolog term: Atom, Int, Var, or Compound.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Atom is a constant symbol.
+type Atom string
+
+func (Atom) isTerm() {}
+
+// String implements Term.
+func (a Atom) String() string { return string(a) }
+
+// Int is an integer constant.
+type Int int64
+
+func (Int) isTerm() {}
+
+// String implements Term.
+func (i Int) String() string { return fmt.Sprintf("%d", int64(i)) }
+
+// Var is a logic variable. ID is unique per renaming; Name is for
+// display.
+type Var struct {
+	Name string
+	ID   int64
+}
+
+func (Var) isTerm() {}
+
+// String implements Term.
+func (v Var) String() string {
+	if v.ID == 0 {
+		return v.Name
+	}
+	return fmt.Sprintf("%s_%d", v.Name, v.ID)
+}
+
+// Compound is a functor applied to arguments. Lists are compounds with
+// functor "." and the empty list is the atom "[]".
+type Compound struct {
+	Functor string
+	Args    []Term
+}
+
+func (*Compound) isTerm() {}
+
+// String implements Term, rendering lists in bracket notation.
+func (c *Compound) String() string {
+	if c.Functor == "." && len(c.Args) == 2 {
+		return renderList(c)
+	}
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Functor + "(" + strings.Join(parts, ",") + ")"
+}
+
+func renderList(t Term) string {
+	var elems []string
+	cur := t
+	for {
+		c, ok := cur.(*Compound)
+		if !ok || c.Functor != "." || len(c.Args) != 2 {
+			break
+		}
+		elems = append(elems, c.Args[0].String())
+		cur = c.Args[1]
+	}
+	if a, ok := cur.(Atom); ok && a == "[]" {
+		return "[" + strings.Join(elems, ",") + "]"
+	}
+	return "[" + strings.Join(elems, ",") + "|" + cur.String() + "]"
+}
+
+// EmptyList is the [] atom.
+var EmptyList = Atom("[]")
+
+// Cons builds the list cell '.'(head, tail).
+func Cons(head, tail Term) Term { return &Compound{Functor: ".", Args: []Term{head, tail}} }
+
+// MkList builds a proper list from elements.
+func MkList(elems ...Term) Term {
+	var t Term = EmptyList
+	for i := len(elems) - 1; i >= 0; i-- {
+		t = Cons(elems[i], t)
+	}
+	return t
+}
+
+// Indicator returns the functor/arity key of a callable term, or
+// ok=false for variables and integers.
+func Indicator(t Term) (string, bool) {
+	switch x := t.(type) {
+	case Atom:
+		return string(x) + "/0", true
+	case *Compound:
+		return fmt.Sprintf("%s/%d", x.Functor, len(x.Args)), true
+	default:
+		return "", false
+	}
+}
+
+// Bindings maps variable IDs to terms. It is the substitution built by
+// unification.
+type Bindings map[int64]Term
+
+// Clone copies the bindings.
+func (b Bindings) Clone() Bindings {
+	n := make(Bindings, len(b))
+	for k, v := range b {
+		n[k] = v
+	}
+	return n
+}
+
+// Walk resolves t through the bindings until it is a non-variable or
+// an unbound variable.
+func (b Bindings) Walk(t Term) Term {
+	for {
+		v, ok := t.(Var)
+		if !ok {
+			return t
+		}
+		bound, has := b[v.ID]
+		if !has {
+			return t
+		}
+		t = bound
+	}
+}
+
+// Resolve substitutes bindings through t recursively, producing the
+// fully-instantiated term (unbound variables remain). Standard Prolog
+// unification omits the occurs check, so bindings may be cyclic
+// (X = f(X)); Resolve cuts each cycle at its re-entry variable instead
+// of recursing forever.
+func (b Bindings) Resolve(t Term) Term {
+	return b.resolve(t, make(map[int64]bool))
+}
+
+func (b Bindings) resolve(t Term, busy map[int64]bool) Term {
+	for {
+		v, ok := t.(Var)
+		if !ok {
+			break
+		}
+		if busy[v.ID] {
+			return v // cyclic binding: leave the variable in place
+		}
+		bound, has := b[v.ID]
+		if !has {
+			return v
+		}
+		busy[v.ID] = true
+		out := b.resolve(bound, busy)
+		delete(busy, v.ID)
+		return out
+	}
+	c, ok := t.(*Compound)
+	if !ok {
+		return t
+	}
+	args := make([]Term, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = b.resolve(a, busy)
+	}
+	return &Compound{Functor: c.Functor, Args: args}
+}
+
+// Vars collects the distinct variables of t in first-occurrence order.
+func Vars(t Term) []Var {
+	var out []Var
+	seen := make(map[int64]map[string]bool)
+	var visit func(Term)
+	visit = func(t Term) {
+		switch x := t.(type) {
+		case Var:
+			if seen[x.ID] == nil {
+				seen[x.ID] = make(map[string]bool)
+			}
+			if !seen[x.ID][x.Name] {
+				seen[x.ID][x.Name] = true
+				out = append(out, x)
+			}
+		case *Compound:
+			for _, a := range x.Args {
+				visit(a)
+			}
+		}
+	}
+	visit(t)
+	return out
+}
+
+// Solution renders the query variables' final values, keyed by
+// variable name.
+type Solution map[string]string
+
+// String renders the solution deterministically ("X=a Y=b").
+func (s Solution) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + s[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// MakeSolution extracts the values of queryVars under b.
+func MakeSolution(queryVars []Var, b Bindings) Solution {
+	out := make(Solution, len(queryVars))
+	for _, v := range queryVars {
+		out[v.Name] = b.Resolve(v).String()
+	}
+	return out
+}
+
+// renamer assigns fresh IDs to clause variables at each use
+// (standardizing apart).
+type renamer struct {
+	next    *int64
+	mapping map[string]int64
+}
+
+func newRenamer(counter *int64) *renamer {
+	return &renamer{next: counter, mapping: make(map[string]int64)}
+}
+
+func (r *renamer) rename(t Term) Term {
+	switch x := t.(type) {
+	case Var:
+		if x.Name == "_" {
+			*r.next++
+			return Var{Name: "_", ID: *r.next}
+		}
+		id, ok := r.mapping[x.Name]
+		if !ok {
+			*r.next++
+			id = *r.next
+			r.mapping[x.Name] = id
+		}
+		return Var{Name: x.Name, ID: id}
+	case *Compound:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = r.rename(a)
+		}
+		return &Compound{Functor: x.Functor, Args: args}
+	default:
+		return t
+	}
+}

@@ -1,0 +1,89 @@
+package prolog
+
+// unification: "many normal operations are subsumed by the unification
+// algorithm by which Prolog attempts to satisfy predicates; variables
+// are bound during the unification process to values which caused the
+// predicates to become true" (§5.2). The engine notes of §7 apply: the
+// pattern-matching style produces an overwhelming preponderance of
+// reads, with writes concentrated on the (trailed) binding stack —
+// which is why COW worlds suit OR-parallel execution.
+
+// trail records variable IDs bound since a choice point so they can be
+// unbound on backtracking.
+type trail []int64
+
+// bind records v := t in b and on the trail.
+func bind(b Bindings, tr *trail, v Var, t Term) {
+	b[v.ID] = t
+	*tr = append(*tr, v.ID)
+}
+
+// undo unbinds everything bound after mark.
+func undo(b Bindings, tr *trail, mark int) {
+	for i := len(*tr) - 1; i >= mark; i-- {
+		delete(b, (*tr)[i])
+	}
+	*tr = (*tr)[:mark]
+}
+
+// occurs reports whether v occurs in t under b.
+func occurs(b Bindings, v Var, t Term) bool {
+	t = b.Walk(t)
+	switch x := t.(type) {
+	case Var:
+		return x.ID == v.ID
+	case *Compound:
+		for _, a := range x.Args {
+			if occurs(b, v, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Unify attempts to unify a and b under bindings, trailing new
+// bindings. occursCheck guards against cyclic terms (off by default in
+// real Prologs; selectable here for the property tests).
+func Unify(bnd Bindings, tr *trail, a, b Term, occursCheck bool) bool {
+	a, b = bnd.Walk(a), bnd.Walk(b)
+	switch x := a.(type) {
+	case Var:
+		if y, ok := b.(Var); ok && y.ID == x.ID {
+			return true
+		}
+		if occursCheck && occurs(bnd, x, b) {
+			return false
+		}
+		bind(bnd, tr, x, b)
+		return true
+	}
+	if y, ok := b.(Var); ok {
+		if occursCheck && occurs(bnd, y, a) {
+			return false
+		}
+		bind(bnd, tr, y, a)
+		return true
+	}
+	switch x := a.(type) {
+	case Atom:
+		y, ok := b.(Atom)
+		return ok && x == y
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case *Compound:
+		y, ok := b.(*Compound)
+		if !ok || x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Unify(bnd, tr, x.Args[i], y.Args[i], occursCheck) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

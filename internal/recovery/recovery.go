@@ -1,0 +1,215 @@
+// Package recovery implements the paper's first application (§5.1):
+// distributed execution of recovery blocks (Horning et al. 1974).
+//
+// A recovery block is several independently-written versions of one
+// computation plus one boolean acceptance test applied to the result.
+// Sequentially, versions are tried in order: a failed test rolls the
+// state back and tries the next version. This maps onto the paper's
+// alternative block by viewing "the computation as part of the guard"
+// (§5.1.1): concurrent execution races all versions, and the first one
+// to pass the acceptance test commits — "fastest-first behaviour in an
+// attempt to find a rapid failure-free path through the computation"
+// (§7).
+//
+// Because the method exists to cope with failures, concurrent execution
+// must not add failure modes: Options come with FullCopy state
+// (§5.1.2: "we may copy all of the state rather than copying as
+// necessary, in order that the state not become inaccessible") and the
+// commit can be a majority-consensus claim rather than a single
+// arbiter.
+package recovery
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"altrun/internal/core"
+)
+
+// ErrNoAcceptableAlternate is the block's failure outcome: every
+// version failed its acceptance test.
+var ErrNoAcceptableAlternate = errors.New("recovery: no alternate passed the acceptance test")
+
+// Alternate is one independently-written version of the computation.
+type Alternate struct {
+	// Name labels the version (primary, secondary, ...).
+	Name string
+	// Version computes against the world's state. A non-nil error is
+	// an explicit failure (no acceptance test needed).
+	Version func(w *core.World) error
+}
+
+// Block is a recovery block: ordered alternates plus one acceptance
+// test applied to all of them (§5.1.1: "rather than having one guard
+// per body, the Recovery Block possesses one guard to which all the
+// alternatives are passed").
+type Block struct {
+	// Name labels the block.
+	Name string
+	// Alternates are "typically ordered on the basis of observed or
+	// estimated characteristics such as reliability and execution
+	// speed" (§5.1); sequential execution respects the order.
+	Alternates []Alternate
+	// AcceptanceTest checks the post-state of a version.
+	AcceptanceTest func(w *core.World) (bool, error)
+}
+
+// RunSequential executes the classic recovery block: try each
+// alternate in order; a failed acceptance test rolls the world back to
+// the block-entry state. It returns the index of the accepted
+// alternate.
+func (b *Block) RunSequential(w *core.World) (int, error) {
+	if len(b.Alternates) == 0 {
+		return -1, fmt.Errorf("%s: %w", b.Name, ErrNoAcceptableAlternate)
+	}
+	entry, err := w.Snapshot()
+	if err != nil {
+		return -1, fmt.Errorf("recovery checkpoint: %w", err)
+	}
+	for i, alt := range b.Alternates {
+		verr := alt.Version(w)
+		if verr == nil {
+			ok, terr := b.AcceptanceTest(w)
+			if terr == nil && ok {
+				return i, nil
+			}
+		}
+		// "The state of the program is rolled back to the state the
+		// program had before the block was entered, and the next
+		// alternative is tried" (§5.1).
+		if rerr := w.RestoreSnapshot(entry); rerr != nil {
+			return -1, fmt.Errorf("recovery rollback: %w", rerr)
+		}
+	}
+	return -1, fmt.Errorf("%s: %w", b.Name, ErrNoAcceptableAlternate)
+}
+
+// DefaultConcurrentOptions returns the §5.1.2 configuration: full state
+// copies (no shared pages whose loss could fail every alternate) and
+// synchronous elimination off the critical path left to the runtime
+// default.
+func DefaultConcurrentOptions(timeout time.Duration) core.Options {
+	return core.Options{
+		Timeout:  timeout,
+		FullCopy: true,
+	}
+}
+
+// RunConcurrent executes all alternates speculatively in parallel; the
+// first to pass the acceptance test commits. opts.Claim may install a
+// majority-consensus commit for fault tolerance (§5.1.2).
+func (b *Block) RunConcurrent(w *core.World, opts core.Options) (core.Result, error) {
+	if len(b.Alternates) == 0 {
+		return core.Result{}, fmt.Errorf("%s: %w", b.Name, ErrNoAcceptableAlternate)
+	}
+	alts := make([]core.Alt, len(b.Alternates))
+	for i, a := range b.Alternates {
+		alts[i] = core.Alt{
+			Name:  a.Name,
+			Body:  a.Version,
+			Guard: b.AcceptanceTest,
+		}
+	}
+	res, err := w.RunAlt(opts, alts...)
+	if errors.Is(err, core.ErrAllFailed) {
+		return res, fmt.Errorf("%s: %w", b.Name, ErrNoAcceptableAlternate)
+	}
+	return res, err
+}
+
+// ---------------------------------------------------------------------
+// A concrete demo block: sorting with independently-written versions,
+// one of them buggy. Used by cmd/rbrun, the examples, and experiment
+// E7.
+// ---------------------------------------------------------------------
+
+// Array layout in the world's space: count (uint64) at offset 0,
+// then count big-endian uint64 elements.
+const arrayHeader = 8
+
+// WriteIntArray stores xs at the start of the world's space.
+func WriteIntArray(w *core.World, xs []int) error {
+	if err := w.WriteUint64(0, uint64(len(xs))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.BigEndian.PutUint64(buf[8*i:], uint64(int64(x)))
+	}
+	return w.WriteAt(buf, arrayHeader)
+}
+
+// ReadIntArray loads the array stored by WriteIntArray.
+func ReadIntArray(w *core.World) ([]int, error) {
+	n, err := w.ReadUint64(0)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8*n)
+	if err := w.ReadAt(buf, arrayHeader); err != nil {
+		return nil, err
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = int(int64(binary.BigEndian.Uint64(buf[8*i:])))
+	}
+	return xs, nil
+}
+
+// ArraySpaceSize returns the space needed for n elements.
+func ArraySpaceSize(n int) int64 { return arrayHeader + 8*int64(n) }
+
+// SortVersion adapts an in-memory sorter (returning comparison counts)
+// into an Alternate version: it reads the array, sorts, optionally
+// corrupts the result (fault injection), models the comparisons as
+// simulated CPU, and writes back.
+func SortVersion(name string, sorter func([]int) int64, perCompare time.Duration, corrupt bool) Alternate {
+	return Alternate{
+		Name: name,
+		Version: func(w *core.World) error {
+			xs, err := ReadIntArray(w)
+			if err != nil {
+				return err
+			}
+			comps := sorter(xs)
+			if corrupt && len(xs) >= 2 {
+				// An injected logic fault: the result is plausible but
+				// wrong; only the acceptance test can catch it.
+				xs[0], xs[len(xs)-1] = xs[len(xs)-1], xs[0]
+			}
+			w.Compute(time.Duration(comps) * perCompare)
+			return WriteIntArray(w, xs)
+		},
+	}
+}
+
+// SortedAcceptanceTest verifies the array is ascending and that its
+// element sum is unchanged (the checksum is captured when the test is
+// built, before the block runs).
+func SortedAcceptanceTest(expectedSum int64) func(w *core.World) (bool, error) {
+	return func(w *core.World) (bool, error) {
+		xs, err := ReadIntArray(w)
+		if err != nil {
+			return false, err
+		}
+		var sum int64
+		for i, x := range xs {
+			sum += int64(x)
+			if i > 0 && xs[i-1] > xs[i] {
+				return false, nil
+			}
+		}
+		return sum == expectedSum, nil
+	}
+}
+
+// Sum returns the checksum SortedAcceptanceTest expects.
+func Sum(xs []int) int64 {
+	var s int64
+	for _, x := range xs {
+		s += int64(x)
+	}
+	return s
+}

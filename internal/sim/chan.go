@@ -1,0 +1,179 @@
+package sim
+
+import "time"
+
+// Chan is a reliable, FIFO, unbounded message queue between simulated
+// processes — the IPC substrate the paper assumes in §3.1 ("IPC is
+// assumed to behave reliably (no lost or duplicated messages) and FIFO").
+// Delivery latency is modelled by the sender (Proc.Sleep) or by the
+// cluster package, not by the channel itself.
+type Chan struct {
+	e       *Engine
+	queue   []any
+	waiters []*Proc // parked receivers, FIFO
+}
+
+// NewChan returns an empty channel attached to the engine.
+func (e *Engine) NewChan() *Chan { return &Chan{e: e} }
+
+// Len returns the number of queued (undelivered) messages.
+func (c *Chan) Len() int { return len(c.queue) }
+
+// Send enqueues v. It never blocks (the queue is unbounded) and may be
+// called from any running process or event closure.
+func (c *Chan) Send(v any) {
+	c.queue = append(c.queue, v)
+	c.pump()
+}
+
+// pump schedules a delivery attempt for the first parked receiver.
+func (c *Chan) pump() {
+	if len(c.waiters) == 0 || len(c.queue) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	token := w.parkToken
+	c.e.schedule(c.e.now, func() {
+		if w.state != stateParked || w.parkToken != token {
+			// Receiver was killed or timed out meanwhile; the message stays
+			// queued for the next Recv. Try the next waiter, if any.
+			c.pump()
+			return
+		}
+		if len(c.queue) == 0 {
+			// Another delivery consumed the message first; re-register.
+			c.waiters = append([]*Proc{w}, c.waiters...)
+			return
+		}
+		w.recvVal, w.recvOK = c.queue[0], true
+		c.queue = c.queue[1:]
+		c.e.wake(w)
+	})
+}
+
+// PopQueued removes and returns the oldest queued message without
+// blocking; ok is false when the queue is empty. It never interacts
+// with parked receivers, so it may be called from any context.
+func (c *Chan) PopQueued() (v any, ok bool) {
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	v = c.queue[0]
+	c.queue = c.queue[1:]
+	return v, true
+}
+
+// Recv blocks the calling process until a message is available and
+// returns it.
+func (c *Chan) Recv(p *Proc) any {
+	v, _ := c.RecvTimeout(p, -1)
+	return v
+}
+
+// RecvTimeout is Recv with a timeout; d < 0 means wait forever. ok is
+// false if the timeout fired first.
+func (c *Chan) RecvTimeout(p *Proc, d time.Duration) (v any, ok bool) {
+	if len(c.queue) > 0 {
+		v = c.queue[0]
+		c.queue = c.queue[1:]
+		return v, true
+	}
+	c.waiters = append(c.waiters, p)
+	p.recvVal, p.recvOK = nil, false
+	if d >= 0 {
+		token := p.parkToken + 1 // the token park() will assign
+		c.e.scheduleWake(c.e.now.Add(d), p, token, func() {
+			if p.state == stateParked && p.parkToken == token {
+				// Timed out: deregister and wake with recvOK=false.
+				c.removeWaiter(p)
+				c.e.wake(p)
+			}
+		})
+	}
+	p.park()
+	return p.recvVal, p.recvOK
+}
+
+func (c *Chan) removeWaiter(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Future is a one-shot value that many processes may wait on; the
+// runtime uses it for commit notification (the parent's alt_wait
+// rendezvous, §3.2).
+type Future struct {
+	e       *Engine
+	set     bool
+	val     any
+	waiters []*Proc
+}
+
+// NewFuture returns an unset Future.
+func (e *Engine) NewFuture() *Future { return &Future{e: e} }
+
+// IsSet reports whether the future has a value.
+func (f *Future) IsSet() bool { return f.set }
+
+// Set delivers v to all current and subsequent waiters. Setting twice
+// is a no-op (the first value wins), mirroring at-most-once commit.
+func (f *Future) Set(v any) bool {
+	if f.set {
+		return false
+	}
+	f.set = true
+	f.val = v
+	for _, w := range f.waiters {
+		wp := w
+		token := wp.parkToken
+		f.e.schedule(f.e.now, func() {
+			if wp.state == stateParked && wp.parkToken == token {
+				wp.recvVal, wp.recvOK = f.val, true
+				f.e.wake(wp)
+			}
+		})
+	}
+	f.waiters = nil
+	return true
+}
+
+// Get blocks until the future is set and returns its value.
+func (f *Future) Get(p *Proc) any {
+	v, _ := f.GetTimeout(p, -1)
+	return v
+}
+
+// GetTimeout is Get with a timeout; d < 0 means wait forever. ok is
+// false if the timeout fired first.
+func (f *Future) GetTimeout(p *Proc, d time.Duration) (v any, ok bool) {
+	if f.set {
+		return f.val, true
+	}
+	f.waiters = append(f.waiters, p)
+	p.recvVal, p.recvOK = nil, false
+	if d >= 0 {
+		token := p.parkToken + 1
+		f.e.scheduleWake(f.e.now.Add(d), p, token, func() {
+			if p.state == stateParked && p.parkToken == token {
+				f.removeWaiter(p)
+				f.e.wake(p)
+			}
+		})
+	}
+	p.park()
+	return p.recvVal, p.recvOK
+}
+
+func (f *Future) removeWaiter(p *Proc) {
+	for i, w := range f.waiters {
+		if w == p {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			return
+		}
+	}
+}

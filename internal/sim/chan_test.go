@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChanFIFO(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Recv(p).(int))
+		}
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Sleep(time.Second)
+		ch.Send(1)
+		ch.Send(2)
+		ch.Send(3)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestChanRecvBeforeSend(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	var when time.Duration
+	start := e.Now()
+	e.Spawn("recv", func(p *Proc) {
+		v := ch.Recv(p)
+		if v.(string) != "hello" {
+			t.Errorf("got %v", v)
+		}
+		when = e.Since(start)
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		ch.Send("hello")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if when != 5*time.Second {
+		t.Fatalf("received at %v, want 5s", when)
+	}
+}
+
+func TestChanQueuedBeforeRecv(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	ch.Send(42)
+	var v any
+	e.Spawn("recv", func(p *Proc) { v = ch.Recv(p) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 42 {
+		t.Fatalf("got %v, want 42", v)
+	}
+	if ch.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ch.Len())
+	}
+}
+
+func TestChanRecvTimeoutFires(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	var ok bool
+	var when time.Duration
+	start := e.Now()
+	e.Spawn("recv", func(p *Proc) {
+		_, ok = ch.RecvTimeout(p, 3*time.Second)
+		when = e.Since(start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("expected timeout")
+	}
+	if when != 3*time.Second {
+		t.Fatalf("timed out at %v, want 3s", when)
+	}
+}
+
+func TestChanRecvTimeoutBeatenBySend(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	var ok bool
+	var v any
+	e.Spawn("recv", func(p *Proc) {
+		v, ok = ch.RecvTimeout(p, 10*time.Second)
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Sleep(time.Second)
+		ch.Send("fast")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || v.(string) != "fast" {
+		t.Fatalf("got %v, %v; want fast, true", v, ok)
+	}
+}
+
+func TestChanMultipleReceivers(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	var sum int
+	for i := 0; i < 3; i++ {
+		e.Spawn("recv", func(p *Proc) { sum += ch.Recv(p).(int) })
+	}
+	e.Spawn("send", func(p *Proc) {
+		p.Sleep(time.Second)
+		ch.Send(1)
+		ch.Send(10)
+		ch.Send(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 111 {
+		t.Fatalf("sum = %d, want 111", sum)
+	}
+}
+
+func TestChanKilledReceiverMessageSurvives(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	victim := e.Spawn("victim", func(p *Proc) {
+		ch.Recv(p)
+		t.Error("victim must not receive")
+	})
+	var got any
+	e.Spawn("killer-then-recv", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Kill(victim)
+		p.Sleep(time.Second)
+		ch.Send("msg")
+		got = ch.Recv(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "msg" {
+		t.Fatalf("got %v, want msg", got)
+	}
+}
+
+func TestFutureSetWakesAll(t *testing.T) {
+	e := New(0)
+	f := e.NewFuture()
+	var got []int
+	for i := 0; i < 3; i++ {
+		e.Spawn("wait", func(p *Proc) { got = append(got, f.Get(p).(int)) })
+	}
+	e.Spawn("set", func(p *Proc) {
+		p.Sleep(time.Second)
+		if !f.Set(7) {
+			t.Error("first Set must succeed")
+		}
+		if f.Set(8) {
+			t.Error("second Set must fail")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for _, v := range got {
+		if v != 7 {
+			t.Fatalf("got %v, want all 7s", got)
+		}
+	}
+}
+
+func TestFutureGetAfterSet(t *testing.T) {
+	e := New(0)
+	f := e.NewFuture()
+	f.Set("x")
+	var v any
+	e.Spawn("wait", func(p *Proc) { v = f.Get(p) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v != "x" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFutureGetTimeout(t *testing.T) {
+	e := New(0)
+	f := e.NewFuture()
+	var ok bool
+	var when time.Duration
+	start := e.Now()
+	e.Spawn("wait", func(p *Proc) {
+		_, ok = f.GetTimeout(p, 2*time.Second)
+		when = e.Since(start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok || when != 2*time.Second {
+		t.Fatalf("ok=%v when=%v; want false, 2s", ok, when)
+	}
+}
+
+func TestProfilesCalibration(t *testing.T) {
+	b2 := Profile3B2()
+	// 320 KB on 2K pages = 160 pages; fork must be ~31 ms.
+	if got := b2.ForkCost(b2.Pages(320 << 10)); got != 31*time.Millisecond {
+		t.Errorf("3B2 fork(320KB) = %v, want 31ms", got)
+	}
+	// 326 pages/s => ~3.067ms/page.
+	rate := float64(time.Second) / float64(b2.PageCopy)
+	if rate < 320 || rate > 332 {
+		t.Errorf("3B2 copy rate = %.0f pages/s, want ~326", rate)
+	}
+	hp := ProfileHP9000()
+	if got := hp.ForkCost(hp.Pages(320 << 10)); got != 12*time.Millisecond {
+		t.Errorf("HP fork(320KB) = %v, want 12ms", got)
+	}
+	rate = float64(time.Second) / float64(hp.PageCopy)
+	if rate < 1024 || rate > 1044 {
+		t.Errorf("HP copy rate = %.0f pages/s, want ~1034", rate)
+	}
+	// rfork of a 70 KB process is checkpoint-dominated, ≈ 1 s.
+	ck := b2.CheckpointCost(70 << 10)
+	if ck < 800*time.Millisecond || ck > 1100*time.Millisecond {
+		t.Errorf("checkpoint(70KB) = %v, want ≈1s", ck)
+	}
+	mp := ProfileSharedMemory(4)
+	if mp.CPUs != 4 {
+		t.Errorf("shared-memory CPUs = %d", mp.CPUs)
+	}
+	if mp.PageCopy >= hp.PageCopy {
+		t.Error("shared-memory page copy must be cheaper than HP over-network")
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import "time"
+
+// MachineProfile parameterizes the cost model of a simulated machine.
+// The two 1980s profiles are calibrated to the paper's §4.4 measurements
+// (from Smith & Maguire 1988 and Smith & Ioannidis 1989):
+//
+//   - AT&T 3B2/310: fork of a 320 KB address space ≈ 31 ms; COW page
+//     copy service rate 326 2K-pages/second.
+//   - HP 9000/350: same fork ≈ 12 ms; 1034 4K-pages/second.
+//   - Remote fork (rfork) of a 70 KB process ≈ 1 s (checkpoint-
+//     dominated), ≈ 1.3 s observed including network delays.
+type MachineProfile struct {
+	// Name labels the profile in experiment output.
+	Name string
+	// PageSize is the size in bytes of one page of sink state (§3.1).
+	PageSize int
+	// ForkBase is the address-space-independent part of spawning an
+	// alternative (process table entry, kernel bookkeeping).
+	ForkBase time.Duration
+	// ForkPerPage is the per-page cost of duplicating the page map
+	// (COW setup; no data is copied).
+	ForkPerPage time.Duration
+	// PageCopy is the service time of copying one page on a write
+	// fault (1 / service rate).
+	PageCopy time.Duration
+	// CommitPerSibling is the cost of issuing one sibling-elimination
+	// instruction at selection time (§4.1 item 2).
+	CommitPerSibling time.Duration
+	// NetLatency is the one-way network message latency between nodes.
+	NetLatency time.Duration
+	// NetPerByte is the per-byte network transfer cost between nodes.
+	NetPerByte time.Duration
+	// CheckpointPerByte is the cost per byte of writing a process
+	// checkpoint for rfork (§4.4: "the major cost ... was creating a
+	// checkpoint of the process in its entirety").
+	CheckpointPerByte time.Duration
+	// RestorePerByte is the cost per byte of restoring a checkpoint on
+	// the remote node.
+	RestorePerByte time.Duration
+	// CPUs is the number of processors the machine schedules
+	// simulated Compute demand onto.
+	CPUs int
+}
+
+// ForkCost returns the cost of a COW fork of an address space with the
+// given number of resident pages.
+func (m MachineProfile) ForkCost(pages int) time.Duration {
+	return m.ForkBase + time.Duration(pages)*m.ForkPerPage
+}
+
+// CopyCost returns the cost of servicing write faults on `pages` pages.
+func (m MachineProfile) CopyCost(pages int) time.Duration {
+	return time.Duration(pages) * m.PageCopy
+}
+
+// CheckpointCost returns the cost of checkpointing `bytes` of process
+// image.
+func (m MachineProfile) CheckpointCost(bytes int) time.Duration {
+	return time.Duration(bytes) * m.CheckpointPerByte
+}
+
+// RestoreCost returns the cost of restoring `bytes` of process image.
+func (m MachineProfile) RestoreCost(bytes int) time.Duration {
+	return time.Duration(bytes) * m.RestorePerByte
+}
+
+// Pages returns the number of pages needed for `bytes` of state.
+func (m MachineProfile) Pages(bytes int) int {
+	if m.PageSize <= 0 {
+		return 0
+	}
+	return (bytes + m.PageSize - 1) / m.PageSize
+}
+
+// Profile3B2 models the AT&T 3B2/310 (§4.4).
+//
+// Calibration: 320 KB = 160 2K-pages. ForkBase 15 ms + 160 × 100 µs =
+// 31 ms, matching the measured fork. Page copy: 326 pages/s → 3.067 ms
+// per page.
+func Profile3B2() MachineProfile {
+	return MachineProfile{
+		Name:              "AT&T-3B2/310",
+		PageSize:          2048,
+		ForkBase:          15 * time.Millisecond,
+		ForkPerPage:       100 * time.Microsecond,
+		PageCopy:          3067 * time.Microsecond,
+		CommitPerSibling:  2 * time.Millisecond,
+		NetLatency:        15 * time.Millisecond,
+		NetPerByte:        1 * time.Microsecond,
+		CheckpointPerByte: 13 * time.Microsecond,
+		RestorePerByte:    4 * time.Microsecond,
+		CPUs:              1,
+	}
+}
+
+// ProfileHP9000 models the HP 9000/350 (§4.4).
+//
+// Calibration: 320 KB = 80 4K-pages. ForkBase 6 ms + 80 × 75 µs = 12 ms.
+// Page copy: 1034 pages/s → 967 µs per page.
+func ProfileHP9000() MachineProfile {
+	return MachineProfile{
+		Name:              "HP-9000/350",
+		PageSize:          4096,
+		ForkBase:          6 * time.Millisecond,
+		ForkPerPage:       75 * time.Microsecond,
+		PageCopy:          967 * time.Microsecond,
+		CommitPerSibling:  1 * time.Millisecond,
+		NetLatency:        10 * time.Millisecond,
+		NetPerByte:        1 * time.Microsecond,
+		CheckpointPerByte: 12 * time.Microsecond,
+		RestorePerByte:    3 * time.Microsecond,
+		CPUs:              1,
+	}
+}
+
+// ProfileSharedMemory models an idealized shared-memory multiprocessor
+// of the HP's technology generation: same page costs but several CPUs,
+// which is the configuration the paper says its costs "should be
+// representative of" (§4.4).
+func ProfileSharedMemory(cpus int) MachineProfile {
+	p := ProfileHP9000()
+	p.Name = "shared-memory-mp"
+	p.CPUs = cpus
+	// Interprocessor bandwidth is much higher (§4.1 item 1): reduce the
+	// copy cost.
+	p.PageCopy = 200 * time.Microsecond
+	p.NetLatency = 0
+	return p
+}

@@ -1,0 +1,498 @@
+// Package sim is a deterministic discrete-event simulator used to run
+// the paper's experiments (DESIGN.md E1-E14) in virtual time.
+//
+// The paper's evaluation (§4) reasons about execution time on specific
+// 1980s machines (AT&T 3B2/310, HP 9000/350). Reproducing the *shape* of
+// those results on modern hardware requires a machine model, not wall
+// clocks: sim provides cooperative simulated processes, a
+// processor-sharing CPU model with a configurable number of processors
+// (so that "if C_best is sharing resources ... C_j's runtime must be
+// added to the runtime overhead of C_best", §4.3), unbounded FIFO
+// channels for reliable in-order IPC (§3.1), and process kill for
+// sibling elimination (§3.2.1).
+//
+// Concurrency model: exactly one goroutine (the engine loop or one
+// simulated process) is active at a time; control is handed off over
+// unbuffered channels, which also establishes happens-before for the
+// race detector. All engine state may therefore be accessed without
+// locks from event closures and running processes.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDeadlock is returned by Run when live processes remain but no event
+// can ever wake them.
+var ErrDeadlock = errors.New("sim: deadlock: live processes but no pending events")
+
+// killedSentinel is the panic value used to unwind a killed process's
+// stack so that its defers run (the simulated analogue of process
+// teardown).
+type killedSentinel struct{ pid int64 }
+
+// Engine is a discrete-event simulation. Create one with New, spawn
+// processes, then call Run from the owning goroutine.
+type Engine struct {
+	now       time.Time
+	cpus      int
+	seq       int64
+	events    eventHeap
+	computing map[*Proc]struct{}
+	yield     chan struct{}
+	running   *Proc
+	live      int
+	nextPID   int64
+	totalCPU  time.Duration
+	maxProcs  int // high-water mark of live processes
+}
+
+// New returns an Engine with the given number of simulated processors.
+// cpus <= 0 means "unlimited" (pure real concurrency, no CPU sharing).
+func New(cpus int) *Engine {
+	return &Engine{
+		now:       time.Unix(0, 0).UTC(),
+		cpus:      cpus,
+		computing: make(map[*Proc]struct{}),
+		yield:     make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Since returns virtual time elapsed since t.
+func (e *Engine) Since(t time.Time) time.Duration { return e.now.Sub(t) }
+
+// TotalCPU returns the total processor time consumed by all processes so
+// far; the experiments use it to measure "wasted work" (§4.1 item 3).
+func (e *Engine) TotalCPU() time.Duration { return e.totalCPU }
+
+// MaxLiveProcs returns the high-water mark of simultaneously live
+// processes.
+func (e *Engine) MaxLiveProcs() int { return e.maxProcs }
+
+// event is a scheduled closure. Closures run in engine context and must
+// do their own staleness checks before waking a process. Events that
+// exist solely to wake a parked process additionally carry the owner and
+// its park token, so the engine can discard them at dispatch time
+// *without advancing the clock* if the process was woken or killed in
+// the meantime (otherwise a killed process's far-future sleep wakeup
+// would drag simulated time forward).
+type event struct {
+	at    time.Time
+	seq   int64
+	fn    func()
+	owner *Proc
+	token int64
+}
+
+// stale reports whether a wake-only event no longer has a valid target.
+func (ev event) stale() bool {
+	return ev.owner != nil && (ev.owner.state != stateParked || ev.owner.parkToken != ev.token)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (h eventHeap) peek() (event, bool) { // min element without removing
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// schedule enqueues fn to run at time at (>= now).
+func (e *Engine) schedule(at time.Time, fn func()) {
+	if at.Before(e.now) {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// scheduleWake enqueues a wake of p at time at, tagged with p's park
+// token so the event is dropped if p is woken or killed first.
+func (e *Engine) scheduleWake(at time.Time, p *Proc, token int64, fn func()) {
+	if at.Before(e.now) {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn, owner: p, token: token})
+}
+
+// After schedules fn to run in engine context after d of virtual time.
+// fn must not block (it may Send on channels, Set futures, spawn or kill
+// processes, but must not park). The cluster package uses this to model
+// network delivery latency.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now.Add(d), fn)
+}
+
+// peekLive returns the earliest non-stale event, discarding stale ones.
+func (e *Engine) peekLive() (event, bool) {
+	for {
+		ev, ok := e.events.peek()
+		if !ok {
+			return event{}, false
+		}
+		if ev.stale() {
+			heap.Pop(&e.events)
+			continue
+		}
+		return ev, true
+	}
+}
+
+// procState enumerates the lifecycle of a simulated process.
+type procState int
+
+const (
+	stateCreated procState = iota + 1
+	stateParked
+	stateRunning
+	stateDone
+)
+
+// Proc is a simulated process. Its methods must only be called from
+// within the simulation (from the process itself or another running
+// process), except where noted.
+type Proc struct {
+	e         *Engine
+	id        int64
+	name      string
+	state     procState
+	killed    bool
+	resume    chan struct{}
+	parkToken int64
+	remaining time.Duration // outstanding CPU demand while computing
+	cpuUsed   time.Duration
+	joiners   []*Proc
+	recvVal   any
+	recvOK    bool
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the process's simulator-local identifier.
+func (p *Proc) ID() int64 { return p.id }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// CPUUsed returns processor time this process has consumed.
+func (p *Proc) CPUUsed() time.Duration { return p.cpuUsed }
+
+// Finished reports whether the process has exited (normally or killed).
+func (p *Proc) Finished() bool { return p.state == stateDone }
+
+// Killed reports whether the process was killed.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Lifetime returns how long the process existed in virtual time; valid
+// after it finishes.
+func (p *Proc) Lifetime() time.Duration { return p.finished.Sub(p.started) }
+
+// Spawn creates a process that will begin running fn at the current
+// virtual time (after already-scheduled events at this time).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		e:       e,
+		id:      e.nextPID,
+		name:    name,
+		state:   stateCreated,
+		resume:  make(chan struct{}),
+		started: e.now,
+	}
+	e.live++
+	if e.live > e.maxProcs {
+		e.maxProcs = e.live
+	}
+	e.schedule(e.now, func() {
+		if p.killed {
+			// Killed before it ever ran: just mark it finished.
+			p.finish()
+			return
+		}
+		go p.top(fn)
+		e.wake(p)
+	})
+	return p
+}
+
+// top is the outermost frame of a process goroutine.
+func (p *Proc) top(fn func(p *Proc)) {
+	// Wait for the engine to hand over control the first time.
+	<-p.resume
+	p.state = stateRunning
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedSentinel); !ok {
+				panic(r) // real bug: propagate
+			}
+		}
+		p.finish()
+		p.e.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// finish marks the process done and wakes joiners.
+func (p *Proc) finish() {
+	p.state = stateDone
+	p.finished = p.e.now
+	p.e.live--
+	delete(p.e.computing, p)
+	for _, j := range p.joiners {
+		jp := j
+		p.e.schedule(p.e.now, func() {
+			if jp.state == stateParked {
+				p.e.wake(jp)
+			}
+		})
+	}
+	p.joiners = nil
+}
+
+// park yields control to the engine and blocks until woken. It panics
+// with killedSentinel if the process has been killed.
+func (p *Proc) park() {
+	if p.killed {
+		panic(killedSentinel{pid: p.id})
+	}
+	p.state = stateParked
+	p.parkToken++
+	p.e.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+	if p.killed {
+		panic(killedSentinel{pid: p.id})
+	}
+}
+
+// wake resumes a parked process and blocks the engine until it parks or
+// exits again. Callers must have verified p is parked.
+func (e *Engine) wake(p *Proc) {
+	prev := e.running
+	e.running = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.running = prev
+}
+
+// Compute consumes d of CPU time under processor sharing: with k
+// processes computing on c processors, each progresses at rate
+// min(1, c/k). This is the paper's "runtime" overhead component (§4.3).
+func (p *Proc) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.remaining = d
+	p.e.computing[p] = struct{}{}
+	p.park()
+}
+
+// Sleep suspends the process for d of virtual time without consuming
+// CPU (e.g., I/O or network latency).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.e
+	token := p.parkToken + 1 // token park() will assign
+	e.scheduleWake(e.now.Add(d), p, token, func() {
+		if p.state == stateParked && p.parkToken == token {
+			e.wake(p)
+		}
+	})
+	p.park()
+}
+
+// Join blocks until q finishes. Joining a finished process returns
+// immediately.
+func (p *Proc) Join(q *Proc) {
+	if q.state == stateDone {
+		return
+	}
+	q.joiners = append(q.joiners, p)
+	p.park()
+}
+
+// Kill terminates q: its stack unwinds (running its defers) the next
+// time it would run, and it never executes user code again. Killing a
+// finished process is a no-op. A process may kill itself, in which case
+// Kill does not return.
+func (p *Proc) Kill(q *Proc) { p.e.kill(q) }
+
+// Kill terminates q from engine context (an event closure, or before
+// Run starts). See Proc.Kill for semantics.
+func (e *Engine) Kill(q *Proc) { e.kill(q) }
+
+func (e *Engine) kill(q *Proc) {
+	if q.state == stateDone || q.killed {
+		return
+	}
+	q.killed = true
+	delete(e.computing, q)
+	if q == e.running {
+		panic(killedSentinel{pid: q.id})
+	}
+	if q.state == stateCreated {
+		// The pending start event will observe killed and finish it.
+		return
+	}
+	e.schedule(e.now, func() {
+		if q.state == stateParked {
+			e.wake(q)
+		}
+	})
+}
+
+// Exit terminates the calling process immediately (running defers).
+func (p *Proc) Exit() {
+	p.killed = true
+	panic(killedSentinel{pid: p.id})
+}
+
+// rate returns the current per-process compute rate.
+func (e *Engine) rate() float64 {
+	k := len(e.computing)
+	if k == 0 {
+		return 0
+	}
+	if e.cpus <= 0 || k <= e.cpus {
+		return 1
+	}
+	return float64(e.cpus) / float64(k)
+}
+
+// advance moves virtual time to `to`, draining CPU demand at the
+// current rate.
+func (e *Engine) advance(to time.Time) {
+	elapsed := to.Sub(e.now)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if len(e.computing) > 0 && elapsed > 0 {
+		r := e.rate()
+		work := time.Duration(float64(elapsed) * r)
+		for q := range e.computing {
+			q.remaining -= work
+			q.cpuUsed += work
+		}
+		busy := len(e.computing)
+		if e.cpus > 0 && busy > e.cpus {
+			busy = e.cpus
+		}
+		e.totalCPU += time.Duration(busy) * elapsed
+	}
+	e.now = to
+}
+
+// nextCompletion returns the computing process that will finish first
+// and the time at which it will, or ok=false if none are computing.
+func (e *Engine) nextCompletion() (*Proc, time.Time, bool) {
+	if len(e.computing) == 0 {
+		return nil, time.Time{}, false
+	}
+	var best *Proc
+	for q := range e.computing {
+		if best == nil || q.remaining < best.remaining ||
+			(q.remaining == best.remaining && q.id < best.id) {
+			best = q
+		}
+	}
+	r := e.rate()
+	rem := best.remaining
+	if rem < 0 {
+		rem = 0
+	}
+	at := e.now.Add(time.Duration(float64(rem) / r))
+	return best, at, true
+}
+
+// Run executes the simulation until no process is live and no events
+// remain, or deadlock is detected. It must be called from the goroutine
+// that owns the Engine, and must not be called reentrantly.
+func (e *Engine) Run() error {
+	for {
+		ev, haveEv := e.peekLive()
+		comp, compAt, haveComp := e.nextCompletion()
+		switch {
+		case !haveEv && !haveComp:
+			if e.live > 0 {
+				return ErrDeadlock
+			}
+			return nil
+		case haveComp && (!haveEv || !compAt.After(ev.at)):
+			e.advance(compAt)
+			comp.remaining = 0
+			delete(e.computing, comp)
+			if comp.state == stateParked {
+				e.wake(comp)
+			}
+		default:
+			heap.Pop(&e.events)
+			e.advance(ev.at)
+			ev.fn()
+		}
+	}
+}
+
+// RunFor executes the simulation for at most d of virtual time.
+// Remaining work stays queued.
+func (e *Engine) RunFor(d time.Duration) error {
+	deadline := e.now.Add(d)
+	for {
+		ev, haveEv := e.peekLive()
+		comp, compAt, haveComp := e.nextCompletion()
+		switch {
+		case !haveEv && !haveComp:
+			if e.live > 0 {
+				return ErrDeadlock
+			}
+			return nil
+		case haveComp && (!haveEv || !compAt.After(ev.at)):
+			if compAt.After(deadline) {
+				e.advance(deadline)
+				return nil
+			}
+			e.advance(compAt)
+			comp.remaining = 0
+			delete(e.computing, comp)
+			if comp.state == stateParked {
+				e.wake(comp)
+			}
+		default:
+			if ev.at.After(deadline) {
+				e.advance(deadline)
+				return nil
+			}
+			heap.Pop(&e.events)
+			e.advance(ev.at)
+			ev.fn()
+		}
+	}
+}
+
+// String describes the engine state for diagnostics.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim(now=%s live=%d computing=%d events=%d)",
+		e.now.Format("15:04:05.000000"), e.live, len(e.computing), len(e.events))
+}

@@ -1,0 +1,514 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSingleProcSleep(t *testing.T) {
+	e := New(1)
+	var woke time.Time
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = e.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := woke.Sub(time.Unix(0, 0).UTC()); got != 5*time.Second {
+		t.Fatalf("woke at +%v, want +5s", got)
+	}
+}
+
+func TestComputeSingleCPU(t *testing.T) {
+	e := New(1)
+	var d1, d2 time.Duration
+	start := e.Now()
+	e.Spawn("a", func(p *Proc) {
+		p.Compute(10 * time.Second)
+		d1 = e.Since(start)
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Compute(10 * time.Second)
+		d2 = e.Since(start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Processor sharing on one CPU: both demand 10s, both finish at 20s.
+	if d1 != 20*time.Second || d2 != 20*time.Second {
+		t.Fatalf("finish times %v, %v; want 20s, 20s", d1, d2)
+	}
+	if e.TotalCPU() != 20*time.Second {
+		t.Fatalf("TotalCPU = %v, want 20s", e.TotalCPU())
+	}
+}
+
+func TestComputeTwoCPUs(t *testing.T) {
+	e := New(2)
+	var d1, d2 time.Duration
+	start := e.Now()
+	e.Spawn("a", func(p *Proc) {
+		p.Compute(10 * time.Second)
+		d1 = e.Since(start)
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Compute(10 * time.Second)
+		d2 = e.Since(start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d1 != 10*time.Second || d2 != 10*time.Second {
+		t.Fatalf("finish times %v, %v; want 10s, 10s", d1, d2)
+	}
+}
+
+func TestComputeUnevenDemand(t *testing.T) {
+	e := New(1)
+	var dShort, dLong time.Duration
+	start := e.Now()
+	e.Spawn("short", func(p *Proc) {
+		p.Compute(2 * time.Second)
+		dShort = e.Since(start)
+	})
+	e.Spawn("long", func(p *Proc) {
+		p.Compute(10 * time.Second)
+		dLong = e.Since(start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// PS on 1 CPU: short finishes at 4s (rate 1/2 until then); long has
+	// 8s left at t=4 and runs alone: finishes at 12s.
+	if dShort != 4*time.Second {
+		t.Fatalf("short finished at %v, want 4s", dShort)
+	}
+	if dLong != 12*time.Second {
+		t.Fatalf("long finished at %v, want 12s", dLong)
+	}
+}
+
+func TestUnlimitedCPUs(t *testing.T) {
+	e := New(0) // unlimited
+	finish := make([]time.Duration, 4)
+	start := e.Now()
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Compute(3 * time.Second)
+			finish[i] = e.Since(start)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range finish {
+		if d != 3*time.Second {
+			t.Fatalf("proc %d finished at %v, want 3s", i, d)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := New(1)
+	var order []string
+	child := e.Spawn("child", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		order = append(order, "child")
+	})
+	e.Spawn("parent", func(p *Proc) {
+		p.Join(child)
+		order = append(order, "parent")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "child" || order[1] != "parent" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestJoinFinished(t *testing.T) {
+	e := New(1)
+	child := e.Spawn("child", func(p *Proc) {})
+	joined := false
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(time.Second) // let child finish first
+		p.Join(child)
+		joined = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !joined {
+		t.Fatal("join on finished proc must return")
+	}
+}
+
+func TestKillParkedProcRunsDefers(t *testing.T) {
+	e := New(1)
+	cleaned := false
+	victim := e.Spawn("victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(time.Hour)
+	})
+	e.Spawn("killer", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Kill(victim)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Fatal("killed process's defers must run")
+	}
+	if !victim.Killed() || !victim.Finished() {
+		t.Fatal("victim must be marked killed and finished")
+	}
+	if e.Now().Sub(time.Unix(0, 0).UTC()) >= time.Hour {
+		t.Fatalf("kill must not wait out the sleep; now=%v", e.Now())
+	}
+}
+
+func TestKillComputingProcFreesCPU(t *testing.T) {
+	e := New(1)
+	var survivorDone time.Duration
+	start := e.Now()
+	victim := e.Spawn("victim", func(p *Proc) {
+		p.Compute(time.Hour)
+	})
+	e.Spawn("survivor", func(p *Proc) {
+		p.Compute(10 * time.Second)
+		survivorDone = e.Since(start)
+	})
+	e.Spawn("killer", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		p.Kill(victim)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Survivor shares CPU (rate 1/2) for 2s => 1s done; then runs alone
+	// for remaining 9s => finishes at 11s.
+	if survivorDone != 11*time.Second {
+		t.Fatalf("survivor finished at %v, want 11s", survivorDone)
+	}
+}
+
+func TestKillBeforeStart(t *testing.T) {
+	e := New(1)
+	ran := false
+	var victim *Proc
+	victim = e.Spawn("victim", func(p *Proc) { ran = true })
+	e.kill(victim) // before Run: start event sees killed
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("killed-before-start proc must never run")
+	}
+	if !victim.Finished() {
+		t.Fatal("victim must be finished")
+	}
+}
+
+func TestSelfExit(t *testing.T) {
+	e := New(1)
+	after := false
+	e.Spawn("a", func(p *Proc) {
+		p.Exit()
+		after = true // must not run
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after {
+		t.Fatal("code after Exit must not run")
+	}
+}
+
+func TestKillSelf(t *testing.T) {
+	e := New(1)
+	after := false
+	e.Spawn("a", func(p *Proc) {
+		p.Kill(p)
+		after = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after {
+		t.Fatal("code after self-kill must not run")
+	}
+}
+
+func TestKillFinishedIsNoop(t *testing.T) {
+	e := New(1)
+	victim := e.Spawn("v", func(p *Proc) {})
+	e.Spawn("killer", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Kill(victim)
+		p.Kill(victim)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New(1)
+	ch := e.NewChan()
+	e.Spawn("stuck", func(p *Proc) {
+		ch.Recv(p) // nobody ever sends
+	})
+	if err := e.Run(); err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := New(1)
+	var ticks int
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	if err := e.RunFor(10*time.Second + time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		e := New(2)
+		var log []string
+		for i := 0; i < 5; i++ {
+			name := string(rune('a' + i))
+			d := time.Duration(i+1) * time.Second
+			e.Spawn(name, func(p *Proc) {
+				p.Compute(d)
+				log = append(log, name)
+				p.Sleep(d)
+				log = append(log, name+"!")
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatalf("run %d diverged in length", i)
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run %d diverged at %d: %v vs %v", i, j, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxLiveProcs(t *testing.T) {
+	e := New(0)
+	for i := 0; i < 7; i++ {
+		e.Spawn("w", func(p *Proc) { p.Sleep(time.Second) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxLiveProcs() != 7 {
+		t.Fatalf("MaxLiveProcs = %d, want 7", e.MaxLiveProcs())
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := New(0)
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		c := e.Spawn("child", func(p *Proc) {
+			p.Sleep(time.Second)
+			childRan = true
+		})
+		p.Join(c)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child spawned from proc must run")
+	}
+}
+
+func TestLifetimeAndCPUAccounting(t *testing.T) {
+	e := New(1)
+	p1 := e.Spawn("a", func(p *Proc) {
+		p.Compute(4 * time.Second)
+		p.Sleep(6 * time.Second)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p1.CPUUsed() != 4*time.Second {
+		t.Fatalf("CPUUsed = %v, want 4s", p1.CPUUsed())
+	}
+	if p1.Lifetime() != 10*time.Second {
+		t.Fatalf("Lifetime = %v, want 10s", p1.Lifetime())
+	}
+}
+
+func TestAfterRunsInEngineContext(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	e.After(3*time.Second, func() { ch.Send("fired") })
+	var when time.Duration
+	start := e.Now()
+	e.Spawn("recv", func(p *Proc) {
+		ch.Recv(p)
+		when = e.Since(start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if when != 3*time.Second {
+		t.Fatalf("After fired at %v, want 3s", when)
+	}
+}
+
+func TestAfterNegativeDelayImmediate(t *testing.T) {
+	e := New(0)
+	fired := false
+	e.After(-time.Second, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("negative-delay After must fire immediately")
+	}
+}
+
+func TestPopQueued(t *testing.T) {
+	e := New(0)
+	ch := e.NewChan()
+	if _, ok := ch.PopQueued(); ok {
+		t.Fatal("empty PopQueued must fail")
+	}
+	ch.Send(1)
+	ch.Send(2)
+	v, ok := ch.PopQueued()
+	if !ok || v != 1 {
+		t.Fatalf("PopQueued = %v, %v", v, ok)
+	}
+	if ch.Len() != 1 {
+		t.Fatalf("Len = %d", ch.Len())
+	}
+}
+
+func TestFutureIsSet(t *testing.T) {
+	e := New(0)
+	f := e.NewFuture()
+	if f.IsSet() {
+		t.Fatal("fresh future is unset")
+	}
+	f.Set(1)
+	if !f.IsSet() {
+		t.Fatal("future must be set after Set")
+	}
+}
+
+func TestProcIDAndName(t *testing.T) {
+	e := New(0)
+	p := e.Spawn("worker", func(p *Proc) {})
+	if p.ID() == 0 || p.Name() != "worker" {
+		t.Fatalf("ID=%d Name=%q", p.ID(), p.Name())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	e := New(1)
+	if e.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestRunForDeadlineMidCompute(t *testing.T) {
+	e := New(1)
+	p := e.Spawn("long", func(p *Proc) { p.Compute(time.Hour) })
+	if err := e.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Time advanced to the deadline; the proc is still mid-compute.
+	if got := e.Since(time.Unix(0, 0).UTC()); got != 10*time.Second {
+		t.Fatalf("now = %v", got)
+	}
+	if p.Finished() {
+		t.Fatal("proc must still be computing")
+	}
+	if p.CPUUsed() != 10*time.Second {
+		t.Fatalf("CPUUsed = %v", p.CPUUsed())
+	}
+}
+
+func TestRunForEmptyReturns(t *testing.T) {
+	e := New(0)
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if e.Since(time.Unix(0, 0).UTC()) != 0 {
+		t.Fatal("empty RunFor must not advance time")
+	}
+}
+
+// Property: CPU accounting is conserved — the engine's TotalCPU equals
+// the sum of per-process CPUUsed, for arbitrary workloads and kills.
+func TestCPUConservation(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(1 + rng.Intn(4))
+		var procs []*Proc
+		n := 2 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			demand := time.Duration(1+rng.Intn(20)) * time.Second
+			idle := time.Duration(rng.Intn(5)) * time.Second
+			procs = append(procs, e.Spawn("w", func(p *Proc) {
+				p.Sleep(idle)
+				p.Compute(demand)
+			}))
+		}
+		if rng.Intn(2) == 0 && n > 2 {
+			victim := procs[rng.Intn(n)]
+			e.Spawn("killer", func(p *Proc) {
+				p.Sleep(time.Duration(1+rng.Intn(10)) * time.Second)
+				p.Kill(victim)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var sum time.Duration
+		for _, p := range procs {
+			sum += p.CPUUsed()
+		}
+		diff := e.TotalCPU() - sum
+		if diff < 0 {
+			diff = -diff
+		}
+		// Rounding of per-process shares may differ from the bulk
+		// accounting by a few ns per event.
+		if diff > time.Microsecond {
+			t.Fatalf("seed %d: TotalCPU %v != Σ CPUUsed %v", seed, e.TotalCPU(), sum)
+		}
+	}
+}

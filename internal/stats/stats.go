@@ -1,0 +1,180 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness reports: mean, variance, min/max, and percentiles.
+//
+// The paper's §4.3 observes that the benefit of racing alternatives "is
+// well-encapsulated by such a statistical measure of dispersion ... as
+// the variance", so dispersion measures are first-class here.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrEmpty is returned by operations that need at least one sample.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Sample accumulates float64 observations using Welford's online
+// algorithm, so mean and variance are numerically stable even for long
+// runs. The zero value is an empty sample.
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	vals []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	s.vals = append(s.vals, x)
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than
+// two observations.
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(p float64) (float64, error) {
+	if s.n == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := make([]float64, len(s.vals))
+	copy(sorted, s.vals)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// Summary is a point-in-time snapshot of a Sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	Variance float64
+	Min      float64
+	Max      float64
+	P50      float64
+	P95      float64
+	P99      float64
+}
+
+// Summarize snapshots the sample. An empty sample yields a zero Summary.
+func (s *Sample) Summarize() Summary {
+	out := Summary{
+		N:        s.n,
+		Mean:     s.Mean(),
+		StdDev:   s.StdDev(),
+		Variance: s.Variance(),
+		Min:      s.min,
+		Max:      s.max,
+	}
+	if s.n > 0 {
+		sorted := make([]float64, len(s.vals))
+		copy(sorted, s.vals)
+		sort.Float64s(sorted)
+		out.P50 = percentileSorted(sorted, 50)
+		out.P95 = percentileSorted(sorted, 95)
+		out.P99 = percentileSorted(sorted, 99)
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or an error if xs is empty.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// MeanDuration returns the arithmetic mean of ds, or an error if ds is
+// empty.
+func MeanDuration(ds []time.Duration) (time.Duration, error) {
+	if len(ds) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds)), nil
+}
+
+// MinDuration returns the smallest of ds, or an error if ds is empty.
+func MinDuration(ds []time.Duration) (time.Duration, error) {
+	if len(ds) == 0 {
+		return 0, ErrEmpty
+	}
+	minD := ds[0]
+	for _, d := range ds[1:] {
+		if d < minD {
+			minD = d
+		}
+	}
+	return minD, nil
+}

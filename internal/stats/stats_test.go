@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if !approx(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	if _, err := s.Percentile(50); err != ErrEmpty {
+		t.Fatalf("Percentile on empty sample: err = %v, want ErrEmpty", err)
+	}
+	sum := s.Summarize()
+	if sum.N != 0 || sum.Mean != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Variance() != 0 {
+		t.Errorf("single-sample variance = %v, want 0", s.Variance())
+	}
+	p, err := s.Percentile(99)
+	if err != nil || p != 3.5 {
+		t.Errorf("Percentile = %v, %v; want 3.5, nil", p, err)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 100}, {50, 50.5},
+	}
+	for _, tt := range tests {
+		got, err := s.Percentile(tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !approx(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5, 3, 7} {
+		s.Add(x)
+	}
+	sum := s.Summarize()
+	if sum.Min != 1 || sum.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", sum.Min, sum.Max)
+	}
+	if sum.P50 != 5 {
+		t.Errorf("P50 = %v, want 5", sum.P50)
+	}
+	if sum.P95 > sum.Max || sum.P50 > sum.P95 {
+		t.Errorf("percentiles out of order: %+v", sum)
+	}
+}
+
+// Property: Welford mean matches the naive mean, and min <= mean <= max.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range clean {
+			s.Add(x)
+		}
+		naive, err := Mean(clean)
+		if err != nil {
+			return false
+		}
+		scale := 1.0
+		if math.Abs(naive) > 1 {
+			scale = math.Abs(naive)
+		}
+		return approx(s.Mean(), naive, 1e-6*scale) &&
+			s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is non-negative and zero for constant samples.
+func TestVarianceProperties(t *testing.T) {
+	f := func(x float64, n uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		var s Sample
+		for i := 0; i < int(n%20)+2; i++ {
+			s.Add(x)
+		}
+		return s.Variance() >= 0 && approx(s.Variance(), 0, math.Abs(x)*1e-9+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	ds := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	m, err := MeanDuration(ds)
+	if err != nil || m != 20*time.Millisecond {
+		t.Errorf("MeanDuration = %v, %v", m, err)
+	}
+	mn, err := MinDuration(ds)
+	if err != nil || mn != 10*time.Millisecond {
+		t.Errorf("MinDuration = %v, %v", mn, err)
+	}
+	if _, err := MeanDuration(nil); err != ErrEmpty {
+		t.Errorf("MeanDuration(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := MinDuration(nil); err != ErrEmpty {
+		t.Errorf("MinDuration(nil) err = %v, want ErrEmpty", err)
+	}
+	var s Sample
+	s.AddDuration(2 * time.Second)
+	if s.Mean() != 2 {
+		t.Errorf("AddDuration mean = %v, want 2", s.Mean())
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace records structured runtime events. The experiment
+// harness uses it to count overhead contributors (spawns, page copies,
+// eliminations, message-layer decisions) that the paper's §4 analysis
+// decomposes into setup, runtime, and selection overhead.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"altrun/internal/ids"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, covering the lifecycle the paper describes in §3.
+const (
+	KindSpawn Kind = iota + 1
+	KindGuardPass
+	KindGuardFail
+	KindCommit
+	KindTooLate
+	KindEliminate
+	KindBlockFail
+	KindTimeout
+	KindPageCopy
+	KindMsgSend
+	KindMsgAccept
+	KindMsgIgnore
+	KindMsgSplit
+	KindWorldSplit
+	KindContradiction
+	KindSourceBlocked
+	KindSourceOp
+	KindCheckpoint
+	KindRestore
+	KindVote
+)
+
+var kindNames = map[Kind]string{
+	KindSpawn:         "spawn",
+	KindGuardPass:     "guard-pass",
+	KindGuardFail:     "guard-fail",
+	KindCommit:        "commit",
+	KindTooLate:       "too-late",
+	KindEliminate:     "eliminate",
+	KindBlockFail:     "block-fail",
+	KindTimeout:       "timeout",
+	KindPageCopy:      "page-copy",
+	KindMsgSend:       "msg-send",
+	KindMsgAccept:     "msg-accept",
+	KindMsgIgnore:     "msg-ignore",
+	KindMsgSplit:      "msg-split",
+	KindWorldSplit:    "world-split",
+	KindContradiction: "contradiction",
+	KindSourceBlocked: "source-blocked",
+	KindSourceOp:      "source-op",
+	KindCheckpoint:    "checkpoint",
+	KindRestore:       "restore",
+	KindVote:          "vote",
+}
+
+// String renders the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Time   time.Time
+	Kind   Kind
+	PID    ids.PID
+	Detail string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s %v %s", e.Time.Format("15:04:05.000000"), e.Kind, e.PID, e.Detail)
+}
+
+// Log is an append-only event log, safe for concurrent use. A nil *Log
+// is valid and discards everything, so tracing can be disabled without
+// branches at call sites.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Add appends an event. No-op on a nil log.
+func (l *Log) Add(t time.Time, kind Kind, pid ids.PID, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Time: t, Kind: kind, PID: pid, Detail: detail})
+}
+
+// Addf appends an event with a formatted detail string.
+func (l *Log) Addf(t time.Time, kind Kind, pid ids.PID, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Add(t, kind, pid, fmt.Sprintf(format, args...))
+}
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count returns how many events of the given kind were recorded.
+func (l *Log) Count(kind Kind) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the total number of events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset discards all events.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+}
+
+// Dump renders the whole log, one event per line.
+func (l *Log) Dump() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"altrun/internal/ids"
+)
+
+func TestAddAndCount(t *testing.T) {
+	l := NewLog()
+	now := time.Unix(0, 0)
+	l.Add(now, KindSpawn, ids.PID(1), "child 1")
+	l.Add(now, KindSpawn, ids.PID(2), "child 2")
+	l.Add(now, KindCommit, ids.PID(1), "won")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Count(KindSpawn) != 2 || l.Count(KindCommit) != 1 || l.Count(KindTooLate) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(time.Now(), KindSpawn, ids.PID(1), "x")
+	l.Addf(time.Now(), KindSpawn, ids.PID(1), "x %d", 1)
+	if l.Len() != 0 || l.Count(KindSpawn) != 0 || l.Events() != nil {
+		t.Fatal("nil log must discard")
+	}
+	l.Reset()
+}
+
+func TestAddf(t *testing.T) {
+	l := NewLog()
+	l.Addf(time.Unix(5, 0), KindMsgSplit, ids.PID(7), "into %d worlds", 2)
+	evs := l.Events()
+	if len(evs) != 1 || evs[0].Detail != "into 2 worlds" {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestEventsIsCopy(t *testing.T) {
+	l := NewLog()
+	l.Add(time.Unix(0, 0), KindSpawn, ids.PID(1), "a")
+	evs := l.Events()
+	evs[0].Detail = "mutated"
+	if l.Events()[0].Detail != "a" {
+		t.Fatal("Events must return a copy")
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLog()
+	l.Add(time.Unix(0, 0), KindSpawn, ids.PID(1), "a")
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset must clear")
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	l := NewLog()
+	l.Add(time.Unix(0, 0).UTC(), KindEliminate, ids.PID(3), "sibling of winner")
+	d := l.Dump()
+	if !strings.Contains(d, "eliminate") || !strings.Contains(d, "p3") {
+		t.Fatalf("Dump = %q", d)
+	}
+	if Kind(999).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+	for k := KindSpawn; k <= KindVote; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Add(time.Now(), KindMsgSend, ids.PID(1), "m")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", l.Len())
+	}
+}

@@ -1,0 +1,313 @@
+// Package workload generates the synthetic computations the experiment
+// harness races: execution-time distributions (the paper's motivation
+// is problems "where the required execution time is unpredictable, such
+// as database queries", §1), the §4.2 sorting example, and a simulated
+// query workload with a hidden parameter that makes plan choice
+// unpredictable.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist is a distribution of execution times.
+type Dist interface {
+	// Sample draws one execution time.
+	Sample(rng *rand.Rand) time.Duration
+	// Mean returns the distribution's expectation.
+	Mean() time.Duration
+	// Name labels the distribution in experiment output.
+	Name() string
+}
+
+// Constant is a degenerate distribution — the paper's worst case for
+// racing (table row 3: identical alternatives always lose).
+type Constant time.Duration
+
+var _ Dist = Constant(0)
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) time.Duration { return time.Duration(c) }
+
+// Mean implements Dist.
+func (c Constant) Mean() time.Duration { return time.Duration(c) }
+
+// Name implements Dist.
+func (c Constant) Name() string { return fmt.Sprintf("constant(%v)", time.Duration(c)) }
+
+// Uniform is uniform on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi time.Duration
+}
+
+var _ Dist = Uniform{}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(rng.Int63n(int64(u.Hi-u.Lo)))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() time.Duration { return (u.Lo + u.Hi) / 2 }
+
+// Name implements Dist.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%v,%v)", u.Lo, u.Hi) }
+
+// Exponential has the given mean — the memoryless "unpredictable query"
+// model.
+type Exponential struct {
+	M time.Duration
+}
+
+var _ Dist = Exponential{}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e.M))
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return e.M }
+
+// Name implements Dist.
+func (e Exponential) Name() string { return fmt.Sprintf("exponential(%v)", e.M) }
+
+// Pareto is a heavy-tailed distribution (shape Alpha > 1, scale Xm),
+// capped at Cap to keep simulations bounded. Heavy tails are where
+// racing shines: the mean is dragged far above the minimum.
+type Pareto struct {
+	Alpha float64
+	Xm    time.Duration
+	Cap   time.Duration
+}
+
+var _ Dist = Pareto{}
+
+// Sample implements Dist.
+func (p Pareto) Sample(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	x := float64(p.Xm) / math.Pow(u, 1/p.Alpha)
+	d := time.Duration(x)
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// Mean implements Dist. For Alpha <= 1 the uncapped mean diverges; the
+// capped expectation is approximated by the cap.
+func (p Pareto) Mean() time.Duration {
+	if p.Alpha <= 1 {
+		return p.Cap
+	}
+	return time.Duration(p.Alpha / (p.Alpha - 1) * float64(p.Xm))
+}
+
+// Name implements Dist.
+func (p Pareto) Name() string { return fmt.Sprintf("pareto(α=%.1f,xm=%v)", p.Alpha, p.Xm) }
+
+// CostVector draws n independent alternative costs from d.
+func CostVector(d Dist, n int, rng *rand.Rand) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// The §4.2 sorting example: "consider the case of two list-sorting
+// algorithms, Q and I. Q is faster than I when the number of elements
+// to be sorted is greater than 10" — and "a naive quicksort is not
+// stable, and where the list is ordered the sort is slow."
+// ---------------------------------------------------------------------
+
+// NaiveQuicksort sorts in place using a first-element pivot: O(n log n)
+// on random input, O(n²) on sorted or reversed input. It returns the
+// number of comparisons, the engine's abstract work unit.
+func NaiveQuicksort(xs []int) int64 {
+	var comps int64
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		pivot := xs[lo]
+		i := lo + 1
+		for j := lo + 1; j < hi; j++ {
+			comps++
+			if xs[j] < pivot {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+			}
+		}
+		xs[lo], xs[i-1] = xs[i-1], xs[lo]
+		rec(lo, i-1)
+		rec(i, hi)
+	}
+	rec(0, len(xs))
+	return comps
+}
+
+// Heapsort sorts in place with guaranteed O(n log n) comparisons — the
+// "stable performance" alternative. Returns comparisons.
+func Heapsort(xs []int) int64 {
+	var comps int64
+	n := len(xs)
+	siftDown := func(start, end int) {
+		root := start
+		for {
+			child := 2*root + 1
+			if child > end {
+				return
+			}
+			if child+1 <= end {
+				comps++
+				if xs[child] < xs[child+1] {
+					child++
+				}
+			}
+			comps++
+			if xs[root] < xs[child] {
+				xs[root], xs[child] = xs[child], xs[root]
+				root = child
+			} else {
+				return
+			}
+		}
+	}
+	for start := n/2 - 1; start >= 0; start-- {
+		siftDown(start, n-1)
+	}
+	for end := n - 1; end > 0; end-- {
+		xs[0], xs[end] = xs[end], xs[0]
+		siftDown(0, end-1)
+	}
+	return comps
+}
+
+// InsertionSort sorts in place: O(n) on nearly-sorted input, O(n²) in
+// general — the paper's I, superior for small n. Returns comparisons.
+func InsertionSort(xs []int) int64 {
+	var comps int64
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 {
+			comps++
+			if xs[j] <= v {
+				break
+			}
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+	return comps
+}
+
+// IsSorted reports whether xs is ascending.
+func IsSorted(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomList returns a shuffled list of n ints.
+func RandomList(n int, rng *rand.Rand) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	return xs
+}
+
+// SortedList returns 0..n-1.
+func SortedList(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// ReversedList returns n-1..0.
+func ReversedList(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = n - 1 - i
+	}
+	return xs
+}
+
+// NearlySorted returns 0..n-1 with `swaps` random adjacent swaps.
+func NearlySorted(n, swaps int, rng *rand.Rand) []int {
+	xs := SortedList(n)
+	for s := 0; s < swaps && n > 1; s++ {
+		i := rng.Intn(n - 1)
+		xs[i], xs[i+1] = xs[i+1], xs[i]
+	}
+	return xs
+}
+
+// ---------------------------------------------------------------------
+// Simulated database queries: two plans whose relative cost depends on
+// a hidden selectivity the optimizer cannot see — the intro's
+// motivating case of unpredictable execution time.
+// ---------------------------------------------------------------------
+
+// Query is one simulated query: Selectivity is hidden from the planner.
+type Query struct {
+	// Selectivity is the fraction of rows matching (0..1).
+	Selectivity float64
+	// Rows is the table size.
+	Rows int
+}
+
+// QueryCosts returns the execution times of the two plans on q: an
+// index scan (cheap at low selectivity, with a per-matching-row cost)
+// and a sequential scan (flat cost proportional to the table).
+func QueryCosts(q Query, perRowIndex, perRowScan time.Duration) (indexScan, seqScan time.Duration) {
+	matching := float64(q.Rows) * q.Selectivity
+	indexScan = time.Duration(matching*4) * perRowIndex // random I/O amplification
+	seqScan = time.Duration(q.Rows) * perRowScan
+	return indexScan, seqScan
+}
+
+// QueryGen draws queries with Beta-ish bimodal selectivity so neither
+// plan dominates.
+type QueryGen struct {
+	Rows int
+	rng  *rand.Rand
+}
+
+// NewQueryGen returns a generator over tables of the given size.
+func NewQueryGen(rows int, seed int64) *QueryGen {
+	return &QueryGen{Rows: rows, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws a query: half the workload is highly selective (index
+// wins), half touches most of the table (scan wins), so no static
+// choice is right.
+func (g *QueryGen) Next() Query {
+	var sel float64
+	if g.rng.Intn(2) == 0 {
+		sel = g.rng.Float64() * 0.05 // point-ish lookup
+	} else {
+		sel = 0.3 + g.rng.Float64()*0.7 // analytical sweep
+	}
+	return Query{Selectivity: sel, Rows: g.Rows}
+}

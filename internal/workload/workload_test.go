@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestConstant(t *testing.T) {
+	c := Constant(5 * time.Second)
+	if c.Sample(rng(1)) != 5*time.Second || c.Mean() != 5*time.Second {
+		t.Fatal("constant must be constant")
+	}
+	if c.Name() == "" {
+		t.Fatal("name empty")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := Uniform{Lo: time.Second, Hi: 3 * time.Second}
+	r := rng(2)
+	for i := 0; i < 1000; i++ {
+		s := u.Sample(r)
+		if s < u.Lo || s > u.Hi {
+			t.Fatalf("sample %v out of [%v,%v]", s, u.Lo, u.Hi)
+		}
+	}
+	if u.Mean() != 2*time.Second {
+		t.Fatalf("mean = %v", u.Mean())
+	}
+	// Degenerate bounds.
+	bad := Uniform{Lo: time.Second, Hi: time.Second}
+	if bad.Sample(r) != time.Second {
+		t.Fatal("degenerate uniform must return Lo")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := Exponential{M: time.Second}
+	r := rng(3)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(r)
+	}
+	got := sum / n
+	if got < 900*time.Millisecond || got > 1100*time.Millisecond {
+		t.Fatalf("empirical mean = %v, want ≈1s", got)
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	p := Pareto{Alpha: 1.2, Xm: time.Second, Cap: time.Hour}
+	r := rng(4)
+	var max, sum time.Duration
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s := p.Sample(r)
+		if s < p.Xm || s > p.Cap {
+			t.Fatalf("sample %v out of bounds", s)
+		}
+		if s > max {
+			max = s
+		}
+		sum += s
+	}
+	mean := sum / n
+	// Heavy tail: the max dwarfs the mean, the mean dwarfs the minimum.
+	if max < 10*mean {
+		t.Fatalf("tail too light: max=%v mean=%v", max, mean)
+	}
+	if mean < 2*p.Xm {
+		t.Fatalf("mean %v too close to xm", mean)
+	}
+	if (Pareto{Alpha: 0.9, Xm: time.Second, Cap: time.Minute}).Mean() != time.Minute {
+		t.Fatal("diverging mean must report cap")
+	}
+}
+
+func TestCostVector(t *testing.T) {
+	v := CostVector(Constant(time.Second), 5, rng(1))
+	if len(v) != 5 {
+		t.Fatalf("len = %d", len(v))
+	}
+	for _, d := range v {
+		if d != time.Second {
+			t.Fatal("wrong sample")
+		}
+	}
+}
+
+func TestSortersSortCorrectly(t *testing.T) {
+	inputs := map[string]func() []int{
+		"random":   func() []int { return RandomList(500, rng(7)) },
+		"sorted":   func() []int { return SortedList(500) },
+		"reversed": func() []int { return ReversedList(500) },
+		"nearly":   func() []int { return NearlySorted(500, 10, rng(8)) },
+		"empty":    func() []int { return nil },
+		"single":   func() []int { return []int{42} },
+	}
+	sorters := map[string]func([]int) int64{
+		"quicksort": NaiveQuicksort,
+		"heapsort":  Heapsort,
+		"insertion": InsertionSort,
+	}
+	for iname, gen := range inputs {
+		for sname, sorter := range sorters {
+			xs := gen()
+			sorter(xs)
+			if !IsSorted(xs) {
+				t.Errorf("%s on %s input did not sort", sname, iname)
+			}
+		}
+	}
+}
+
+func TestQuicksortPathology(t *testing.T) {
+	// The paper's point: naive quicksort is slow exactly on sorted
+	// input, where insertion sort is linear.
+	n := 2000
+	qSorted := NaiveQuicksort(SortedList(n))
+	qRandom := NaiveQuicksort(RandomList(n, rng(9)))
+	iSorted := InsertionSort(SortedList(n))
+	if qSorted < 5*qRandom {
+		t.Fatalf("quicksort on sorted (%d comps) should dwarf random (%d)", qSorted, qRandom)
+	}
+	if iSorted >= int64(2*n) {
+		t.Fatalf("insertion on sorted = %d comps, want ~n", iSorted)
+	}
+	if qSorted < 50*iSorted {
+		t.Fatalf("dispersion too small: q=%d i=%d", qSorted, iSorted)
+	}
+}
+
+func TestHeapsortStablePerformance(t *testing.T) {
+	n := 2000
+	hSorted := Heapsort(SortedList(n))
+	hRandom := Heapsort(RandomList(n, rng(10)))
+	hReversed := Heapsort(ReversedList(n))
+	// All within a small constant factor of each other.
+	minC, maxC := hSorted, hSorted
+	for _, c := range []int64{hRandom, hReversed} {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC > 2*minC {
+		t.Fatalf("heapsort spread too wide: %d..%d", minC, maxC)
+	}
+}
+
+// Property: all three sorters agree with each other on arbitrary input.
+func TestSortersAgree(t *testing.T) {
+	f := func(xs []int) bool {
+		a := append([]int(nil), xs...)
+		b := append([]int(nil), xs...)
+		c := append([]int(nil), xs...)
+		NaiveQuicksort(a)
+		Heapsort(b)
+		InsertionSort(c)
+		if !IsSorted(a) || !IsSorted(b) || !IsSorted(c) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] || b[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryCostsCrossOver(t *testing.T) {
+	perIdx, perScan := time.Microsecond, time.Microsecond
+	low := Query{Selectivity: 0.01, Rows: 100000}
+	high := Query{Selectivity: 0.9, Rows: 100000}
+	li, ls := QueryCosts(low, perIdx, perScan)
+	hi, hs := QueryCosts(high, perIdx, perScan)
+	if li >= ls {
+		t.Fatalf("index must win at low selectivity: idx=%v scan=%v", li, ls)
+	}
+	if hi <= hs {
+		t.Fatalf("scan must win at high selectivity: idx=%v scan=%v", hi, hs)
+	}
+}
+
+func TestQueryGenBimodal(t *testing.T) {
+	g := NewQueryGen(100000, 11)
+	lowSel, highSel := 0, 0
+	for i := 0; i < 1000; i++ {
+		q := g.Next()
+		if q.Selectivity < 0 || q.Selectivity > 1 {
+			t.Fatalf("selectivity %v out of range", q.Selectivity)
+		}
+		if q.Selectivity < 0.05 {
+			lowSel++
+		}
+		if q.Selectivity > 0.3 {
+			highSel++
+		}
+	}
+	if lowSel < 300 || highSel < 300 {
+		t.Fatalf("workload not bimodal: low=%d high=%d", lowSel, highSel)
+	}
+}
+
+func TestListGenerators(t *testing.T) {
+	if !IsSorted(SortedList(10)) {
+		t.Fatal("SortedList not sorted")
+	}
+	if IsSorted(ReversedList(10)) {
+		t.Fatal("ReversedList sorted")
+	}
+	near := NearlySorted(100, 3, rng(12))
+	if len(near) != 100 {
+		t.Fatal("NearlySorted length")
+	}
+	r1 := RandomList(50, rng(13))
+	r2 := RandomList(50, rng(13))
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("RandomList must be deterministic per seed")
+		}
+	}
+	if len(NearlySorted(1, 5, rng(14))) != 1 {
+		t.Fatal("NearlySorted n=1")
+	}
+}
