@@ -95,6 +95,11 @@ func ProfileHP9000() MachineProfile { return sim.ProfileHP9000() }
 // with the given CPU count.
 func ProfileSharedMemory(cpus int) MachineProfile { return sim.ProfileSharedMemory(cpus) }
 
+// ProfileModern models a machine with layered (persistent) page tables:
+// O(1) fork regardless of address-space size, memory-bandwidth page
+// copies.
+func ProfileModern(cpus int) MachineProfile { return sim.ProfileModern(cpus) }
+
 // Replicate expands each alternative into k identical replicas racing
 // in the same block — the paper's §6 extension combining transparent
 // replication (for reliability) with alternative racing (for speed): a

@@ -6,6 +6,7 @@
 //	altbench             # run everything
 //	altbench -run e3,e4  # run a subset
 //	altbench -list       # list experiments
+//	altbench membench    # real COW microbenchmarks → BENCH_mem.json
 //
 // All experiments run in the deterministic simulator; output is
 // reproducible across machines.
@@ -63,6 +64,13 @@ func wrap[T interface{ Format() string }](f func() (T, error)) func() (string, e
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "membench" {
+		if err := runMembench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "altbench membench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	run := flag.String("run", "all", "comma-separated experiment ids (e1..e14) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"altrun/internal/page"
+)
+
+// membench runs the real (not simulated) COW microbenchmarks against
+// internal/page and emits machine-readable results. It backs the
+// before/after numbers in EXPERIMENTS.md: fork cost vs address-space
+// size (the paper's §4.4 table measured on the layered design), the
+// steady-state write-fault cost, and the clone/commit churn of a full
+// alternative-block lifecycle.
+//
+// Usage: altbench membench [-o BENCH_mem.json]
+
+const membenchPageSize = 4096
+
+// memBenchResult is one benchmark measurement in the JSON output.
+type memBenchResult struct {
+	Name        string  `json:"name"`
+	Pages       int     `json:"pages,omitempty"`
+	Bytes       int     `json:"bytes,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// memBenchReport is the BENCH_mem.json document.
+type memBenchReport struct {
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	PageSize  int              `json:"page_size"`
+	Results   []memBenchResult `json:"results"`
+}
+
+// fillTable materializes `pages` fresh pages in a new table.
+func fillTable(s *page.Store, pages int) (*page.Table, error) {
+	t := s.NewTable()
+	for n := 0; n < pages; n++ {
+		if _, err := t.Write(int64(n)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// benchForkScaling measures Clone+Release of a table of the given size.
+// On the layered design this must be flat in `pages`.
+func benchForkScaling(pages int) (testing.BenchmarkResult, error) {
+	s := page.NewStore(membenchPageSize)
+	parent, err := fillTable(s, pages)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := parent.Clone()
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			c.Release()
+		}
+	})
+	return res, benchErr
+}
+
+// benchWriteFault measures the steady-state COW fault: a child sweeps
+// writes across a shared 1024-page parent, re-cloning each sweep so
+// released buffers feed the pool.
+func benchWriteFault() (testing.BenchmarkResult, error) {
+	const pages = 1024
+	s := page.NewStore(membenchPageSize)
+	parent, err := fillTable(s, pages)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		child, err := parent.Clone()
+		if err != nil {
+			benchErr = err
+			b.FailNow()
+		}
+		for i := 0; i < b.N; i++ {
+			if i%pages == 0 && i > 0 {
+				child.Release()
+				if child, err = parent.Clone(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+			if _, err := child.Write(int64(i % pages)); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+		child.Release()
+	})
+	return res, benchErr
+}
+
+// benchCloneCommitChurn measures a whole block lifecycle: fork, a few
+// writes, commit (Swap), release — the page-table work RunAlt does per
+// alternative block.
+func benchCloneCommitChurn() (testing.BenchmarkResult, error) {
+	const pages = 64
+	s := page.NewStore(membenchPageSize)
+	parent, err := fillTable(s, pages)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			child, err := parent.Clone()
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			for w := 0; w < 4; w++ {
+				if _, err := child.Write(int64((i*4 + w) % pages)); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+			if err := parent.Swap(child); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			child.Release()
+		}
+	})
+	return res, benchErr
+}
+
+func toResult(name string, pages int, r testing.BenchmarkResult) memBenchResult {
+	return memBenchResult{
+		Name:        name,
+		Pages:       pages,
+		Bytes:       pages * membenchPageSize,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runMembench is the `altbench membench` entry point.
+func runMembench(args []string) error {
+	fs := flag.NewFlagSet("membench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_mem.json", "output JSON path ('-' for stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var results []memBenchResult
+
+	fmt.Println("membench — real COW page-table microbenchmarks")
+	fmt.Printf("%-28s %12s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, kb := range []int{64, 256, 1024, 4096} {
+		pages := kb * 1024 / membenchPageSize
+		r, err := benchForkScaling(pages)
+		if err != nil {
+			return fmt.Errorf("fork-scaling %dKB: %w", kb, err)
+		}
+		res := toResult(fmt.Sprintf("ForkScaling/%dKB", kb), pages, r)
+		results = append(results, res)
+		fmt.Printf("%-28s %12.1f %12d %12d\n", res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	if r, err := benchWriteFault(); err != nil {
+		return fmt.Errorf("write-fault: %w", err)
+	} else {
+		res := toResult("WriteFault", 1024, r)
+		results = append(results, res)
+		fmt.Printf("%-28s %12.1f %12d %12d\n", res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	if r, err := benchCloneCommitChurn(); err != nil {
+		return fmt.Errorf("clone-commit-churn: %w", err)
+	} else {
+		res := toResult("CloneCommitChurn", 64, r)
+		results = append(results, res)
+		fmt.Printf("%-28s %12.1f %12d %12d\n", res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+
+	// Flat fork check: the headline claim is O(1) fork, so flag a
+	// regression right in the tool instead of leaving it to eyeballs.
+	small, large := results[0].NsPerOp, results[3].NsPerOp
+	if small > 0 {
+		ratio := large / small
+		verdict := "flat (O(1) fork)"
+		if ratio > 2 {
+			verdict = "NOT FLAT — fork scales with size"
+		}
+		fmt.Printf("\nfork 4MB/64KB ratio: %.2fx — %s\n", ratio, verdict)
+	}
+
+	report := memBenchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		PageSize:  membenchPageSize,
+		Results:   results,
+	}
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

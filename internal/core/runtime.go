@@ -142,6 +142,22 @@ func newRuntime(store *page.Store, traced bool) *Runtime {
 func (rt *Runtime) finishInit() {
 	rt.router = msg.NewRouter(rt.be.now, rt.log)
 	rt.console = device.NewConsole(rt.be.now, rt.log)
+	if rt.log != nil {
+		// Mirror page-store events into the trace so the layered-table
+		// behavior (faults, chain folds) is observable in experiment
+		// traces. Only wired when tracing: the hook sits on the fault
+		// path.
+		rt.store.SetHook(func(kind page.HookKind, pg int64) {
+			switch kind {
+			case page.HookAlloc:
+				rt.log.Addf(rt.be.now(), trace.KindPageFault, ids.None, "alloc page %d", pg)
+			case page.HookCopy:
+				rt.log.Addf(rt.be.now(), trace.KindPageFault, ids.None, "cow-copy page %d", pg)
+			case page.HookCompaction:
+				rt.log.Addf(rt.be.now(), trace.KindCompaction, ids.None, "folded %d layers", pg)
+			}
+		})
+	}
 }
 
 // Engine returns the simulation engine (nil in real mode).

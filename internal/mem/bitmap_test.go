@@ -1,0 +1,238 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+
+	"altrun/internal/page"
+)
+
+// Tests for the dirty bitmap and the one-entry page cache: Adopt /
+// ResetDirty interaction across an alternative block's lifecycle, the
+// E4 fraction-written endpoints, and cache invalidation at every point
+// where the table's sharing state changes under the space.
+
+func TestAdoptTransfersDirtyAccounting(t *testing.T) {
+	s := page.NewStore(64)
+	parent := New(s, 64*16)
+
+	// Pre-block state: the parent has its own dirty history.
+	if err := parent.WriteAt([]byte("pre"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if parent.DirtyPages() != 1 {
+		t.Fatalf("parent DirtyPages = %d, want 1", parent.DirtyPages())
+	}
+
+	// Block lifecycle: reset at block start, fork, the alternative
+	// writes, commit via Adopt.
+	parent.ResetDirty()
+	if parent.DirtyPages() != 0 {
+		t.Fatalf("DirtyPages = %d after ResetDirty, want 0", parent.DirtyPages())
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.DirtyPages() != 0 {
+		t.Fatalf("fresh fork DirtyPages = %d, want 0", child.DirtyPages())
+	}
+	for _, pn := range []int64{2, 5, 9} {
+		if err := child.WriteAt([]byte("alt"), pn*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if child.DirtyPages() != 3 {
+		t.Fatalf("child DirtyPages = %d, want 3", child.DirtyPages())
+	}
+	// Parent writes during the block do not leak into the child's
+	// accounting, and vice versa.
+	if err := parent.WriteAt([]byte("par"), 15*64); err != nil {
+		t.Fatal(err)
+	}
+	if child.DirtyPages() != 3 || parent.DirtyPages() != 1 {
+		t.Fatalf("DirtyPages child=%d parent=%d, want 3/1",
+			child.DirtyPages(), parent.DirtyPages())
+	}
+
+	if err := parent.Adopt(child); err != nil {
+		t.Fatal(err)
+	}
+	// Adopt hands the parent the block's state changes: the child's
+	// dirty set, not a union with the parent's pre-commit writes.
+	if parent.DirtyPages() != 3 {
+		t.Fatalf("post-Adopt DirtyPages = %d, want 3 (the block's writes)", parent.DirtyPages())
+	}
+
+	// Next block: ResetDirty starts clean again and new writes count
+	// from zero, exercising bitmap clear + repopulate across the swap.
+	parent.ResetDirty()
+	if parent.DirtyPages() != 0 {
+		t.Fatalf("DirtyPages = %d after second ResetDirty, want 0", parent.DirtyPages())
+	}
+	if err := parent.WriteAt([]byte("next"), 2*64); err != nil {
+		t.Fatal(err)
+	}
+	if parent.DirtyPages() != 1 {
+		t.Fatalf("DirtyPages = %d in next block, want 1", parent.DirtyPages())
+	}
+	// Content survived the whole dance.
+	got := make([]byte, 3)
+	if err := parent.ReadAt(got, 5*64); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("alt")) {
+		t.Fatalf("adopted page reads %q, want %q", got, "alt")
+	}
+}
+
+func TestFractionWrittenEndpoints(t *testing.T) {
+	// The E4 sweep's independent variable at its endpoints: 0% (no
+	// writes after fork) and 100% (every page written).
+	s := page.NewStore(64)
+	const pages = 70 // not a multiple of 64: exercises the bitmap tail word
+	a := New(s, 64*pages)
+	if got := a.FractionWritten(); got != 0 {
+		t.Fatalf("FractionWritten = %v on a fresh space, want 0", got)
+	}
+	for pn := int64(0); pn < pages; pn++ {
+		if err := a.WriteAt([]byte{1}, pn*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.FractionWritten(); got != 1 {
+		t.Fatalf("FractionWritten = %v with every page written, want 1", got)
+	}
+	// Rewrites must not over-count past 100%.
+	for pn := int64(0); pn < pages; pn++ {
+		if err := a.WriteAt([]byte{2}, pn*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, dp := a.FractionWritten(), a.DirtyPages(); got != 1 || dp != pages {
+		t.Fatalf("after rewrites FractionWritten=%v DirtyPages=%d, want 1/%d", got, dp, pages)
+	}
+	a.ResetDirty()
+	if got := a.FractionWritten(); got != 0 {
+		t.Fatalf("FractionWritten = %v after ResetDirty, want 0", got)
+	}
+}
+
+func TestForkInvalidatesWriteCache(t *testing.T) {
+	// Regression for the one-entry page cache: after Fork, the parent's
+	// cached writable buffer points at a now-shared page. Writing
+	// through it would bypass COW and corrupt the child.
+	s := page.NewStore(64)
+	parent := New(s, 64*4)
+	if err := parent.WriteAt([]byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.WriteAt([]byte("v2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if err := child.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("child reads %q after parent post-fork write, want %q (COW violated)", got, "v1")
+	}
+}
+
+func TestAdoptInvalidatesCaches(t *testing.T) {
+	// Both sides cache page 0, diverge, then Adopt swaps the tables
+	// out from under the caches. The parent must read the child's
+	// committed value, not its own stale buffer.
+	s := page.NewStore(64)
+	parent := New(s, 64*4)
+	if err := parent.WriteAt([]byte("old"), 0); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.WriteAt([]byte("new"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Re-prime the parent's cache on the same page post-fork.
+	if err := parent.WriteAt([]byte("old"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Adopt(child); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := parent.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("new")) {
+		t.Fatalf("parent reads %q after Adopt, want %q (stale page cache)", got, "new")
+	}
+	// And writes after Adopt land in the adopted table.
+	if err := parent.WriteAt([]byte("post"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("pos")) {
+		t.Fatalf("parent reads %q after post-Adopt write, want %q", got, "pos")
+	}
+}
+
+func TestReadCacheNeverServesWrites(t *testing.T) {
+	// A buffer cached by ReadAt is not writable: a later WriteAt to the
+	// same page must go through the table (COW fault), not scribble on
+	// the shared read buffer.
+	s := page.NewStore(64)
+	parent := New(s, 64*4)
+	if err := parent.WriteAt([]byte("aa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the child's cache with a read of the shared page...
+	got := make([]byte, 2)
+	if err := child.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	// ...then write it. The write must fault a private copy.
+	if err := child.WriteAt([]byte("bb"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("aa")) {
+		t.Fatalf("parent reads %q after child write, want %q (read cache served a write)", got, "aa")
+	}
+	if child.CopiedPages() != 1 {
+		t.Fatalf("child CopiedPages = %d, want 1", child.CopiedPages())
+	}
+}
+
+func TestWriteAtDoesNotAllocateSteadyState(t *testing.T) {
+	// The bitmap + cache exist so per-op dirty accounting is free: a
+	// steady-state write to an already-faulted page must not allocate.
+	s := page.NewStore(64)
+	a := New(s, 64*16)
+	buf := []byte("x")
+	if err := a.WriteAt(buf, 5*64); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := a.WriteAt(buf, 5*64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state WriteAt costs %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,107 @@
+package page
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The perf contract of the layered-table design (ISSUE 1):
+//
+//   - BenchmarkForkScaling: fork (Clone) cost must be flat — within a
+//     small constant — from 64 KB to 4 MB resident spaces.
+//   - BenchmarkWriteFault: a steady-state COW write fault must be
+//     allocation-free (pooled page buffers).
+//   - BenchmarkCloneCommitChurn: the fork → write → commit → release
+//     cycle of an alternative block must not accumulate garbage or
+//     degrade with generation count.
+//
+// Run with: go test -bench=. -benchmem ./internal/page
+
+// fillTable returns a table with `pages` resident pages.
+func fillTable(b *testing.B, s *Store, pages int) *Table {
+	b.Helper()
+	t := s.NewTable()
+	for n := 0; n < pages; n++ {
+		if _, err := t.Write(int64(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t
+}
+
+// BenchmarkForkScaling measures Clone cost against resident size. With
+// O(resident) page-map duplication this scales linearly; with layered
+// tables it must stay flat.
+func BenchmarkForkScaling(b *testing.B) {
+	for _, sizeKB := range []int{64, 256, 1024, 4096} {
+		pages := sizeKB << 10 / DefaultPageSize
+		b.Run(fmt.Sprintf("%dKB", sizeKB), func(b *testing.B) {
+			s := NewStore(DefaultPageSize)
+			parent := fillTable(b, s, pages)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				child, err := parent.Clone()
+				if err != nil {
+					b.Fatal(err)
+				}
+				child.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkWriteFault measures the steady-state COW write fault: a
+// child repeatedly faults shared parent pages, with a fresh fork every
+// sweep so released buffers can be recycled. With pooling the fault
+// path must be ~0 allocs/op.
+func BenchmarkWriteFault(b *testing.B) {
+	const pages = 1024
+	s := NewStore(DefaultPageSize)
+	parent := fillTable(b, s, pages)
+	child, err := parent.Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pn := int64(i % pages)
+		if pn == 0 && i > 0 {
+			child.Release()
+			if child, err = parent.Clone(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := child.Write(pn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCloneCommitChurn measures the block lifecycle the runtime
+// performs per RunAlt: fork a child, dirty a few pages, commit it back
+// (Swap), release the loser side. Generation count equals b.N, so any
+// per-generation degradation (chain growth without compaction, garbage
+// accumulation) shows up directly in ns/op and B/op.
+func BenchmarkCloneCommitChurn(b *testing.B) {
+	s := NewStore(DefaultPageSize)
+	parent := fillTable(b, s, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, err := parent.Clone()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n := int64(0); n < 4; n++ {
+			if _, err := child.Write(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := parent.Swap(child); err != nil {
+			b.Fatal(err)
+		}
+		child.Release()
+	}
+}

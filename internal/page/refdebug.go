@@ -1,0 +1,23 @@
+package page
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// refDebug enables the negative-refcount assertion. Off by default (the
+// check sits on the release hot path); tests flip it with
+// EnableRefDebug, and the pagedebug build tag turns it on everywhere.
+var refDebug atomic.Bool
+
+// EnableRefDebug toggles panicking when a layer reference count goes
+// negative — which would mean a double release and, with pooling, a
+// use-after-free. Test helper; also forced on by `-tags pagedebug`.
+func EnableRefDebug(on bool) { refDebug.Store(on) }
+
+// assertRefs validates a post-decrement reference count.
+func assertRefs(n int32) {
+	if n < 0 && refDebug.Load() {
+		panic(fmt.Sprintf("page: layer refcount went negative (%d): double release", n))
+	}
+}

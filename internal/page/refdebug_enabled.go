@@ -1,0 +1,7 @@
+//go:build pagedebug
+
+package page
+
+// Building with -tags pagedebug turns the refcount assertions on for
+// every store, not just tests that call EnableRefDebug.
+func init() { refDebug.Store(true) }

@@ -115,6 +115,28 @@ func ProfileHP9000() MachineProfile {
 	}
 }
 
+// ProfileModern models a machine whose kernel uses layered (persistent)
+// page tables, the design internal/page implements: fork cost is O(1) —
+// ForkPerPage is zero, so ForkCost is flat in the resident size — and
+// write faults are served from pooled buffers at memory bandwidth.
+// Contrast with the 1980s profiles above, whose fork walks the page map
+// (the paper's 31 ms / 12 ms for 320 KB).
+func ProfileModern(cpus int) MachineProfile {
+	return MachineProfile{
+		Name:              "modern-layered",
+		PageSize:          4096,
+		ForkBase:          30 * time.Microsecond,
+		ForkPerPage:       0,
+		PageCopy:          1 * time.Microsecond,
+		CommitPerSibling:  5 * time.Microsecond,
+		NetLatency:        50 * time.Microsecond,
+		NetPerByte:        1 * time.Nanosecond,
+		CheckpointPerByte: 2 * time.Nanosecond,
+		RestorePerByte:    1 * time.Nanosecond,
+		CPUs:              cpus,
+	}
+}
+
 // ProfileSharedMemory models an idealized shared-memory multiprocessor
 // of the HP's technology generation: same page costs but several CPUs,
 // which is the configuration the paper says its costs "should be

@@ -27,6 +27,8 @@ const (
 	KindBlockFail
 	KindTimeout
 	KindPageCopy
+	KindPageFault
+	KindCompaction
 	KindMsgSend
 	KindMsgAccept
 	KindMsgIgnore
@@ -50,6 +52,8 @@ var kindNames = map[Kind]string{
 	KindBlockFail:     "block-fail",
 	KindTimeout:       "timeout",
 	KindPageCopy:      "page-copy",
+	KindPageFault:     "page-fault",
+	KindCompaction:    "compaction",
 	KindMsgSend:       "msg-send",
 	KindMsgAccept:     "msg-accept",
 	KindMsgIgnore:     "msg-ignore",
