@@ -71,6 +71,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "selbench" {
+		if err := runSelbench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "altbench selbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	run := flag.String("run", "all", "comma-separated experiment ids (e1..e14) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

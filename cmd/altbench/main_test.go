@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -96,4 +97,40 @@ func itoa(n int) string {
 		return string(rune('0' + n))
 	}
 	return "1" + string(rune('0'+n-10))
+}
+
+// TestSelbenchQuick exercises the selection-overhead benchmark CLI end
+// to end in smoke mode and sanity-checks the report it writes.
+func TestSelbenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness in -short mode")
+	}
+	path := t.TempDir() + "/BENCH_sel.json"
+	out, err := captureStdout(t, func() error {
+		return runSelbench([]string{"-quick", "-o", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CommitLatency/live=10", "EliminationThroughput/live=100", "flat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("selbench output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep selBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Baseline) == 0 || len(rep.Results) == 0 {
+		t.Fatalf("report missing baseline or results: %+v", rep)
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("result %s/live=%d has non-positive ns/op", r.Name, r.LiveWorlds)
+		}
+	}
 }

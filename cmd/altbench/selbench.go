@@ -1,0 +1,275 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"altrun/internal/core"
+)
+
+// selbench runs the real (not simulated) selection-path benchmarks:
+// commit latency and sibling-elimination throughput of an alternative
+// block while an increasing population of unrelated live worlds is
+// registered. On the indexed-propagation design both must be flat in
+// the live-world count (commit work is O(affected set)); before it,
+// every resolution event scanned every live world, so both grew
+// linearly.
+//
+// Usage: altbench selbench [-quick] [-o BENCH_sel.json]
+
+// selBaselineCommit identifies the pre-index code the baseline numbers
+// in this file were measured at.
+const selBaselineCommit = "845ae50 (O(live-set) propagate, single-mutex registry)"
+
+// selBenchResult is one benchmark measurement in the JSON output.
+type selBenchResult struct {
+	Name        string  `json:"name"`
+	LiveWorlds  int     `json:"live_worlds"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	// EliminationsPerSec is set for the elimination-throughput rows.
+	EliminationsPerSec float64 `json:"eliminations_per_sec,omitempty"`
+}
+
+// selBenchReport is the BENCH_sel.json document.
+type selBenchReport struct {
+	Generated      string           `json:"generated"`
+	GoVersion      string           `json:"go_version"`
+	BaselineCommit string           `json:"baseline_commit"`
+	Baseline       []selBenchResult `json:"baseline"`
+	Results        []selBenchResult `json:"results"`
+	// SubscribersPerResolution is the mean affected-set size observed
+	// across the run — the quantity commit cost now scales with.
+	SubscribersPerResolution float64 `json:"subscribers_per_resolution"`
+	ShardContention          int64   `json:"registry_shard_contention"`
+}
+
+// selBaseline holds the pre-index numbers (same benchmark bodies, run
+// at selBaselineCommit on the same class of machine) so the report
+// always carries a before/after comparison.
+func selBaseline() []selBenchResult {
+	return []selBenchResult{
+		{Name: "CommitLatency", LiveWorlds: 10, NsPerOp: 213591},
+		{Name: "CommitLatency", LiveWorlds: 100, NsPerOp: 211270},
+		{Name: "CommitLatency", LiveWorlds: 1000, NsPerOp: 380903},
+		{Name: "CommitLatency", LiveWorlds: 10000, NsPerOp: 1687854},
+		{Name: "EliminationThroughput", LiveWorlds: 10, NsPerOp: 16456594, EliminationsPerSec: 3828},
+		{Name: "EliminationThroughput", LiveWorlds: 100, NsPerOp: 19041811, EliminationsPerSec: 3309},
+		{Name: "EliminationThroughput", LiveWorlds: 1000, NsPerOp: 17133681, EliminationsPerSec: 3677},
+		{Name: "EliminationThroughput", LiveWorlds: 10000, NsPerOp: 61804080, EliminationsPerSec: 1019},
+	}
+}
+
+// populateBystanders registers `live` root worlds that take no part in
+// any block: the registry population an unrelated commit must not pay
+// for.
+func populateBystanders(rt *core.Runtime, live int) error {
+	for i := 0; i < live; i++ {
+		if _, err := rt.NewRootWorld("bystander", 4096); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchCommitLatency measures one full two-alternative block (spawn,
+// race, commit, synchronous sibling elimination) with `live` unrelated
+// worlds registered.
+func benchCommitLatency(live int) (testing.BenchmarkResult, error) {
+	rt := core.New(core.Config{})
+	if err := populateBystanders(rt, live); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	root, err := rt.NewRootWorld("root", 64*1024)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := root.RunAlt(core.Options{SyncElimination: true},
+				core.Alt{Name: "fast", Body: func(w *core.World) error {
+					return w.WriteUint64(0, uint64(i))
+				}},
+				core.Alt{Name: "slow", Body: func(w *core.World) error {
+					w.Sleep(time.Second)
+					return nil
+				}},
+			)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// selElimWidth is the block width of the elimination benchmark: one
+// winner, selElimWidth-1 eliminated losers per block. Wide enough that
+// the elimination cascade dominates goroutine-scheduling noise.
+const selElimWidth = 64
+
+// benchEliminationThroughput measures a wide block where one
+// alternative wins immediately and the rest are eliminated, reporting
+// ns/block; eliminations/sec = (width-1)/(ns/block).
+func benchEliminationThroughput(live int) (testing.BenchmarkResult, error) {
+	const width = selElimWidth
+	rt := core.New(core.Config{})
+	if err := populateBystanders(rt, live); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	root, err := rt.NewRootWorld("root", 64*1024)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	alts := make([]core.Alt, width)
+	alts[0] = core.Alt{Name: "winner", Body: func(w *core.World) error { return nil }}
+	for i := 1; i < width; i++ {
+		alts[i] = core.Alt{Name: "loser", Body: func(w *core.World) error {
+			w.Sleep(time.Second)
+			return nil
+		}}
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := root.RunAlt(core.Options{SyncElimination: true}, alts...); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+func toSelResult(name string, live int, r testing.BenchmarkResult) selBenchResult {
+	return selBenchResult{
+		Name:        name,
+		LiveWorlds:  live,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runSelbench is the `altbench selbench` entry point.
+func runSelbench(args []string) error {
+	fs := flag.NewFlagSet("selbench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_sel.json", "output JSON path ('-' for stdout only)")
+	quick := fs.Bool("quick", false, "CI smoke mode: small world counts, one iteration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	counts := []int{10, 100, 1000, 10000}
+	if *quick {
+		counts = []int{10, 100}
+	}
+
+	var results []selBenchResult
+
+	fmt.Println("selbench — real selection-path benchmarks (commit latency, elimination throughput)")
+	fmt.Printf("%-32s %14s %12s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "B/op", "elim/s")
+	for _, live := range counts {
+		r, err := benchCommitLatency(live)
+		if err != nil {
+			return fmt.Errorf("commit-latency live=%d: %w", live, err)
+		}
+		res := toSelResult("CommitLatency", live, r)
+		results = append(results, res)
+		fmt.Printf("%-32s %14.1f %12d %12d %14s\n",
+			fmt.Sprintf("CommitLatency/live=%d", live), res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, "-")
+	}
+	for _, live := range counts {
+		r, err := benchEliminationThroughput(live)
+		if err != nil {
+			return fmt.Errorf("elimination live=%d: %w", live, err)
+		}
+		res := toSelResult("EliminationThroughput", live, r)
+		res.EliminationsPerSec = (selElimWidth - 1) / (res.NsPerOp / 1e9)
+		results = append(results, res)
+		fmt.Printf("%-32s %14.1f %12d %12d %14.0f\n",
+			fmt.Sprintf("EliminationThroughput/live=%d", live), res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.EliminationsPerSec)
+	}
+
+	// Selection counters from a dedicated traced run: the affected-set
+	// size per resolution is the quantity commit cost scales with.
+	subsPerRes, contention, err := measureSelCounters()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsubscribers visited per resolution: %.2f (affected set; live-set scan would be ≫)\n", subsPerRes)
+	fmt.Printf("registry shard contention events: %d\n", contention)
+
+	// Flat-commit check: the headline claim is O(affected-set)
+	// selection, so flag a regression right in the tool.
+	first, last := results[0].NsPerOp, results[len(counts)-1].NsPerOp
+	if first > 0 {
+		ratio := last / first
+		verdict := fmt.Sprintf("flat (O(affected-set) selection, %dx world growth)", counts[len(counts)-1]/counts[0])
+		if ratio > 2 {
+			verdict = "NOT FLAT — commit cost scales with the live set"
+		}
+		fmt.Printf("commit latency %d/%d worlds ratio: %.2fx — %s\n", counts[len(counts)-1], counts[0], ratio, verdict)
+	}
+
+	report := selBenchReport{
+		Generated:                time.Now().UTC().Format(time.RFC3339),
+		GoVersion:                runtime.Version(),
+		BaselineCommit:           selBaselineCommit,
+		Baseline:                 selBaseline(),
+		Results:                  results,
+		SubscribersPerResolution: subsPerRes,
+		ShardContention:          contention,
+	}
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// measureSelCounters runs a fixed workload (100 blocks of width 4 among
+// 1000 bystanders) and reads the runtime's selection counters.
+func measureSelCounters() (subsPerResolution float64, contention int64, err error) {
+	rt := core.New(core.Config{})
+	if err := populateBystanders(rt, 1000); err != nil {
+		return 0, 0, err
+	}
+	root, err := rt.NewRootWorld("root", 64*1024)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < 100; i++ {
+		alts := make([]core.Alt, 4)
+		for j := range alts {
+			alts[j] = core.Alt{Name: "alt", Body: func(w *core.World) error { return nil }}
+		}
+		if _, err := root.RunAlt(core.Options{SyncElimination: true}, alts...); err != nil {
+			return 0, 0, err
+		}
+	}
+	sel := rt.SelStats()
+	if sel.Resolutions == 0 {
+		return 0, sel.ShardContention, nil
+	}
+	return float64(sel.SubscribersVisited) / float64(sel.Resolutions), sel.ShardContention, nil
+}

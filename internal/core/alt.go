@@ -204,7 +204,13 @@ func (w *World) RunAlt(opts Options, alts ...Alt) (Result, error) {
 		})
 		cw.mu.Lock()
 		cw.handle = handle
+		dead := cw.terminated
 		cw.mu.Unlock()
+		if dead {
+			// Eliminated before the handle existed (an ancestor resolved
+			// against the block mid-spawn): cancel the body immediately.
+			handle.kill()
+		}
 	}
 
 	// Phase 4: alt_wait — the parent remains blocked while the

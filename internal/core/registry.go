@@ -1,0 +1,261 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"altrun/internal/ids"
+	"altrun/internal/trace"
+)
+
+// This file is the world registry behind Runtime: who is live, which
+// worlds care about which process fates, and where split receivers
+// forward to. The three structures exist to make *selection* — commit,
+// sibling elimination, predicate resolution (§3.2.1, §3.4.2) — scale
+// with the affected set instead of the live set:
+//
+//   - a sharded PID→World map (lock-striped; reads take one shard
+//     RLock, so unrelated commits don't serialize on one mutex);
+//   - a predicate-subscription index: assumed PID → the worlds whose
+//     predicate sets mention it. A resolution event visits exactly its
+//     subscribers; worlds with no stake in the resolved process are
+//     never touched. Subscriptions are established at registration
+//     (a world's assumption *universe* is fixed then — resolution only
+//     ever removes assumptions, §3.4.2) and torn down at
+//     unregistration or when the subject PID itself resolves;
+//   - a copy-on-write alias table for split receivers (§3.4.2): the
+//     reader path is a single atomic load, and a destination that
+//     never split pays nothing for the split machinery.
+
+// regShardCount is the number of registry shards. Power of two; 16 is
+// plenty to keep unrelated blocks off each other's locks without
+// bloating small runtimes.
+const regShardCount = 16
+
+// regShard is one lock stripe of the registry. Worlds and subscription
+// buckets are both sharded by PID — a world lives in the shard of its
+// own PID; a subscription bucket lives in the shard of the *assumed*
+// PID.
+type regShard struct {
+	mu     sync.RWMutex
+	worlds map[ids.PID]*World
+	// subs maps an assumed PID to the worlds whose predicate sets
+	// mention it. Bucket membership is a set (worlds subscribe once).
+	subs map[ids.PID]map[*World]struct{}
+}
+
+// aliasTable is an immutable snapshot of the split-receiver forwarding
+// map. Writers build a new table; readers load it atomically.
+type aliasTable struct {
+	m map[ids.PID][]ids.PID
+}
+
+// registry is the sharded world registry.
+type registry struct {
+	shards [regShardCount]regShard
+
+	aliasMu sync.Mutex                 // serializes alias writers
+	aliases atomic.Pointer[aliasTable] // nil until the first split
+
+	sel *trace.SelCounters
+}
+
+func newRegistry(sel *trace.SelCounters) *registry {
+	r := &registry{sel: sel}
+	for i := range r.shards {
+		r.shards[i].worlds = make(map[ids.PID]*World)
+		r.shards[i].subs = make(map[ids.PID]map[*World]struct{})
+	}
+	return r
+}
+
+// shardFor returns the shard owning pid. PIDs are dense small integers
+// from one generator, so the low bits alone stripe evenly.
+func (r *registry) shardFor(pid ids.PID) *regShard {
+	return &r.shards[uint64(pid)&(regShardCount-1)]
+}
+
+// rlock read-locks s, counting the acquisitions that found the shard
+// held (the contention the sharding exists to avoid).
+func (r *registry) rlock(s *regShard) {
+	if !s.mu.TryRLock() {
+		r.sel.ShardContention.Add(1)
+		s.mu.RLock()
+	}
+}
+
+// lock write-locks s with the same contention accounting.
+func (r *registry) lock(s *regShard) {
+	if !s.mu.TryLock() {
+		r.sel.ShardContention.Add(1)
+		s.mu.Lock()
+	}
+}
+
+// addWorld publishes w and subscribes it to every PID its predicate
+// set mentions. w.subPIDs must be fixed before the call (it is written
+// once, at registration, before the world is visible to anyone).
+func (r *registry) addWorld(w *World) {
+	s := r.shardFor(w.pid)
+	r.lock(s)
+	s.worlds[w.pid] = w
+	s.mu.Unlock()
+	for _, p := range w.subPIDs {
+		ss := r.shardFor(p)
+		r.lock(ss)
+		b := ss.subs[p]
+		if b == nil {
+			b = make(map[*World]struct{}, 2)
+			ss.subs[p] = b
+		}
+		b[w] = struct{}{}
+		ss.mu.Unlock()
+	}
+}
+
+// removeWorld unpublishes w and tears down its subscriptions. Buckets
+// already dropped (their PID resolved) are skipped silently.
+func (r *registry) removeWorld(w *World) {
+	s := r.shardFor(w.pid)
+	r.lock(s)
+	delete(s.worlds, w.pid)
+	s.mu.Unlock()
+	for _, p := range w.subPIDs {
+		ss := r.shardFor(p)
+		r.lock(ss)
+		if b, ok := ss.subs[p]; ok {
+			delete(b, w)
+			if len(b) == 0 {
+				delete(ss.subs, p)
+			}
+		}
+		ss.mu.Unlock()
+	}
+}
+
+// world returns the live world for pid, or nil.
+func (r *registry) world(pid ids.PID) *World {
+	s := r.shardFor(pid)
+	r.rlock(s)
+	w := s.worlds[pid]
+	s.mu.RUnlock()
+	return w
+}
+
+// appendSubscribers appends a snapshot of pid's subscription bucket —
+// the affected set of resolving pid — to buf and returns the extended
+// slice. With enough capacity in buf it does not allocate.
+func (r *registry) appendSubscribers(buf []*World, pid ids.PID) []*World {
+	s := r.shardFor(pid)
+	r.rlock(s)
+	for w := range s.subs[pid] {
+		buf = append(buf, w)
+	}
+	s.mu.RUnlock()
+	return buf
+}
+
+// dropBucket discards pid's subscription bucket. Called after pid's
+// fate has been resolved and propagated: a PID resolves at most once
+// (identifiers are never reused), so the bucket can never be consulted
+// again — surviving subscribers were Simplified and no longer mention
+// pid.
+func (r *registry) dropBucket(pid ids.PID) {
+	s := r.shardFor(pid)
+	r.lock(s)
+	delete(s.subs, pid)
+	s.mu.Unlock()
+}
+
+// snapshotWorlds returns all live worlds (diagnostic/test path; the
+// selection path never calls it).
+func (r *registry) snapshotWorlds() []*World {
+	var out []*World
+	for i := range r.shards {
+		s := &r.shards[i]
+		r.rlock(s)
+		for _, w := range s.worlds {
+			out = append(out, w)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// setAlias records that messages for orig should reach copies
+// (§3.4.2: "two copies of the receiver are created"). Copy-on-write:
+// readers keep the old snapshot until the new one is published.
+func (r *registry) setAlias(orig ids.PID, copies []ids.PID) {
+	r.aliasMu.Lock()
+	old := r.aliases.Load()
+	var next map[ids.PID][]ids.PID
+	if old == nil {
+		next = make(map[ids.PID][]ids.PID, 1)
+	} else {
+		next = make(map[ids.PID][]ids.PID, len(old.m)+1)
+		for k, v := range old.m {
+			next[k] = v
+		}
+	}
+	next[orig] = copies
+	r.aliases.Store(&aliasTable{m: next})
+	r.aliasMu.Unlock()
+}
+
+// aliasFor returns orig's direct alias targets, if any. Lock-free.
+func (r *registry) aliasFor(orig ids.PID) ([]ids.PID, bool) {
+	at := r.aliases.Load()
+	if at == nil {
+		return nil, false
+	}
+	c, ok := at.m[orig]
+	return c, ok
+}
+
+// hasAlias reports whether dest ever split. Lock-free; this is the
+// zero-cost guard in front of every send's alias walk.
+func (r *registry) hasAlias(dest ids.PID) bool {
+	at := r.aliases.Load()
+	if at == nil {
+		return false
+	}
+	_, ok := at.m[dest]
+	return ok
+}
+
+// appendAliasTargets walks the alias DAG from dest and appends the
+// currently-live transitive targets to buf. The caller has already
+// established hasAlias(dest); the walk reuses small stack buffers so
+// shallow split chains (the only kind splits produce) don't allocate.
+func (r *registry) appendAliasTargets(buf []ids.PID, dest ids.PID) []ids.PID {
+	at := r.aliases.Load()
+	if at == nil {
+		if r.world(dest) != nil {
+			return append(buf, dest)
+		}
+		return buf
+	}
+	var stackArr [8]ids.PID
+	var seenArr [16]ids.PID
+	stack := append(stackArr[:0], dest)
+	seen := seenArr[:0]
+walk:
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range seen {
+			if q == p {
+				continue walk
+			}
+		}
+		seen = append(seen, p)
+		if copies, ok := at.m[p]; ok {
+			stack = append(stack, copies...)
+			continue
+		}
+		if r.world(p) != nil {
+			buf = append(buf, p)
+		}
+	}
+	return buf
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"altrun/internal/ids"
+	"altrun/internal/proc"
+	"altrun/internal/trace"
+)
+
+// Unit tests for the sharded registry: the world map, the
+// predicate-subscription index, and the copy-on-write alias table.
+
+func newTestRegistry() *registry {
+	return newRegistry(&trace.SelCounters{})
+}
+
+func pidsOf(ws []*World) []ids.PID {
+	out := make([]ids.PID, len(ws))
+	for i, w := range ws {
+		out[i] = w.pid
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestRegistryAddRemoveWorld(t *testing.T) {
+	r := newTestRegistry()
+	// Spread worlds across every shard (PIDs 1..64 cover all 16 stripes
+	// four times over).
+	var ws []*World
+	for pid := ids.PID(1); pid <= 64; pid++ {
+		w := &World{pid: pid}
+		ws = append(ws, w)
+		r.addWorld(w)
+	}
+	for _, w := range ws {
+		if got := r.world(w.pid); got != w {
+			t.Fatalf("world(%v) = %p, want %p", w.pid, got, w)
+		}
+	}
+	if got := len(r.snapshotWorlds()); got != 64 {
+		t.Fatalf("snapshot has %d worlds, want 64", got)
+	}
+	for _, w := range ws[:32] {
+		r.removeWorld(w)
+	}
+	for _, w := range ws[:32] {
+		if r.world(w.pid) != nil {
+			t.Fatalf("world(%v) still present after remove", w.pid)
+		}
+	}
+	if got := len(r.snapshotWorlds()); got != 32 {
+		t.Fatalf("snapshot has %d worlds after removal, want 32", got)
+	}
+}
+
+func TestRegistrySubscriptionIndex(t *testing.T) {
+	r := newTestRegistry()
+	subject := ids.PID(100)
+	other := ids.PID(101)
+	a := &World{pid: 1, subPIDs: []ids.PID{subject}}
+	b := &World{pid: 2, subPIDs: []ids.PID{subject, other}}
+	c := &World{pid: 3, subPIDs: []ids.PID{other}}
+	for _, w := range []*World{a, b, c} {
+		r.addWorld(w)
+	}
+
+	got := pidsOf(r.appendSubscribers(nil, subject))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("subscribers(%v) = %v, want [1 2]", subject, got)
+	}
+	// A world subscribed to several PIDs appears in each bucket.
+	got = pidsOf(r.appendSubscribers(nil, other))
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("subscribers(%v) = %v, want [2 3]", other, got)
+	}
+	// appendSubscribers appends; it must not clobber what's in buf.
+	buf := []*World{c}
+	buf = r.appendSubscribers(buf, subject)
+	if len(buf) != 3 || buf[0] != c {
+		t.Fatalf("appendSubscribers clobbered the buffer prefix: %v", pidsOf(buf))
+	}
+
+	// Removing a world removes it from every bucket it was in.
+	r.removeWorld(b)
+	got = pidsOf(r.appendSubscribers(nil, subject))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("subscribers(%v) after remove = %v, want [1]", subject, got)
+	}
+
+	// dropBucket forgets the subject entirely; removing a world whose
+	// bucket is gone must be silent.
+	r.dropBucket(subject)
+	if got := r.appendSubscribers(nil, subject); len(got) != 0 {
+		t.Fatalf("subscribers(%v) after drop = %v, want empty", subject, got)
+	}
+	r.removeWorld(a) // a was subscribed to the dropped bucket
+	if r.world(a.pid) != nil {
+		t.Fatal("removeWorld failed after dropBucket")
+	}
+}
+
+func TestRegistryAliasCopyOnWrite(t *testing.T) {
+	r := newTestRegistry()
+	if r.hasAlias(1) {
+		t.Fatal("empty registry claims an alias")
+	}
+	if got := r.appendAliasTargets(nil, 1); len(got) != 0 {
+		t.Fatalf("alias targets on empty registry = %v", got)
+	}
+
+	// Readers holding the old snapshot must not see later writes.
+	r.setAlias(1, []ids.PID{2, 3})
+	old := r.aliases.Load()
+	r.setAlias(4, []ids.PID{5, 6})
+	if _, ok := old.m[4]; ok {
+		t.Fatal("old alias snapshot mutated by a later setAlias")
+	}
+	if c, ok := r.aliasFor(1); !ok || len(c) != 2 {
+		t.Fatalf("aliasFor(1) = %v %v", c, ok)
+	}
+	if !r.hasAlias(4) {
+		t.Fatal("hasAlias(4) = false after setAlias")
+	}
+	if r.hasAlias(2) {
+		t.Fatal("hasAlias(2) = true; 2 is a target, not a source")
+	}
+}
+
+func TestRegistryAliasWalk(t *testing.T) {
+	r := newTestRegistry()
+	// Chain: 1 -> (2,3); 2 -> (4,5); only 3, 4 live. 5 died.
+	for _, pid := range []ids.PID{3, 4} {
+		r.addWorld(&World{pid: pid})
+	}
+	r.setAlias(1, []ids.PID{2, 3})
+	r.setAlias(2, []ids.PID{4, 5})
+
+	got := r.appendAliasTargets(nil, 1)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("alias targets = %v, want [3 4]", got)
+	}
+
+	// A chain deeper than the stack buffers (8/16 entries) must still
+	// resolve — the buffers spill, they don't truncate.
+	deep := newTestRegistry()
+	const depth = 40
+	for i := 0; i < depth; i++ {
+		// i -> (i+1, 1000+i); the side branch 1000+i is live.
+		deep.addWorld(&World{pid: ids.PID(1000 + i)})
+		deep.setAlias(ids.PID(i), []ids.PID{ids.PID(i + 1), ids.PID(1000 + i)})
+	}
+	deep.addWorld(&World{pid: depth})
+	got = deep.appendAliasTargets(nil, 0)
+	if len(got) != depth+1 {
+		t.Fatalf("deep walk found %d targets, want %d", len(got), depth+1)
+	}
+}
+
+// TestRegisterCatchUpResolution pins the registration-time catch-up:
+// a world whose assumption was already decided before registerWorld ran
+// must have it applied immediately — resolved away, or contradicted and
+// the world eliminated — because the propagation snapshot that carried
+// the resolution may have predated the registration.
+func TestRegisterCatchUpResolution(t *testing.T) {
+	rt := New(Config{PageSize: 64})
+
+	// Assumption already satisfied: the predicate simplifies away.
+	done := rt.procs.Register(ids.None, "done")
+	if err := rt.procs.SetStatus(done, proc.Completed); err != nil {
+		t.Fatal(err)
+	}
+	w := registerBenchWorld(t, rt, "late", []ids.PID{done}, nil)
+	if w.Speculative() {
+		t.Fatal("world still speculative after catch-up of a completed assumption")
+	}
+	if w.Terminated() {
+		t.Fatal("world wrongly eliminated by a satisfied assumption")
+	}
+	rt.unregisterWorld(w)
+	w.discardSpace()
+
+	// Assumption already failed: the world is contradicted at birth.
+	dead := rt.procs.Register(ids.None, "dead")
+	if err := rt.procs.SetStatus(dead, proc.Failed); err != nil {
+		t.Fatal(err)
+	}
+	w2 := registerBenchWorld(t, rt, "doomed", []ids.PID{dead}, nil)
+	if !w2.Terminated() {
+		t.Fatal("world not eliminated despite assuming an already-failed process")
+	}
+	if rt.worldByPID(w2.pid) != nil {
+		t.Fatal("eliminated world still registered")
+	}
+	if n := rt.SelStats().Eliminations; n != 1 {
+		t.Fatalf("eliminations = %d, want 1", n)
+	}
+}

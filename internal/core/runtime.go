@@ -94,9 +94,20 @@ type Runtime struct {
 	log     *trace.Log
 	console *device.Console
 
-	mu      sync.Mutex
-	worlds  map[ids.PID]*World
-	aliases map[ids.PID][]ids.PID
+	// reg is the sharded world registry: live worlds, the predicate
+	// subscription index, and the split-receiver alias table (see
+	// registry.go). sel counts the selection-path work it does.
+	reg *registry
+	sel trace.SelCounters
+
+	// propPool recycles propagation queues so elimination cascades are
+	// allocation-free in steady state.
+	propPool sync.Pool
+}
+
+// propQueue is a reusable propagation work queue.
+type propQueue struct {
+	items []propEvent
 }
 
 // New returns a real-mode runtime.
@@ -127,10 +138,12 @@ func NewSim(cfg SimConfig) *Runtime {
 
 func newRuntime(store *page.Store, traced bool) *Runtime {
 	rt := &Runtime{
-		store:   store,
-		excl:    predicate.NewExclusionTable(),
-		worlds:  make(map[ids.PID]*World),
-		aliases: make(map[ids.PID][]ids.PID),
+		store: store,
+		excl:  predicate.NewExclusionTable(),
+	}
+	rt.reg = newRegistry(&rt.sel)
+	rt.propPool.New = func() any {
+		return &propQueue{items: make([]propEvent, 0, 64)}
 	}
 	if traced {
 		rt.log = trace.NewLog()
@@ -180,6 +193,11 @@ func (rt *Runtime) Console() *device.Console { return rt.console }
 
 // MsgStats returns the message-layer decision counters.
 func (rt *Runtime) MsgStats() msg.Stats { return rt.router.Stats() }
+
+// SelStats returns the selection-path counters: resolutions applied,
+// subscribers visited (the affected sets), eliminations, registry
+// shard contention, and alias fast-path hits.
+func (rt *Runtime) SelStats() trace.SelSnapshot { return rt.sel.Snapshot() }
 
 // Now returns the runtime's current time (virtual in sim mode).
 func (rt *Runtime) Now() time.Time { return rt.be.now() }
@@ -252,71 +270,74 @@ func (rt *Runtime) GoRoot(name string, spaceSize int64, body func(w *World)) *Wo
 	return w
 }
 
-// registerWorld makes w resolvable and addressable.
+// registerWorld makes w resolvable and addressable, and subscribes it
+// to the fate of every PID its predicate set mentions. The subscription
+// list is fixed here: after registration a predicate set only ever
+// shrinks (resolution removes satisfied assumptions, §3.4.2), so the
+// index stays a superset of the world's live assumptions until it is
+// unregistered.
+//
+// After publishing, registerWorld catches up on assumptions that
+// resolved while w was being built (e.g. a split copy whose sender was
+// eliminated between performSplit's status check and here). Every
+// resolver sets the proc status terminal *before* snapshotting
+// subscribers, and we add w to the index *before* reading statuses, so
+// each resolution reaches w at least one way: through the index (w was
+// visible at the snapshot) or through this catch-up (the status was
+// terminal by the time we look). Double delivery is harmless —
+// resolving a PID a set no longer mentions is a no-op.
 func (rt *Runtime) registerWorld(w *World) {
-	rt.mu.Lock()
-	rt.worlds[w.pid] = w
-	rt.mu.Unlock()
+	w.subPIDs = w.preds.AppendPIDs(w.subPIDs[:0])
+	rt.reg.addWorld(w)
 	rt.router.Register(w)
+	for _, p := range w.subPIDs {
+		st := rt.procs.Status(p)
+		if !st.Terminal() || st == proc.Forked {
+			continue // unresolved (a fork's copies carry its obligations)
+		}
+		outcome, nowResolved := w.applyResolution(p, st.Succeeded())
+		switch outcome {
+		case predicate.Contradicted:
+			rt.log.Addf(rt.be.now(), trace.KindContradiction, w.pid,
+				"assumption about %v failed", p)
+			rt.propagate([]propEvent{{eliminate: w}})
+			return
+		case predicate.Simplified:
+			if nowResolved {
+				w.flushDeferred()
+			}
+		}
+	}
 }
 
-// unregisterWorld removes w from the registry and router.
+// unregisterWorld removes w from the registry, its subscription
+// buckets, and the router.
 func (rt *Runtime) unregisterWorld(w *World) {
-	rt.mu.Lock()
-	delete(rt.worlds, w.pid)
-	rt.mu.Unlock()
+	rt.reg.removeWorld(w)
 	rt.router.Unregister(w.pid)
 }
 
-// liveWorlds snapshots the registered worlds.
-func (rt *Runtime) liveWorlds() []*World {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	out := make([]*World, 0, len(rt.worlds))
-	for _, w := range rt.worlds {
-		out = append(out, w)
-	}
-	return out
-}
-
 func (rt *Runtime) worldByPID(pid ids.PID) *World {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.worlds[pid]
+	return rt.reg.world(pid)
 }
 
 // addAlias records that messages for orig should reach copies (§3.4.2:
 // "two copies of the receiver are created").
 func (rt *Runtime) addAlias(orig ids.PID, copies ...ids.PID) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.aliases[orig] = copies
+	rt.reg.setAlias(orig, copies)
 }
 
 // resolveAlias expands a destination through split-receiver aliases to
-// the currently-registered worlds.
+// the currently-registered worlds. A destination that never split
+// resolves to itself without touching the alias table.
 func (rt *Runtime) resolveAlias(dest ids.PID) []ids.PID {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	var out []ids.PID
-	seen := make(map[ids.PID]bool)
-	stack := []ids.PID{dest}
-	for len(stack) > 0 {
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[p] {
-			continue
+	if !rt.reg.hasAlias(dest) {
+		if rt.reg.world(dest) != nil {
+			return []ids.PID{dest}
 		}
-		seen[p] = true
-		if copies, ok := rt.aliases[p]; ok {
-			stack = append(stack, copies...)
-			continue
-		}
-		if _, live := rt.worlds[p]; live {
-			out = append(out, p)
-		}
+		return nil
 	}
-	return out
+	return rt.reg.appendAliasTargets(nil, dest)
 }
 
 // Copies returns the live worlds reachable from pid through
@@ -324,9 +345,16 @@ func (rt *Runtime) resolveAlias(dest ids.PID) []ids.PID {
 // surviving copies. Experiment harnesses use it to audit and shut down
 // server trees.
 func (rt *Runtime) Copies(pid ids.PID) []*World {
+	if !rt.reg.hasAlias(pid) {
+		if w := rt.reg.world(pid); w != nil {
+			return []*World{w}
+		}
+		return nil
+	}
+	var buf [8]ids.PID
 	var out []*World
-	for _, p := range rt.resolveAlias(pid) {
-		if w := rt.worldByPID(p); w != nil {
+	for _, p := range rt.reg.appendAliasTargets(buf[:0], pid) {
+		if w := rt.reg.world(p); w != nil {
 			out = append(out, w)
 		}
 	}
@@ -334,9 +362,23 @@ func (rt *Runtime) Copies(pid ids.PID) []*World {
 }
 
 // sendFrom routes data from a sender (with predicate snapshot) to dest,
-// expanding split-receiver aliases.
+// expanding split-receiver aliases. The overwhelmingly common case —
+// dest never split — is a single atomic load on top of the router send,
+// with no registry allocation.
 func (rt *Runtime) sendFrom(sender ids.PID, senderPreds *predicate.Set, dest ids.PID, data any) error {
-	targets := rt.resolveAlias(dest)
+	if !rt.reg.hasAlias(dest) {
+		rt.sel.AliasFastPath.Add(1)
+		if err := rt.router.Send(sender, senderPreds, dest, data); err != nil {
+			if errors.Is(err, msg.ErrUnknownReceiver) {
+				return msg.ErrUnknownReceiver
+			}
+			return err
+		}
+		return nil
+	}
+	rt.sel.AliasWalks.Add(1)
+	var buf [8]ids.PID
+	targets := rt.reg.appendAliasTargets(buf[:0], dest)
 	if len(targets) == 0 {
 		return msg.ErrUnknownReceiver
 	}
@@ -367,40 +409,60 @@ type propEvent struct {
 // may contradict other worlds' assumptions (killing, e.g., the
 // assume-copy of a split receiver), which eliminates them, and so on
 // (§3.2.1, §3.4.2).
+//
+// Each resolution event visits only the worlds subscribed to the
+// resolved PID — the affected set — so the cost of a commit cascade is
+// O(Σ affected sets), independent of how many unrelated worlds are
+// live. The work queue is recycled and the child/subscriber lookups use
+// stack buffers, so steady-state cascades do not allocate.
 func (rt *Runtime) propagate(events []propEvent) {
-	queue := events
-	for len(queue) > 0 {
-		ev := queue[0]
-		queue = queue[1:]
+	if len(events) == 0 {
+		return
+	}
+	q := rt.propPool.Get().(*propQueue)
+	q.items = append(q.items[:0], events...)
+	var subBuf [16]*World
+	var childBuf [16]ids.PID
+	for head := 0; head < len(q.items); head++ {
+		ev := q.items[head]
 		if ev.eliminate != nil {
 			w := ev.eliminate
 			if !rt.eliminateOne(w) {
 				continue
 			}
-			queue = append(queue, propEvent{resolvePID: w.pid, completed: false})
+			q.items = append(q.items, propEvent{resolvePID: w.pid, completed: false})
 			// Cascade to the world's live descendants: a dead parent's
 			// in-flight alternative block must not leave orphans.
-			for _, cp := range rt.procs.Children(w.pid) {
-				if cw := rt.worldByPID(cp); cw != nil {
-					queue = append(queue, propEvent{eliminate: cw})
+			for _, cp := range rt.procs.AppendChildren(childBuf[:0], w.pid) {
+				if cw := rt.reg.world(cp); cw != nil {
+					q.items = append(q.items, propEvent{eliminate: cw})
 				}
 			}
 			continue
 		}
-		for _, w := range rt.liveWorlds() {
+		rt.sel.Resolutions.Add(1)
+		subs := rt.reg.appendSubscribers(subBuf[:0], ev.resolvePID)
+		rt.sel.SubscribersVisited.Add(int64(len(subs)))
+		for _, w := range subs {
 			outcome, nowResolved := w.applyResolution(ev.resolvePID, ev.completed)
 			switch outcome {
 			case predicate.Contradicted:
 				rt.log.Addf(rt.be.now(), trace.KindContradiction, w.pid,
 					"assumption about %v failed", ev.resolvePID)
-				queue = append(queue, propEvent{eliminate: w})
+				q.items = append(q.items, propEvent{eliminate: w})
 			case predicate.Simplified:
 				if nowResolved {
 					w.flushDeferred()
 				}
 			}
 		}
+		// The resolved PID's fate is final (identifiers are never
+		// reused): its bucket can never be consulted again.
+		rt.reg.dropBucket(ev.resolvePID)
 	}
+	clear(q.items) // drop *World references before pooling
+	q.items = q.items[:0]
+	rt.propPool.Put(q)
 }
 
 // eliminateOne terminates one world; reports false if it was already
@@ -409,12 +471,18 @@ func (rt *Runtime) eliminateOne(w *World) bool {
 	if !w.markTerminated() {
 		return false
 	}
+	rt.sel.Eliminations.Add(1)
 	_ = rt.procs.SetStatus(w.pid, proc.Eliminated)
 	rt.unregisterWorld(w)
-	if w.handle != nil {
-		w.handle.kill()
+	w.mu.Lock()
+	h := w.handle
+	w.mu.Unlock()
+	if h != nil {
+		h.kill()
 	} else {
-		// Never spawned: nobody else will release its pages.
+		// Not spawned yet: nobody else will release its pages. If a
+		// spawn is racing us, it observes the terminated flag after
+		// setting the handle and kills it (discard is idempotent).
 		w.discardSpace()
 	}
 	rt.log.Add(rt.be.now(), trace.KindEliminate, w.pid, w.name)

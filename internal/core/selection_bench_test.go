@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"altrun/internal/ids"
+	"altrun/internal/mem"
+	"altrun/internal/predicate"
+)
+
+// registerBenchWorld registers a minimal world carrying the given
+// assumptions, without spawning a body. It is the selection-path
+// equivalent of a parked speculative process: it sits in the registry
+// and (dis)appears from predicate-subscription buckets.
+func registerBenchWorld(tb testing.TB, rt *Runtime, name string, must, cant []ids.PID) *World {
+	pid := rt.procs.Register(ids.None, name)
+	preds := predicate.New()
+	for _, p := range must {
+		if err := preds.RequireComplete(p); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, p := range cant {
+		if err := preds.RequireFail(p); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	w := &World{
+		rt:         rt,
+		pid:        pid,
+		name:       name,
+		space:      mem.New(rt.store, 4096),
+		preds:      preds,
+		box:        rt.be.newInbox(),
+		ownedSpace: true,
+	}
+	rt.registerWorld(w)
+	return w
+}
+
+// BenchmarkPropagateScaling measures the cost of one predicate
+// resolution while `live` unrelated worlds are registered. The affected
+// set is constant (one subscriber world per event), so commit-side
+// propagation cost must stay flat as the live-world count grows —
+// the O(affected-set) claim. Before the subscription index, propagate
+// scanned every live world per event, so this grew linearly.
+func BenchmarkPropagateScaling(b *testing.B) {
+	for _, live := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("live=%d", live), func(b *testing.B) {
+			rt := New(Config{})
+			// Bystanders: each assumes a distinct PID that never
+			// resolves, so none of them are in the affected set.
+			for i := 0; i < live; i++ {
+				dummy := rt.procs.Register(ids.None, "dummy")
+				registerBenchWorld(b, rt, "bystander", []ids.PID{dummy}, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				subject := rt.procs.Register(ids.None, "subject")
+				victim := registerBenchWorld(b, rt, "victim", nil, []ids.PID{subject})
+				// Resolving subject-as-failed simplifies exactly one
+				// world: the affected set has size 1 regardless of live.
+				rt.propagate([]propEvent{{resolvePID: subject, completed: false}})
+				rt.unregisterWorld(victim)
+				victim.discardSpace()
+			}
+		})
+	}
+}
+
+// BenchmarkAliasResolve measures destination expansion on the send
+// path. The overwhelmingly common case is a destination that never
+// split (no alias entry); it must not pay for the split machinery.
+func BenchmarkAliasResolve(b *testing.B) {
+	b.Run("direct", func(b *testing.B) {
+		rt := New(Config{})
+		w := registerBenchWorld(b, rt, "dest", nil, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := rt.resolveAlias(w.pid); len(got) != 1 {
+				b.Fatalf("resolved %d targets, want 1", len(got))
+			}
+		}
+	})
+	b.Run("split2", func(b *testing.B) {
+		rt := New(Config{})
+		orig := registerBenchWorld(b, rt, "orig", nil, nil)
+		a := registerBenchWorld(b, rt, "copy-a", nil, nil)
+		c := registerBenchWorld(b, rt, "copy-b", nil, nil)
+		rt.addAlias(orig.pid, a.pid, c.pid)
+		rt.unregisterWorld(orig)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := rt.resolveAlias(orig.pid); len(got) != 2 {
+				b.Fatalf("resolved %d targets, want 2", len(got))
+			}
+		}
+	})
+	b.Run("chain4", func(b *testing.B) {
+		rt := New(Config{})
+		orig := registerBenchWorld(b, rt, "orig", nil, nil)
+		// Two generations of splits: orig -> (g1a, g1b); g1a -> (g2a, g2b).
+		g1a := registerBenchWorld(b, rt, "g1a", nil, nil)
+		g1b := registerBenchWorld(b, rt, "g1b", nil, nil)
+		rt.addAlias(orig.pid, g1a.pid, g1b.pid)
+		rt.unregisterWorld(orig)
+		g2a := registerBenchWorld(b, rt, "g2a", nil, nil)
+		g2b := registerBenchWorld(b, rt, "g2b", nil, nil)
+		rt.addAlias(g1a.pid, g2a.pid, g2b.pid)
+		rt.unregisterWorld(g1a)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := rt.resolveAlias(orig.pid); len(got) != 3 {
+				b.Fatalf("resolved %d targets, want 3", len(got))
+			}
+		}
+	})
+}
+
+// BenchmarkSendNoAlias measures the whole per-send runtime path for an
+// unsplit destination (predicate snapshot, alias check, router
+// dispatch) — the message-layer fast path.
+func BenchmarkSendNoAlias(b *testing.B) {
+	rt := New(Config{})
+	sender := registerBenchWorld(b, rt, "sender", nil, nil)
+	dest := registerBenchWorld(b, rt, "dest", nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sender.Send(dest.pid, i); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			b.StopTimer()
+			dest.box.drain() // keep the inbox from growing without bound
+			b.StartTimer()
+		}
+	}
+}

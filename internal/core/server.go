@@ -63,7 +63,13 @@ func (rt *Runtime) spawnServerLoop(w *World) {
 	})
 	w.mu.Lock()
 	w.handle = handle
+	dead := w.terminated
 	w.mu.Unlock()
+	if dead {
+		// Eliminated before the handle existed (a registration-time
+		// contradiction): the loop must not outlive the world.
+		handle.kill()
+	}
 }
 
 // serverLoop drains the inbox: data messages go to the handler; a
@@ -72,8 +78,13 @@ func (rt *Runtime) spawnServerLoop(w *World) {
 func (rt *Runtime) serverLoop(w *World) {
 	for {
 		v, ok := w.box.get(w.ctx, -1)
-		if !ok {
-			return // killed (eliminated or runtime shutdown)
+		if !ok || w.Terminated() {
+			// Killed (eliminated or runtime shutdown). The terminated
+			// check matters when messages were queued before the kill
+			// landed: an eliminated copy's handler must never run —
+			// its effects could never be observed anyway (§3.4.2), and
+			// its pages may already be released.
+			return
 		}
 		switch item := v.(type) {
 		case msg.Message:

@@ -30,6 +30,12 @@ type World struct {
 
 	handle procHandle
 
+	// subPIDs lists the PIDs the world's predicate set mentioned at
+	// registration — the subscription record the registry's predicate
+	// index keys on. Written once by registerWorld (before the world is
+	// visible to other goroutines), read at unregistration.
+	subPIDs []ids.PID
+
 	mu         sync.Mutex
 	preds      *predicate.Set
 	deferred   []string // deferred console output (source ops)

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"altrun/internal/ids"
@@ -70,14 +71,22 @@ type Stats struct {
 }
 
 // Router dispatches messages to registered receivers. It is safe for
-// concurrent use.
+// concurrent use. The send path takes no exclusive lock: receiver
+// lookup is a read-locked map access and the sequence/decision counters
+// are atomics, so concurrent senders to different receivers do not
+// serialize.
 type Router struct {
-	mu        sync.Mutex
-	seq       int64
+	mu        sync.RWMutex
 	receivers map[ids.PID]Receiver
-	stats     Stats
-	now       func() time.Time
-	log       *trace.Log
+
+	seq      atomic.Int64
+	sent     atomic.Int64
+	accepted atomic.Int64
+	ignored  atomic.Int64
+	splits   atomic.Int64
+
+	now func() time.Time
+	log *trace.Log
 }
 
 // NewRouter returns an empty router. now supplies trace timestamps
@@ -107,50 +116,51 @@ func (r *Router) Unregister(pid ids.PID) {
 
 // Registered reports whether pid is addressable.
 func (r *Router) Registered(pid ids.PID) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	_, ok := r.receivers[pid]
 	return ok
 }
 
 // Stats returns a snapshot of the delivery counters.
 func (r *Router) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return Stats{
+		Sent:     int(r.sent.Load()),
+		Accepted: int(r.accepted.Load()),
+		Ignored:  int(r.ignored.Load()),
+		Splits:   int(r.splits.Load()),
+	}
 }
 
 // Send routes data from the sender (with predicate snapshot senderPred)
 // to pid, applying the accept/ignore/split rule. senderPred is cloned;
 // the caller keeps ownership of its set.
 func (r *Router) Send(sender ids.PID, senderPred *predicate.Set, dest ids.PID, data any) error {
-	r.mu.Lock()
+	r.mu.RLock()
 	rcv, ok := r.receivers[dest]
+	r.mu.RUnlock()
 	if !ok {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: %v", ErrUnknownReceiver, dest)
 	}
-	r.seq++
 	m := Message{
-		Seq:              r.seq,
+		Seq:              r.seq.Add(1),
 		Sender:           sender,
 		SenderPredicates: senderPred.Clone(),
 		Dest:             dest,
 		Data:             data,
 	}
-	r.stats.Sent++
-	r.mu.Unlock()
+	r.sent.Add(1)
 
 	r.log.Addf(r.now(), trace.KindMsgSend, sender, "to %v seq %d pred %v", dest, m.Seq, m.SenderPredicates)
 
 	switch predicate.Decide(rcv.Predicates(), m.SenderPredicates) {
 	case predicate.Accept:
-		r.count(func(s *Stats) { s.Accepted++ })
+		r.accepted.Add(1)
 		r.log.Addf(r.now(), trace.KindMsgAccept, dest, "seq %d from %v", m.Seq, sender)
 		rcv.Deliver(m)
 		return nil
 	case predicate.Ignore:
-		r.count(func(s *Stats) { s.Ignored++ })
+		r.ignored.Add(1)
 		r.log.Addf(r.now(), trace.KindMsgIgnore, dest, "seq %d from %v (conflicting worlds)", m.Seq, sender)
 		return nil
 	default: // Split
@@ -159,23 +169,17 @@ func (r *Router) Send(sender ids.PID, senderPred *predicate.Set, dest ids.PID, d
 			// The receiver cannot coherently assume either outcome;
 			// treat as ignore (the sender's world is already dead from
 			// the receiver's perspective).
-			r.count(func(s *Stats) { s.Ignored++ })
+			r.ignored.Add(1)
 			r.log.Addf(r.now(), trace.KindMsgIgnore, dest, "seq %d from %v (split impossible: %v)", m.Seq, sender, err)
 			return nil
 		}
-		r.count(func(s *Stats) { s.Splits++ })
+		r.splits.Add(1)
 		r.log.Addf(r.now(), trace.KindMsgSplit, dest, "seq %d from %v", m.Seq, sender)
 		if err := rcv.Split(assume, deny, m); err != nil {
 			return fmt.Errorf("split receiver %v: %w", dest, err)
 		}
 		return nil
 	}
-}
-
-func (r *Router) count(f func(*Stats)) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f(&r.stats)
 }
 
 // Mailbox is a simple unbounded FIFO queue usable as a Receiver's

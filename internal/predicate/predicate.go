@@ -199,6 +199,21 @@ func (s *Set) ResolveFail(p ids.PID) Outcome {
 	return Unaffected
 }
 
+// AppendPIDs appends every PID the set mentions (must-complete and
+// can't-complete, which are disjoint) to buf and returns the extended
+// slice, in no particular order. It is the allocation-free enumeration
+// the runtime's predicate-subscription index is built from: a world is
+// affected by exactly the resolutions of the PIDs listed here.
+func (s *Set) AppendPIDs(buf []ids.PID) []ids.PID {
+	for p := range s.must {
+		buf = append(buf, p)
+	}
+	for p := range s.cant {
+		buf = append(buf, p)
+	}
+	return buf
+}
+
 // MustList returns the must-complete PIDs in ascending order.
 func (s *Set) MustList() []ids.PID { return sortedPIDs(s.must) }
 

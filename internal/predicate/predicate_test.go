@@ -368,3 +368,32 @@ func TestFullResolutionEmpties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAppendPIDs(t *testing.T) {
+	if got := New().AppendPIDs(nil); len(got) != 0 {
+		t.Fatalf("empty set appended %v", got)
+	}
+	s := mustSet(t, []int64{1, 2}, []int64{3})
+	got := s.AppendPIDs(nil)
+	if len(got) != 3 {
+		t.Fatalf("appended %v, want 3 PIDs", got)
+	}
+	seen := map[ids.PID]bool{}
+	for _, p := range got {
+		seen[p] = true
+	}
+	if !seen[pid(1)] || !seen[pid(2)] || !seen[pid(3)] {
+		t.Fatalf("appended %v, want {1,2,3}", got)
+	}
+	// Append semantics: the buffer prefix survives.
+	buf := []ids.PID{pid(99)}
+	buf = s.AppendPIDs(buf)
+	if len(buf) != 4 || buf[0] != pid(99) {
+		t.Fatalf("AppendPIDs clobbered the buffer: %v", buf)
+	}
+	// Resolution shrinks what a fresh append reports.
+	s.ResolveComplete(pid(1))
+	if got := s.AppendPIDs(nil); len(got) != 2 {
+		t.Fatalf("after resolve, appended %v, want 2 PIDs", got)
+	}
+}

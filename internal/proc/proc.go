@@ -89,16 +89,21 @@ type Table struct {
 	mu      sync.Mutex
 	gen     *ids.Generator
 	entries map[ids.PID]*Entry
-	subs    map[int]func(Event)
-	nextSub int
+	// children indexes entries by parent so elimination cascades walk a
+	// process's descendants in O(children) instead of scanning the
+	// whole table. Each slice is kept in ascending PID order.
+	children map[ids.PID][]ids.PID
+	subs     map[int]func(Event)
+	nextSub  int
 }
 
 // NewTable returns an empty registry drawing PIDs from gen.
 func NewTable(gen *ids.Generator) *Table {
 	return &Table{
-		gen:     gen,
-		entries: make(map[ids.PID]*Entry),
-		subs:    make(map[int]func(Event)),
+		gen:      gen,
+		entries:  make(map[ids.PID]*Entry),
+		children: make(map[ids.PID][]ids.PID),
+		subs:     make(map[int]func(Event)),
 	}
 }
 
@@ -107,6 +112,19 @@ func (t *Table) Register(parent ids.PID, name string) ids.PID {
 	pid := t.gen.NextPID()
 	t.mu.Lock()
 	t.entries[pid] = &Entry{PID: pid, Parent: parent, Name: name, Status: Running}
+	// PIDs are allocated in increasing order, so appending almost always
+	// keeps the slice sorted; concurrent registrations for one parent
+	// can interleave, so fall back to insertion when it doesn't.
+	kids := t.children[parent]
+	if n := len(kids); n == 0 || kids[n-1] < pid {
+		t.children[parent] = append(kids, pid)
+	} else {
+		i := sort.Search(n, func(i int) bool { return kids[i] > pid })
+		kids = append(kids, 0)
+		copy(kids[i+1:], kids[i:])
+		kids[i] = pid
+		t.children[parent] = kids
+	}
 	t.mu.Unlock()
 	return pid
 }
@@ -183,16 +201,16 @@ func (t *Table) Subscribe(f func(Event)) (unsubscribe func()) {
 
 // Children returns the PIDs whose parent is pid, in ascending order.
 func (t *Table) Children(pid ids.PID) []ids.PID {
+	return t.AppendChildren(nil, pid)
+}
+
+// AppendChildren appends pid's children (ascending) to buf and returns
+// the extended slice. With a buffer of sufficient capacity it performs
+// no allocation — the form the elimination cascade uses.
+func (t *Table) AppendChildren(buf []ids.PID, pid ids.PID) []ids.PID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []ids.PID
-	for _, e := range t.entries {
-		if e.Parent == pid {
-			out = append(out, e.PID)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append(buf, t.children[pid]...)
 }
 
 // Live returns the number of processes not in a terminal state.

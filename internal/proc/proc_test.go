@@ -147,3 +147,59 @@ func TestConcurrentRegisterAndStatus(t *testing.T) {
 		t.Fatalf("subscriber saw %d events, want 400", count)
 	}
 }
+
+func TestAppendChildren(t *testing.T) {
+	tb := newTable()
+	parent := tb.Register(ids.None, "parent")
+	var want []ids.PID
+	for i := 0; i < 5; i++ {
+		want = append(want, tb.Register(parent, "kid"))
+	}
+	tb.Register(ids.None, "stranger") // different parent; must not appear
+	got := tb.AppendChildren(nil, parent)
+	if len(got) != len(want) {
+		t.Fatalf("children = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("children = %v, want %v (ascending)", got, want)
+		}
+	}
+	// Append semantics: the buffer prefix survives and capacity is
+	// reused without allocation.
+	buf := make([]ids.PID, 1, 16)
+	buf[0] = ids.PID(999)
+	buf = tb.AppendChildren(buf, parent)
+	if len(buf) != 6 || buf[0] != ids.PID(999) {
+		t.Fatalf("AppendChildren clobbered the buffer: %v", buf)
+	}
+	if got := tb.AppendChildren(nil, ids.PID(12345)); len(got) != 0 {
+		t.Fatalf("children of unknown parent = %v", got)
+	}
+}
+
+func TestChildIndexConcurrentRegistration(t *testing.T) {
+	tb := newTable()
+	parent := tb.Register(ids.None, "parent")
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tb.Register(parent, "kid")
+			}
+		}()
+	}
+	wg.Wait()
+	kids := tb.Children(parent)
+	if len(kids) != workers*per {
+		t.Fatalf("children = %d, want %d", len(kids), workers*per)
+	}
+	for i := 1; i < len(kids); i++ {
+		if kids[i-1] >= kids[i] {
+			t.Fatalf("children not in ascending order at %d: %v >= %v", i, kids[i-1], kids[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"altrun/internal/ids"
@@ -163,6 +164,58 @@ func (l *Log) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = nil
+}
+
+// SelCounters counts selection-path work: predicate resolutions, the
+// worlds each resolution actually touched (the affected set), and
+// contention on the sharded world registry. Unlike Log events these are
+// plain atomic counters, cheap enough to stay on even when tracing is
+// disabled — the selection-overhead benchmark reads them to verify the
+// O(affected-set) claim.
+type SelCounters struct {
+	// Resolutions counts resolution events applied by the propagation
+	// engine (one per process whose fate was decided).
+	Resolutions atomic.Int64
+	// SubscribersVisited counts worlds visited across all resolutions:
+	// SubscribersVisited/Resolutions is the mean affected-set size.
+	SubscribersVisited atomic.Int64
+	// Eliminations counts worlds eliminated by cascades.
+	Eliminations atomic.Int64
+	// ShardContention counts registry lock acquisitions that found the
+	// shard already held and had to block.
+	ShardContention atomic.Int64
+	// AliasFastPath counts sends whose destination had no alias entry
+	// and skipped the alias walk entirely.
+	AliasFastPath atomic.Int64
+	// AliasWalks counts sends that expanded a split-receiver alias
+	// chain.
+	AliasWalks atomic.Int64
+}
+
+// SelSnapshot is a point-in-time copy of SelCounters.
+type SelSnapshot struct {
+	Resolutions        int64
+	SubscribersVisited int64
+	Eliminations       int64
+	ShardContention    int64
+	AliasFastPath      int64
+	AliasWalks         int64
+}
+
+// Snapshot reads all counters. Nil-safe: a nil receiver reads as zero,
+// matching the nil-*Log convention.
+func (c *SelCounters) Snapshot() SelSnapshot {
+	if c == nil {
+		return SelSnapshot{}
+	}
+	return SelSnapshot{
+		Resolutions:        c.Resolutions.Load(),
+		SubscribersVisited: c.SubscribersVisited.Load(),
+		Eliminations:       c.Eliminations.Load(),
+		ShardContention:    c.ShardContention.Load(),
+		AliasFastPath:      c.AliasFastPath.Load(),
+		AliasWalks:         c.AliasWalks.Load(),
+	}
 }
 
 // Dump renders the whole log, one event per line.

@@ -95,3 +95,30 @@ func TestConcurrentAdd(t *testing.T) {
 		t.Fatalf("Len = %d, want 800", l.Len())
 	}
 }
+
+func TestSelCountersSnapshot(t *testing.T) {
+	var c SelCounters
+	c.Resolutions.Add(3)
+	c.SubscribersVisited.Add(7)
+	c.Eliminations.Add(2)
+	c.ShardContention.Add(1)
+	c.AliasFastPath.Add(5)
+	c.AliasWalks.Add(4)
+	s := c.Snapshot()
+	if s.Resolutions != 3 || s.SubscribersVisited != 7 || s.Eliminations != 2 ||
+		s.ShardContention != 1 || s.AliasFastPath != 5 || s.AliasWalks != 4 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// A snapshot is a copy: later increments don't retroactively change it.
+	c.Resolutions.Add(10)
+	if s.Resolutions != 3 {
+		t.Fatal("snapshot aliased the live counters")
+	}
+}
+
+func TestSelCountersNilSnapshot(t *testing.T) {
+	var c *SelCounters
+	if s := c.Snapshot(); s != (SelSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+}
