@@ -150,3 +150,73 @@ func TestRaceLosersCancelled(t *testing.T) {
 		t.Fatal("loser was not cancelled before Race returned")
 	}
 }
+
+func TestRaceDeadlineBeforeWinner(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := altrun.Race(ctx,
+		func(ctx context.Context) (int, error) {
+			select {
+			case <-time.After(10 * time.Second):
+				return 1, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		},
+		func(ctx context.Context) (int, error) {
+			select {
+			case <-time.After(10 * time.Second):
+				return 2, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		},
+	)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline did not cut the race short")
+	}
+}
+
+func TestRaceCancelMidRace(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	running := make(chan struct{})
+	go func() {
+		<-running
+		cancel()
+	}()
+	_, _, err := altrun.Race(ctx,
+		func(ctx context.Context) (int, error) {
+			close(running)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		},
+		func(ctx context.Context) (int, error) {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		},
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestRaceWinnerBeatsDeadline(t *testing.T) {
+	// A winner that commits before the deadline must win even though
+	// its siblings are still blocked when the deadline passes.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	idx, val, err := altrun.Race(ctx,
+		func(ctx context.Context) (string, error) { return "quick", nil },
+		func(ctx context.Context) (string, error) {
+			<-ctx.Done()
+			return "", ctx.Err()
+		},
+	)
+	if err != nil || idx != 0 || val != "quick" {
+		t.Fatalf("got %d %q %v", idx, val, err)
+	}
+}

@@ -1,0 +1,35 @@
+package prolog
+
+import (
+	"fmt"
+	"time"
+
+	"altrun/internal/core"
+	internal "altrun/internal/prolog"
+	"altrun/internal/serve"
+)
+
+// QueryJob adapts a Prolog query into a serve.Job: the query's
+// top-level OR choice point expands into one alternative per matching
+// clause (OrSolver.QueryAlts), and the pool races them under its
+// speculation budget — priority admission learns which clause
+// historically derives a solution fastest for this query kind. The
+// result value is the Solution (map of query variables to rendered
+// values). spaceSize 0 uses the pool default.
+func QueryJob(db *DB, query string, cfg OrConfig, spaceSize int64, deadline time.Duration) (serve.Job, error) {
+	goals, vars, err := ParseQuery(query)
+	if err != nil {
+		return serve.Job{}, fmt.Errorf("prolog: parse %q: %w", query, err)
+	}
+	solver := &internal.OrSolver{DB: db, Cfg: cfg}
+	return serve.Job{
+		Kind:      "prolog:" + query,
+		Name:      "?- " + query,
+		Alts:      solver.QueryAlts(goals, vars),
+		SpaceSize: spaceSize,
+		Extract: func(w *core.World) (any, error) {
+			return internal.ReadSolution(w)
+		},
+		Deadline: deadline,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package prolog
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"altrun/internal/serve"
+)
+
+func TestQueryJobThroughPool(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(Prelude); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(`
+		likes(alice, go).
+		likes(bob, go).
+		likes(bob, c).
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := serve.NewPool(serve.Config{Workers: 2, SpecTokens: 4, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := p.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	job, err := QueryJob(db, "likes(X, c)", OrConfig{}, 0, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := p.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serve.StatusDone {
+		t.Fatalf("status = %v (err %v), want done", res.Status, res.Err)
+	}
+	sol, ok := res.Value.(Solution)
+	if !ok {
+		t.Fatalf("Value type %T, want Solution", res.Value)
+	}
+	if sol["X"] != "bob" {
+		t.Fatalf("X = %q, want bob", sol["X"])
+	}
+}
+
+func TestQueryJobParseError(t *testing.T) {
+	if _, err := QueryJob(NewDB(), "likes(", OrConfig{}, 0, time.Second); err == nil {
+		t.Fatal("malformed query should fail to build a job")
+	}
+}

@@ -1,0 +1,59 @@
+package recovery
+
+import (
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/serve"
+	"altrun/internal/workload"
+)
+
+// BlockJob adapts a recovery block into a serve.Job: each alternate
+// becomes one alternative guarded by the block's acceptance test, and
+// the pool races them under its speculation budget instead of spawning
+// all at once. FullCopy is kept on (§5.1.2: concurrent recovery blocks
+// copy all of the state so that shared-page loss cannot fail every
+// alternate). init seeds the root world before the block runs; extract
+// reads the committed result (either may be nil).
+func BlockJob(b *Block, spaceSize int64, deadline time.Duration,
+	init func(w *core.World) error, extract func(w *core.World) (any, error)) serve.Job {
+	alts := make([]core.Alt, len(b.Alternates))
+	for i, a := range b.Alternates {
+		alts[i] = core.Alt{
+			Name:  a.Name,
+			Body:  a.Version,
+			Guard: b.AcceptanceTest,
+		}
+	}
+	return serve.Job{
+		Kind:      "recovery:" + b.Name,
+		Name:      b.Name,
+		Alts:      alts,
+		SpaceSize: spaceSize,
+		Init:      init,
+		Extract:   extract,
+		Deadline:  deadline,
+		FullCopy:  true,
+	}
+}
+
+// SortJob builds the demo sorting recovery block (three independently-
+// written sorters, the primary optionally fault-injected) as a
+// submittable job over the given input. The result value is the sorted
+// []int.
+func SortJob(xs []int, perCompare time.Duration, faulty bool, deadline time.Duration) serve.Job {
+	input := append([]int(nil), xs...)
+	b := &Block{
+		Name: "sort",
+		Alternates: []Alternate{
+			SortVersion("primary-quicksort", workload.NaiveQuicksort, perCompare, faulty),
+			SortVersion("secondary-heapsort", workload.Heapsort, perCompare, false),
+			SortVersion("tertiary-insertion", workload.InsertionSort, perCompare, false),
+		},
+		AcceptanceTest: SortedAcceptanceTest(Sum(input)),
+	}
+	return BlockJob(b, ArraySpaceSize(len(input)), deadline,
+		func(w *core.World) error { return WriteIntArray(w, input) },
+		func(w *core.World) (any, error) { return ReadIntArray(w) },
+	)
+}

@@ -1,0 +1,59 @@
+package recovery
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"altrun/internal/serve"
+	"altrun/internal/workload"
+)
+
+func TestSortJobThroughPool(t *testing.T) {
+	p, err := serve.NewPool(serve.Config{Workers: 2, SpecTokens: 4, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := p.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	xs := workload.ReversedList(256)
+	// Faulty primary: the acceptance test must reject it and a backup
+	// version must commit.
+	tk, err := p.Submit(SortJob(xs, 0, true, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serve.StatusDone {
+		t.Fatalf("status = %v (err %v), want done", res.Status, res.Err)
+	}
+	if res.Winner == "primary-quicksort" {
+		t.Fatal("fault-injected primary passed the acceptance test")
+	}
+	got, ok := res.Value.([]int)
+	if !ok {
+		t.Fatalf("Value type %T, want []int", res.Value)
+	}
+	want := append([]int(nil), xs...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -78,6 +78,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "servebench" {
+		if err := runServebench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "altbench servebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	run := flag.String("run", "all", "comma-separated experiment ids (e1..e14) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

@@ -1,13 +1,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
 	"testing"
-	"time"
 
 	"altrun/internal/page"
 )
@@ -35,10 +31,9 @@ type memBenchResult struct {
 
 // memBenchReport is the BENCH_mem.json document.
 type memBenchReport struct {
-	Generated string           `json:"generated"`
-	GoVersion string           `json:"go_version"`
-	PageSize  int              `json:"page_size"`
-	Results   []memBenchResult `json:"results"`
+	reportMeta
+	PageSize int              `json:"page_size"`
+	Results  []memBenchResult `json:"results"`
 }
 
 // fillTable materializes `pages` fresh pages in a new table.
@@ -206,24 +201,9 @@ func runMembench(args []string) error {
 		fmt.Printf("\nfork 4MB/64KB ratio: %.2fx — %s\n", ratio, verdict)
 	}
 
-	report := memBenchReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		PageSize:  membenchPageSize,
-		Results:   results,
-	}
-	doc, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	doc = append(doc, '\n')
-	if *out == "-" {
-		_, err = os.Stdout.Write(doc)
-		return err
-	}
-	if err := os.WriteFile(*out, doc, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", *out)
-	return nil
+	return writeReport(*out, memBenchReport{
+		reportMeta: newReportMeta(),
+		PageSize:   membenchPageSize,
+		Results:    results,
+	})
 }

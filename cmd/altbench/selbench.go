@@ -1,11 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
 	"testing"
 	"time"
 
@@ -39,8 +36,7 @@ type selBenchResult struct {
 
 // selBenchReport is the BENCH_sel.json document.
 type selBenchReport struct {
-	Generated      string           `json:"generated"`
-	GoVersion      string           `json:"go_version"`
+	reportMeta
 	BaselineCommit string           `json:"baseline_commit"`
 	Baseline       []selBenchResult `json:"baseline"`
 	Results        []selBenchResult `json:"results"`
@@ -222,29 +218,14 @@ func runSelbench(args []string) error {
 		fmt.Printf("commit latency %d/%d worlds ratio: %.2fx — %s\n", counts[len(counts)-1], counts[0], ratio, verdict)
 	}
 
-	report := selBenchReport{
-		Generated:                time.Now().UTC().Format(time.RFC3339),
-		GoVersion:                runtime.Version(),
+	return writeReport(*out, selBenchReport{
+		reportMeta:               newReportMeta(),
 		BaselineCommit:           selBaselineCommit,
 		Baseline:                 selBaseline(),
 		Results:                  results,
 		SubscribersPerResolution: subsPerRes,
 		ShardContention:          contention,
-	}
-	doc, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	doc = append(doc, '\n')
-	if *out == "-" {
-		_, err = os.Stdout.Write(doc)
-		return err
-	}
-	if err := os.WriteFile(*out, doc, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", *out)
-	return nil
+	})
 }
 
 // measureSelCounters runs a fixed workload (100 blocks of width 4 among

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"sync"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/serve"
+	"altrun/internal/stats"
+)
+
+// servebench drives the admission-controlled service layer closed-loop:
+// at each concurrency level, C clients submit synthetic alternative-
+// block jobs back to back against a serve.Pool sized for that level,
+// and the tool records p50/p99 submit-to-commit latency, committed
+// blocks per second, and how hard the speculation budget throttled
+// (budget waits, lazy waves, alternatives never spawned).
+//
+// Usage: altbench servebench [-quick] [-o BENCH_serve.json]
+
+// serveLevelResult is one concurrency level's measurement.
+type serveLevelResult struct {
+	Concurrency   int     `json:"concurrency"`
+	SpecTokens    int     `json:"spec_tokens"`
+	Jobs          int     `json:"jobs"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MeanMS        float64 `json:"mean_ms"`
+	Throughput    float64 `json:"committed_blocks_per_sec"`
+	SpecHighWater int64   `json:"spec_high_water"`
+	BudgetWaits   int64   `json:"budget_waits"`
+	LazyWaves     int64   `json:"lazy_waves"`
+	AltsUnspawned int64   `json:"alts_unspawned"`
+}
+
+// serveBenchReport is the BENCH_serve.json document.
+type serveBenchReport struct {
+	reportMeta
+	MaxDegree int                `json:"max_degree"`
+	Levels    []serveLevelResult `json:"levels"`
+}
+
+// servebenchMaxDegree caps per-job speculation width in the benchmark.
+const servebenchMaxDegree = 3
+
+// servebenchJob builds the synthetic block: three alternatives of
+// distinct costs, all correct, so the fastest admitted one commits.
+// Every seventh job fault-injects the fast alternative, forcing the
+// pool onto its lazy-spawn path.
+func servebenchJob(seq int) serve.Job {
+	work := func(d time.Duration, fail bool) func(w *core.World) error {
+		return func(w *core.World) error {
+			deadline := time.Now().Add(d)
+			for time.Now().Before(deadline) {
+				if w.Cancelled() {
+					return errors.New("cancelled")
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			if fail {
+				return errors.New("injected fault")
+			}
+			return w.WriteUint64(0, uint64(seq))
+		}
+	}
+	faulty := seq%7 == 0
+	return serve.Job{
+		Kind: "servebench",
+		Name: fmt.Sprintf("synthetic-%d", seq),
+		Alts: []core.Alt{
+			{Name: "fast", Body: work(time.Millisecond, faulty)},
+			{Name: "medium", Body: work(2*time.Millisecond, false)},
+			{Name: "slow", Body: work(4*time.Millisecond, false)},
+		},
+		SpaceSize: 4096,
+		Deadline:  30 * time.Second,
+	}
+}
+
+// runServeLevel runs one closed-loop level: clients × jobsPerClient
+// jobs against a pool sized for the level.
+func runServeLevel(clients, jobsPerClient int) (serveLevelResult, error) {
+	specTokens := 2 * clients
+	pool, err := serve.NewPool(serve.Config{
+		Workers:    clients,
+		SpecTokens: specTokens,
+		MaxDegree:  servebenchMaxDegree,
+		QueueDepth: 2 * clients,
+	})
+	if err != nil {
+		return serveLevelResult{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = pool.Close(ctx)
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies stats.Sample
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			for j := 0; j < jobsPerClient; j++ {
+				seq := client*jobsPerClient + j
+				tk, err := pool.Submit(servebenchJob(seq))
+				if err != nil {
+					// Closed loop: the queue holds at most one job per
+					// client, so admission failures are real errors.
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d submit: %w", client, err)
+					}
+					mu.Unlock()
+					return
+				}
+				res, err := tk.Wait(ctx)
+				if err != nil || res.Status != serve.StatusDone {
+					mu.Lock()
+					if firstErr == nil {
+						if err == nil {
+							err = fmt.Errorf("status %v: %w", res.Status, res.Err)
+						}
+						firstErr = fmt.Errorf("client %d job %d: %w", client, j, err)
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				latencies.Add(float64(res.Elapsed.Nanoseconds()) / 1e6)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return serveLevelResult{}, firstErr
+	}
+
+	st := pool.Stats()
+	if int(st.SpecHighWater) > specTokens {
+		return serveLevelResult{}, fmt.Errorf(
+			"budget violated: %d live speculative worlds against %d tokens",
+			st.SpecHighWater, specTokens)
+	}
+	p50, err := latencies.Percentile(50)
+	if err != nil {
+		return serveLevelResult{}, err
+	}
+	p99, err := latencies.Percentile(99)
+	if err != nil {
+		return serveLevelResult{}, err
+	}
+	return serveLevelResult{
+		Concurrency:   clients,
+		SpecTokens:    specTokens,
+		Jobs:          latencies.N(),
+		P50MS:         p50,
+		P99MS:         p99,
+		MeanMS:        latencies.Mean(),
+		Throughput:    float64(latencies.N()) / elapsed.Seconds(),
+		SpecHighWater: st.SpecHighWater,
+		BudgetWaits:   st.TokenWaits,
+		LazyWaves:     st.LazyWaves,
+		AltsUnspawned: st.AltsUnspawned,
+	}, nil
+}
+
+// runServebench is the `altbench servebench` entry point.
+func runServebench(args []string) error {
+	fs := flag.NewFlagSet("servebench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_serve.json", "output JSON path ('-' for stdout only)")
+	quick := fs.Bool("quick", false, "CI smoke mode: small levels, few jobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	levels := []int{8, 16, 32, 64}
+	jobsPerClient := 25
+	if *quick {
+		levels = []int{4, 8}
+		jobsPerClient = 4
+	}
+
+	fmt.Println("servebench — closed-loop load against the admission-controlled service layer")
+	fmt.Printf("%-6s %8s %10s %10s %10s %12s %10s %10s %12s\n",
+		"conc", "jobs", "p50 ms", "p99 ms", "mean ms", "blocks/s", "hw/tokens", "waits", "unspawned")
+	var results []serveLevelResult
+	for _, c := range levels {
+		res, err := runServeLevel(c, jobsPerClient)
+		if err != nil {
+			return fmt.Errorf("level %d: %w", c, err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-6d %8d %10.2f %10.2f %10.2f %12.1f %7d/%-3d %10d %12d\n",
+			res.Concurrency, res.Jobs, res.P50MS, res.P99MS, res.MeanMS,
+			res.Throughput, res.SpecHighWater, res.SpecTokens, res.BudgetWaits, res.AltsUnspawned)
+	}
+	fmt.Println("\nbudget held at every level: live speculative worlds never exceeded the token pool")
+
+	return writeReport(*out, serveBenchReport{
+		reportMeta: newReportMeta(),
+		MaxDegree:  servebenchMaxDegree,
+		Levels:     results,
+	})
+}

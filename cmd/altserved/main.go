@@ -1,0 +1,100 @@
+// Command altserved is the admission-controlled alternative-block
+// daemon: an HTTP front end over serve.Pool that accepts recovery-block
+// and Prolog-query jobs, runs them under the speculation budget, and
+// drains gracefully on SIGTERM.
+//
+//	altserved -addr :8080 -workers 8 -spec-tokens 16
+//
+//	curl -s localhost:8080/jobs?wait=1 -d '{"kind":"sort","input":[5,3,1]}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/serve"
+	"altrun/internal/trace"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent jobs (0 = max(4, GOMAXPROCS))")
+		specTokens   = flag.Int("spec-tokens", 0, "speculation budget: max live speculative worlds (0 = 2×workers)")
+		maxDegree    = flag.Int("max-degree", 4, "max alternatives raced at once per job")
+		queueDepth   = flag.Int("queue", 256, "admission queue depth")
+		deadline     = flag.Duration("deadline", 30*time.Second, "default per-job deadline (0 = none)")
+		traceCap     = flag.Int("trace-cap", trace.DefaultLogCap, "trace ring-buffer capacity (events)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, serve.Config{
+		Workers:         *workers,
+		SpecTokens:      *specTokens,
+		MaxDegree:       *maxDegree,
+		QueueDepth:      *queueDepth,
+		DefaultDeadline: *deadline,
+		Runtime:         core.New(core.Config{Trace: true, TraceCap: *traceCap}),
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "altserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+	pool, err := serve.NewPool(cfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: newHandler(pool),
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("altserved listening on %s (workers=%d spec-tokens=%d max-degree=%d queue=%d)",
+			addr, pool.Stats().Workers, pool.Stats().SpecTokens, pool.Stats().MaxDegree, pool.Stats().QueueDepth)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then let queued and
+	// in-flight jobs finish (bounded by drainTimeout).
+	log.Printf("altserved draining (timeout %v)", drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := pool.Drain(shutdownCtx); err != nil {
+		// Out of patience: cancel what's left so worlds are freed.
+		log.Printf("drain incomplete (%v); cancelling remaining jobs", err)
+		killCtx, kcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer kcancel()
+		return pool.Close(killCtx)
+	}
+	st := pool.Stats()
+	log.Printf("altserved drained: %d completed, %d failed, %d timed out, %d cancelled (spec high-water %d/%d)",
+		st.JobsCompleted, st.JobsFailed, st.JobsTimedOut, st.JobsCancelled, st.SpecHighWater, st.SpecTokens)
+	return nil
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	approlog "altrun/apps/prolog"
+	apprecovery "altrun/apps/recovery"
+	"altrun/internal/msg"
+	"altrun/internal/serve"
+	"altrun/internal/trace"
+)
+
+// submitRequest is the POST /jobs body. Kind selects the job adapter;
+// the other fields are kind-specific.
+type submitRequest struct {
+	// Kind is "sort" (recovery-block demo) or "prolog".
+	Kind string `json:"kind"`
+	// DeadlineMS bounds the job end to end (0 = server default).
+	DeadlineMS int64 `json:"deadline_ms"`
+
+	// sort: the input array, optional fault injection into the primary
+	// version, and simulated CPU per comparison.
+	Input        []int `json:"input,omitempty"`
+	Faulty       bool  `json:"faulty,omitempty"`
+	PerCompareNS int64 `json:"per_compare_ns,omitempty"`
+
+	// prolog: a program (Prelude is preloaded) and a query.
+	Program string `json:"program,omitempty"`
+	Query   string `json:"query,omitempty"`
+}
+
+// jobView is the JSON rendering of a job's state.
+type jobView struct {
+	ID            uint64 `json:"id"`
+	Status        string `json:"status"`
+	Winner        string `json:"winner,omitempty"`
+	WinnerIndex   int    `json:"winner_index,omitempty"`
+	Waves         int    `json:"waves,omitempty"`
+	AltsUnspawned int    `json:"alts_unspawned,omitempty"`
+	ElapsedMS     int64  `json:"elapsed_ms,omitempty"`
+	Value         any    `json:"value,omitempty"`
+	Error         string `json:"error,omitempty"`
+}
+
+// metricsView is the GET /metrics payload.
+type metricsView struct {
+	Pool         serve.PoolStats   `json:"pool"`
+	Selection    trace.SelSnapshot `json:"selection"`
+	Messages     msg.Stats         `json:"messages"`
+	LiveWorlds   int               `json:"live_worlds"`
+	PageAllocs   int64             `json:"page_allocs"`
+	PageCopies   int64             `json:"page_copies"`
+	TraceDropped uint64            `json:"trace_dropped"`
+}
+
+type server struct {
+	pool *serve.Pool
+}
+
+// newHandler builds the daemon's HTTP API around a pool:
+//
+//	POST   /jobs        submit (?wait=1 blocks for the result; a client
+//	                    that disconnects while waiting abandons the job,
+//	                    freeing its speculative subtree)
+//	GET    /jobs/{id}   status/result (?forget=1 drops a terminal job)
+//	DELETE /jobs/{id}   cancel
+//	GET    /metrics     pool + selection + message + page counters
+//	GET    /healthz     liveness
+func newHandler(pool *serve.Pool) http.Handler {
+	s := &server{pool: pool}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// buildJob maps a submit request onto a serve.Job via the apps
+// adapters.
+func buildJob(req submitRequest) (serve.Job, error) {
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	switch req.Kind {
+	case "sort":
+		if len(req.Input) == 0 {
+			return serve.Job{}, errors.New("sort job needs a non-empty input array")
+		}
+		perCompare := time.Duration(req.PerCompareNS) * time.Nanosecond
+		return apprecovery.SortJob(req.Input, perCompare, req.Faulty, deadline), nil
+	case "prolog":
+		if req.Query == "" {
+			return serve.Job{}, errors.New("prolog job needs a query")
+		}
+		db := approlog.NewDB()
+		if err := db.Load(approlog.Prelude); err != nil {
+			return serve.Job{}, fmt.Errorf("prelude: %w", err)
+		}
+		if req.Program != "" {
+			if err := db.Load(req.Program); err != nil {
+				return serve.Job{}, fmt.Errorf("program: %w", err)
+			}
+		}
+		return approlog.QueryJob(db, req.Query, approlog.OrConfig{}, 0, deadline)
+	default:
+		return serve.Job{}, fmt.Errorf("unknown job kind %q (want sort or prolog)", req.Kind)
+	}
+}
+
+func viewOf(id uint64, tk *serve.Ticket) jobView {
+	v := jobView{ID: id, Status: tk.Status().String()}
+	if res, ok := tk.Result(); ok {
+		v.Winner = res.Winner
+		v.WinnerIndex = res.WinnerIndex
+		v.Waves = res.Waves
+		v.AltsUnspawned = res.AltsUnspawned
+		v.ElapsedMS = res.Elapsed.Milliseconds()
+		v.Value = res.Value
+		if res.Err != nil {
+			v.Error = res.Err.Error()
+		}
+	}
+	return v
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	job, err := buildJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tk, err := s.pool.Submit(job)
+	switch {
+	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		if _, err := tk.Wait(r.Context()); err != nil {
+			// The client went away mid-wait: abandon the job so its
+			// whole speculative subtree is freed.
+			tk.Cancel()
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, viewOf(tk.ID(), tk))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewOf(tk.ID(), tk))
+}
+
+func (s *server) ticketFromPath(w http.ResponseWriter, r *http.Request) (*serve.Ticket, uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id: %w", err))
+		return nil, 0, false
+	}
+	tk, err := s.pool.Ticket(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, 0, false
+	}
+	return tk, id, true
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	tk, id, ok := s.ticketFromPath(w, r)
+	if !ok {
+		return
+	}
+	v := viewOf(id, tk)
+	if r.URL.Query().Get("forget") != "" && tk.Status().Terminal() {
+		s.pool.Forget(id)
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	tk, id, ok := s.ticketFromPath(w, r)
+	if !ok {
+		return
+	}
+	tk.Cancel()
+	writeJSON(w, http.StatusOK, jobView{ID: id, Status: tk.Status().String()})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	rt := s.pool.Runtime()
+	m := metricsView{
+		Pool:       s.pool.Stats(),
+		Selection:  rt.SelStats(),
+		Messages:   rt.MsgStats(),
+		LiveWorlds: rt.LiveWorlds(),
+		PageAllocs: rt.Store().Allocs(),
+		PageCopies: rt.Store().Copies(),
+	}
+	if l := rt.Log(); l != nil {
+		m.TraceDropped = l.Dropped()
+	}
+	writeJSON(w, http.StatusOK, m)
+}

@@ -225,8 +225,7 @@ func (w *World) RunAlt(opts Options, alts ...Alt) (Result, error) {
 		v, ok := done.get(w.ctx, timeout)
 		if !ok {
 			if w.Cancelled() {
-				rt.propagate(eliminations(children))
-				return Result{}, ErrEliminated
+				return Result{}, rt.abandonBlock(w, claim, children, done, reports, len(live))
 			}
 			// TIMEOUT: claim the block for the parent so no child can
 			// commit afterwards ("too late", §3.2.1).
@@ -357,6 +356,66 @@ func (rt *Runtime) runAlternative(idx int, alt Alt, cw *World, opts Options, cla
 	cw.transferSpace()
 	rep.win = true
 	done.put(rep)
+}
+
+// abandonBlock tears down an alternative block whose parent was
+// cancelled while waiting in alt_wait (a job deadline or client abandon
+// in the service layer): the request's entire speculative subtree must
+// be freed. It first tries to claim the block for the parent — success
+// means no child ever commits, so the children are simply eliminated. A
+// failed claim means a child won the commit race concurrently: its
+// report is (or is about to be) in the inbox and its space was
+// transferred for an adoption that will never happen. That space is
+// reclaimed and the child's fate resolved as not-completed — exactly as
+// if it had lost the claim (§3.2.1's at-most-one semantics hold because
+// nothing observable ever escaped the block).
+func (rt *Runtime) abandonBlock(w *World, claim ClaimFunc, children []*World, done inbox, reports, live int) error {
+	rt.log.Add(rt.be.now(), trace.KindEliminate, w.pid, "block abandoned (parent cancelled)")
+	if !claim(w) {
+		// The claim is already taken: either a child won (its report is
+		// in flight) or a distributed arbiter is unreachable (every
+		// child will report too-late). Wait for reports to distinguish.
+		var winner *World
+		if rt.realBE != nil {
+			// Wait with a nil context: the parent itself is cancelled,
+			// but every spawned child reports exactly once (win, fail,
+			// or too-late), so the loop terminates.
+			for winner == nil && reports < live {
+				v, ok := done.get(nil, -1)
+				if !ok {
+					break
+				}
+				if rep, isRep := v.(childReport); isRep {
+					reports++
+					if rep.win {
+						winner = rep.w
+					}
+				}
+			}
+		} else {
+			// Simulated mode: the parent proc is being unwound and
+			// cannot park again; settle for the reports already queued.
+			for _, v := range done.drain() {
+				if rep, isRep := v.(childReport); isRep && rep.win {
+					winner = rep.w
+				}
+			}
+		}
+		if winner != nil {
+			// Reclaim the transferred-but-never-adopted space and
+			// resolve the winner as not-completed so worlds that
+			// assumed its fate (split server copies) settle correctly.
+			winner.space.Discard()
+			_ = rt.procs.SetStatus(winner.pid, proc.Eliminated)
+			rt.unregisterWorld(winner)
+			work := eliminationsExceptWorld(children, winner)
+			work = append(work, propEvent{resolvePID: winner.pid, completed: false})
+			rt.propagate(work)
+			return ErrEliminated
+		}
+	}
+	rt.propagate(eliminations(children))
+	return ErrEliminated
 }
 
 func evalGuard(g func(w *World) (bool, error), cw *World) error {

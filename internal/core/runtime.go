@@ -25,6 +25,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"altrun/internal/clock"
@@ -66,6 +67,11 @@ type Config struct {
 	Clock clock.Clock
 	// Trace enables event tracing.
 	Trace bool
+	// TraceCap bounds the trace log to a ring of the most recent
+	// TraceCap events (overwritten events are counted, see
+	// trace.Log.Dropped). 0 keeps the log unbounded — the mode
+	// experiments want; long-running daemons should set a cap.
+	TraceCap int
 }
 
 // SimConfig configures a simulated runtime.
@@ -77,6 +83,26 @@ type SimConfig struct {
 	CPUs int
 	// Trace enables event tracing.
 	Trace bool
+	// TraceCap bounds the trace log as in Config.TraceCap.
+	TraceCap int
+}
+
+// WorldObserver observes world registration and unregistration — the
+// hook a service layer uses to meter the machine-wide population of
+// live speculative worlds (the τ(overhead) driver of §4.2) without the
+// runtime knowing anything about admission control. Callbacks run
+// synchronously on the registering/unregistering goroutine and must be
+// fast and non-blocking.
+type WorldObserver interface {
+	// WorldRegistered fires when a world becomes live. speculative
+	// reports whether it entered with unresolved assumptions (an
+	// alternative-block child), as opposed to a root or server world.
+	WorldRegistered(pid ids.PID, speculative bool)
+	// WorldUnregistered fires when a registered world leaves the
+	// registry (commit, failure, elimination, split, or shutdown),
+	// with the same speculative flag its registration reported. It
+	// fires exactly once per delivered WorldRegistered.
+	WorldUnregistered(pid ids.PID, speculative bool)
 }
 
 // Runtime owns the worlds, the page store, the process registry, and
@@ -103,7 +129,15 @@ type Runtime struct {
 	// propPool recycles propagation queues so elimination cascades are
 	// allocation-free in steady state.
 	propPool sync.Pool
+
+	// observer, when set, is notified of world registration and
+	// unregistration (see WorldObserver).
+	observer atomic.Pointer[worldObserverBox]
 }
+
+// worldObserverBox wraps the observer interface so it can live in an
+// atomic.Pointer.
+type worldObserverBox struct{ o WorldObserver }
 
 // propQueue is a reusable propagation work queue.
 type propQueue struct {
@@ -113,7 +147,7 @@ type propQueue struct {
 // New returns a real-mode runtime.
 func New(cfg Config) *Runtime {
 	be := newRealBackend(cfg.Clock)
-	rt := newRuntime(page.NewStore(cfg.PageSize), cfg.Trace)
+	rt := newRuntime(page.NewStore(cfg.PageSize), cfg.Trace, cfg.TraceCap)
 	rt.be = be
 	rt.realBE = be
 	rt.finishInit()
@@ -127,7 +161,7 @@ func NewSim(cfg SimConfig) *Runtime {
 		cpus = cfg.CPUs
 	}
 	eng := sim.New(cpus)
-	rt := newRuntime(page.NewStore(cfg.Profile.PageSize), cfg.Trace)
+	rt := newRuntime(page.NewStore(cfg.Profile.PageSize), cfg.Trace, cfg.TraceCap)
 	rt.be = &simBackend{e: eng}
 	rt.eng = eng
 	profile := cfg.Profile
@@ -136,7 +170,7 @@ func NewSim(cfg SimConfig) *Runtime {
 	return rt
 }
 
-func newRuntime(store *page.Store, traced bool) *Runtime {
+func newRuntime(store *page.Store, traced bool, traceCap int) *Runtime {
 	rt := &Runtime{
 		store: store,
 		excl:  predicate.NewExclusionTable(),
@@ -146,10 +180,34 @@ func newRuntime(store *page.Store, traced bool) *Runtime {
 		return &propQueue{items: make([]propEvent, 0, 64)}
 	}
 	if traced {
-		rt.log = trace.NewLog()
+		if traceCap > 0 {
+			rt.log = trace.NewLogCapped(traceCap)
+		} else {
+			rt.log = trace.NewLog()
+		}
 	}
 	rt.procs = proc.NewTable(&ids.Generator{})
 	return rt
+}
+
+// SetWorldObserver installs (or, with nil, removes) the world lifecycle
+// observer. Install it before the worlds of interest are created:
+// unregistration is only reported for worlds whose registration the
+// observer saw, so a gauge built from the callbacks never goes
+// negative.
+func (rt *Runtime) SetWorldObserver(o WorldObserver) {
+	if o == nil {
+		rt.observer.Store(nil)
+		return
+	}
+	rt.observer.Store(&worldObserverBox{o: o})
+}
+
+func (rt *Runtime) worldObserver() WorldObserver {
+	if b := rt.observer.Load(); b != nil {
+		return b.o
+	}
+	return nil
 }
 
 func (rt *Runtime) finishInit() {
@@ -191,6 +249,11 @@ func (rt *Runtime) Log() *trace.Log { return rt.log }
 // Console returns the runtime's source device.
 func (rt *Runtime) Console() *device.Console { return rt.console }
 
+// LiveWorlds returns the number of registered worlds (root and
+// speculative). Diagnostic/metrics path — it walks every registry
+// shard, so the selection path never calls it.
+func (rt *Runtime) LiveWorlds() int { return len(rt.reg.snapshotWorlds()) }
+
 // MsgStats returns the message-layer decision counters.
 func (rt *Runtime) MsgStats() msg.Stats { return rt.router.Stats() }
 
@@ -222,11 +285,17 @@ func (rt *Runtime) Wait() {
 // NewRootWorld creates a non-speculative top-level world whose body
 // runs on the caller's goroutine (real mode only). The root's predicate
 // set is empty: it may touch sources freely.
+//
+// The root carries a cancellation handle even though it has no spawned
+// goroutine: World.Cancel kills its context, which aborts an in-flight
+// RunAlt (eliminating the whole child subtree) — the per-job
+// cancellation hook of the service layer.
 func (rt *Runtime) NewRootWorld(name string, spaceSize int64) (*World, error) {
 	if rt.realBE == nil {
 		return nil, errors.New("core: NewRootWorld is only valid in real mode; use GoRoot")
 	}
 	pid := rt.procs.Register(ids.None, name)
+	h := &realHandle{cancel: make(chan struct{})}
 	w := &World{
 		rt:         rt,
 		pid:        pid,
@@ -235,7 +304,9 @@ func (rt *Runtime) NewRootWorld(name string, spaceSize int64) (*World, error) {
 		preds:      predicate.New(),
 		box:        rt.be.newInbox(),
 		ownedSpace: true,
-		ctx:        &realCtx{clk: rt.realBE.clk, cancel: make(chan struct{})},
+		ctx:        &realCtx{clk: rt.realBE.clk, cancel: h.cancel},
+		handle:     h,
+		noBody:     true,
 	}
 	rt.registerWorld(w)
 	return w, nil
@@ -288,8 +359,15 @@ func (rt *Runtime) GoRoot(name string, spaceSize int64, body func(w *World)) *Wo
 // resolving a PID a set no longer mentions is a no-op.
 func (rt *Runtime) registerWorld(w *World) {
 	w.subPIDs = w.preds.AppendPIDs(w.subPIDs[:0])
+	w.obsSpec = w.preds.Unresolved()
 	rt.reg.addWorld(w)
 	rt.router.Register(w)
+	if o := rt.worldObserver(); o != nil {
+		// Mark before notifying: the catch-up below may eliminate w,
+		// and its unregistration must pair with this registration.
+		w.obsSeen = true
+		o.WorldRegistered(w.pid, w.obsSpec)
+	}
 	for _, p := range w.subPIDs {
 		st := rt.procs.Status(p)
 		if !st.Terminal() || st == proc.Forked {
@@ -315,6 +393,15 @@ func (rt *Runtime) registerWorld(w *World) {
 func (rt *Runtime) unregisterWorld(w *World) {
 	rt.reg.removeWorld(w)
 	rt.router.Unregister(w.pid)
+	w.mu.Lock()
+	seen := w.obsSeen
+	w.obsSeen = false
+	w.mu.Unlock()
+	if seen {
+		if o := rt.worldObserver(); o != nil {
+			o.WorldUnregistered(w.pid, w.obsSpec)
+		}
+	}
 }
 
 func (rt *Runtime) worldByPID(pid ids.PID) *World {
@@ -476,13 +563,16 @@ func (rt *Runtime) eliminateOne(w *World) bool {
 	rt.unregisterWorld(w)
 	w.mu.Lock()
 	h := w.handle
+	noBody := w.noBody
 	w.mu.Unlock()
 	if h != nil {
 		h.kill()
-	} else {
-		// Not spawned yet: nobody else will release its pages. If a
-		// spawn is racing us, it observes the terminated flag after
-		// setting the handle and kills it (discard is idempotent).
+	}
+	if h == nil || noBody {
+		// Not spawned yet (or a bodiless root): nobody else will
+		// release its pages. If a spawn is racing us, it observes the
+		// terminated flag after setting the handle and kills it
+		// (discard is idempotent).
 		w.discardSpace()
 	}
 	rt.log.Add(rt.be.now(), trace.KindEliminate, w.pid, w.name)

@@ -223,9 +223,10 @@ func (rt *Runtime) cloneServer(w *World, name string, preds *predicate.Set) *Wor
 	return cw
 }
 
-// Shutdown kills a server world (e.g., at the end of an experiment so
-// a simulation can drain). It is not an elimination: no predicate
-// resolution is triggered.
+// Shutdown kills a server or root world (e.g., at the end of an
+// experiment so a simulation can drain, or when a service-pool job
+// retires its root world). It is not an elimination: no predicate
+// resolution is triggered, and the world's pages are released.
 func (rt *Runtime) Shutdown(w *World) {
 	if !w.markTerminated() {
 		return
@@ -234,10 +235,13 @@ func (rt *Runtime) Shutdown(w *World) {
 	rt.unregisterWorld(w)
 	w.mu.Lock()
 	h := w.handle
+	noBody := w.noBody
 	w.mu.Unlock()
 	if h != nil {
 		h.kill()
-	} else {
+	}
+	if h == nil || noBody {
+		// No spawned goroutine owns the exit path: release here.
 		w.discardSpace()
 	}
 }

@@ -36,11 +36,24 @@ type World struct {
 	// visible to other goroutines), read at unregistration.
 	subPIDs []ids.PID
 
+	// obsSpec records whether the world was speculative at registration
+	// — the flag both observer callbacks report, so a gauge of live
+	// speculative worlds pairs up even though predicates resolve while
+	// the world is live. Written once by registerWorld.
+	obsSpec bool
+	// obsSeen is true while a delivered WorldRegistered awaits its
+	// WorldUnregistered (guarded by mu).
+	obsSeen bool
+
 	mu         sync.Mutex
 	preds      *predicate.Set
 	deferred   []string // deferred console output (source ops)
 	terminated bool
 	ownedSpace bool // false once the parent adopted it (winner)
+	// noBody marks a world with a cancellation handle but no spawned
+	// goroutine (a NewRootWorld root): no exit path will release its
+	// space, so Shutdown must.
+	noBody bool
 
 	isServer bool
 	serverFn Handler
@@ -233,6 +246,21 @@ func (w *World) Cancelled() bool {
 		return false
 	}
 	return w.ctx.cancelled()
+}
+
+// Cancel requests cancellation of the world's executing body from
+// outside — the service layer's per-job deadline/abandon hook. For a
+// root world blocked in RunAlt, the block aborts with ErrEliminated
+// after eliminating every child world (freeing the whole speculative
+// subtree, including a child that raced the cancellation to the commit
+// claim). Idempotent; safe to call from any goroutine.
+func (w *World) Cancel() {
+	w.mu.Lock()
+	h := w.handle
+	w.mu.Unlock()
+	if h != nil {
+		h.kill()
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -191,29 +191,7 @@ func (o *OrSolver) orSolve(w *core.World, goals []Term, binds Bindings, queryVar
 		}
 		// A genuine OR choice point with racing budget: spawn one
 		// alternative per clause.
-		alts := make([]core.Alt, 0, len(clauses))
-		for _, c := range clauses {
-			c := c
-			branchBinds := binds.Clone()
-			alts = append(alts, core.Alt{
-				Name: fmt.Sprintf("clause-%v", c.Head),
-				Body: func(cw *core.World) error {
-					branchCounter := branchRegion(cw)
-					rn := newRenamer(&branchCounter)
-					head := rn.rename(c.Head)
-					var tr trail
-					if !Unify(branchBinds, &tr, goal, head, false) {
-						return core.ErrGuardFailed
-					}
-					body := make([]Term, 0, len(c.Body)+len(goals)-1)
-					for _, b := range c.Body {
-						body = append(body, rn.rename(b))
-					}
-					body = append(body, goals[1:]...)
-					return o.orSolve(cw, body, branchBinds, queryVars, raceDepth-1, &branchCounter)
-				},
-			})
-		}
+		alts := o.clauseAlts(goal, goals, binds, queryVars, raceDepth-1)
 		_, err := w.RunAlt(core.Options{Timeout: o.Cfg.Timeout}, alts...)
 		if errors.Is(err, core.ErrAllFailed) {
 			return ErrNoSolution
@@ -221,6 +199,76 @@ func (o *OrSolver) orSolve(w *core.World, goals []Term, binds Bindings, queryVar
 		return err
 	}
 }
+
+// clauseAlts builds one alternative per clause matching goal: each
+// branch renames the clause apart, unifies its head against the goal
+// (a failed unification is a failed guard), and proves the clause body
+// followed by the remaining goals with remDepth further choice points
+// raced. Both orSolve's in-world RunAlt and QueryAlts (which hands the
+// alternatives to an external scheduler, e.g. serve.Pool) expand choice
+// points through here.
+func (o *OrSolver) clauseAlts(goal Term, goals []Term, binds Bindings, queryVars []Var, remDepth int) []core.Alt {
+	clauses := o.DB.Match(goal)
+	alts := make([]core.Alt, 0, len(clauses))
+	for _, c := range clauses {
+		c := c
+		branchBinds := binds.Clone()
+		alts = append(alts, core.Alt{
+			Name: fmt.Sprintf("clause-%v", c.Head),
+			Body: func(cw *core.World) error {
+				branchCounter := branchRegion(cw)
+				rn := newRenamer(&branchCounter)
+				head := rn.rename(c.Head)
+				var tr trail
+				if !Unify(branchBinds, &tr, goal, head, false) {
+					return core.ErrGuardFailed
+				}
+				body := make([]Term, 0, len(c.Body)+len(goals)-1)
+				for _, b := range c.Body {
+					body = append(body, rn.rename(b))
+				}
+				body = append(body, goals[1:]...)
+				return o.orSolve(cw, body, branchBinds, queryVars, remDepth, &branchCounter)
+			},
+		})
+	}
+	return alts
+}
+
+// QueryAlts expands the query's top-level OR choice point into
+// mutually exclusive alternatives for an external scheduler to race
+// (serve.Pool runs them under its speculation budget). The winning
+// alternative writes its solution into the world it commits; read it
+// back with ReadSolution. When the first goal is deterministic — a
+// builtin, or fewer than two matching clauses — a single sequential
+// alternative is returned. Nested choice points inside each branch run
+// sequentially: the external scheduler owns the degree of speculation.
+func (o *OrSolver) QueryAlts(goals []Term, queryVars []Var) []core.Alt {
+	o.Cfg = o.Cfg.withDefaults()
+	if len(goals) > 0 {
+		goal := goals[0]
+		if _, isVar := goal.(Var); !isVar && !isBuiltinGoal(goal) {
+			if len(o.DB.Match(goal)) >= 2 {
+				return o.clauseAlts(goal, goals, make(Bindings), queryVars, 0)
+			}
+		}
+	}
+	return []core.Alt{{Name: "sequential", Body: func(w *core.World) error {
+		counter := branchRegion(w)
+		for _, g := range goals {
+			for _, v := range Vars(g) {
+				if v.ID >= counter {
+					counter = v.ID + 1
+				}
+			}
+		}
+		return o.orSolve(w, goals, make(Bindings), queryVars, 0, &counter)
+	}}}
+}
+
+// ReadSolution decodes the solution the winning alternative committed
+// into w's address space.
+func ReadSolution(w *core.World) (Solution, error) { return readSolution(w) }
 
 // solveSequentialLeaf runs the plain SLD engine for the remaining
 // goals, with charging and cancellation, and writes the first solution

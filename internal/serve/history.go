@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// History records, per job kind and alternative name, an exponentially
+// weighted moving average of observed winner latency. Priority
+// admission uses it to order a block's alternatives fastest-first
+// (§4.2: the cheapest way to cut speculation overhead is to not spawn
+// the alternatives that historically lose), so a one-token wave runs
+// exactly the alternative most likely to finish first.
+//
+// Only winners are recorded — losers are eliminated before their
+// latency is knowable — so the ordering is exploitation-biased: an
+// alternative that has never won sorts after every alternative that
+// has (in declaration order among themselves) and is only explored
+// when spare tokens widen the wave or earlier waves fail.
+type History struct {
+	mu sync.Mutex
+	// ewma[kind][alt] is the smoothed winner latency in nanoseconds.
+	ewma map[string]map[string]float64
+}
+
+// historyAlpha is the EWMA smoothing factor: new observations move the
+// estimate by 20%, so a regressed alternative loses its priority within
+// a few wins.
+const historyAlpha = 0.2
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{ewma: make(map[string]map[string]float64)}
+}
+
+// Record folds one observed winner latency into the (kind, alt) EWMA.
+func (h *History) Record(kind, alt string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.ewma[kind]
+	if m == nil {
+		m = make(map[string]float64, 4)
+		h.ewma[kind] = m
+	}
+	if prev, ok := m[alt]; ok {
+		m[alt] = (1-historyAlpha)*prev + historyAlpha*float64(d)
+	} else {
+		m[alt] = float64(d)
+	}
+}
+
+// Estimate returns the smoothed winner latency for (kind, alt) and
+// whether one has been observed.
+func (h *History) Estimate(kind, alt string) (time.Duration, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if m := h.ewma[kind]; m != nil {
+		if v, ok := m[alt]; ok {
+			return time.Duration(v), true
+		}
+	}
+	return 0, false
+}
+
+// Order returns a permutation of indices into names, historically
+// fastest first; alternatives never observed keep their declaration
+// order after the observed ones. The sort is stable so equal estimates
+// also preserve declaration order.
+func (h *History) Order(kind string, names []string) []int {
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	h.mu.Lock()
+	m := h.ewma[kind]
+	if m == nil {
+		h.mu.Unlock()
+		return idx
+	}
+	est := make([]float64, len(names))
+	known := make([]bool, len(names))
+	for i, n := range names {
+		if v, ok := m[n]; ok {
+			est[i], known[i] = v, true
+		}
+	}
+	h.mu.Unlock()
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		switch {
+		case known[ia] && known[ib]:
+			return est[ia] < est[ib]
+		case known[ia]:
+			return true
+		default:
+			return false
+		}
+	})
+	return idx
+}

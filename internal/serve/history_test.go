@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestHistoryOrderUnknownKeepsDeclarationOrder(t *testing.T) {
+	h := NewHistory()
+	got := h.Order("sort", []string{"a", "b", "c"})
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Order with no history = %v, want %v", got, want)
+	}
+}
+
+func TestHistoryOrderFastestFirst(t *testing.T) {
+	h := NewHistory()
+	h.Record("sort", "slow", 100*time.Millisecond)
+	h.Record("sort", "fast", time.Millisecond)
+	got := h.Order("sort", []string{"slow", "unknown", "fast"})
+	// fast (1ms) < slow (100ms), never-observed last in declaration order.
+	if want := []int{2, 0, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Order = %v, want %v", got, want)
+	}
+	// Other kinds don't share statistics.
+	got = h.Order("other", []string{"slow", "unknown", "fast"})
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Order for unrelated kind = %v, want %v", got, want)
+	}
+}
+
+func TestHistoryEWMAAdapts(t *testing.T) {
+	h := NewHistory()
+	h.Record("q", "x", 10*time.Millisecond)
+	// A regression should move the estimate toward the new latency.
+	for i := 0; i < 20; i++ {
+		h.Record("q", "x", 100*time.Millisecond)
+	}
+	est, ok := h.Estimate("q", "x")
+	if !ok {
+		t.Fatal("Estimate lost the entry")
+	}
+	if est < 90*time.Millisecond {
+		t.Fatalf("EWMA = %v after 20 regressed samples, want ≥ 90ms", est)
+	}
+}
