@@ -1,0 +1,261 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"sync"
+	"time"
+
+	"altrun/internal/consensus"
+	"altrun/internal/core"
+	"altrun/internal/ids"
+	"altrun/internal/serve"
+	"altrun/internal/stats"
+	"altrun/internal/trace"
+	"altrun/internal/transport"
+)
+
+// distbench measures what distributed commit costs: the same closed-
+// loop alternative-block workload is run once with the local in-process
+// arbiter and once with every block's commit decided by a majority-
+// consensus ballot across a real TCP peer group of 1, 3, and 5 nodes
+// (§3.2.1). At 3 and 5 nodes one voter is crashed mid-run: the quorum
+// holds and the remaining blocks keep committing. Rows carry commit
+// latency (p50/p95), committed blocks per second, and the transport's
+// message/byte/RTT accounting.
+//
+// Usage: altbench distbench [-quick] [-o BENCH_dist.json]
+
+// distLevelResult is one (nodes, mode) row.
+type distLevelResult struct {
+	Nodes        int                `json:"nodes"`
+	Mode         string             `json:"mode"` // "local" or "consensus"
+	Jobs         int                `json:"jobs"`
+	P50MS        float64            `json:"p50_ms"`
+	P95MS        float64            `json:"p95_ms"`
+	MeanMS       float64            `json:"mean_ms"`
+	Throughput   float64            `json:"committed_blocks_per_sec"`
+	VoterCrashed bool               `json:"voter_crashed,omitempty"`
+	Net          *trace.NetSnapshot `json:"net,omitempty"`
+}
+
+// distBenchReport is the BENCH_dist.json document.
+type distBenchReport struct {
+	reportMeta
+	Clients int               `json:"clients"`
+	Levels  []distLevelResult `json:"levels"`
+}
+
+const (
+	distbenchClients = 4
+	distbenchSeed    = 7
+)
+
+// distbenchJob is the synthetic block: two correct alternatives of
+// distinct costs racing for one commit.
+func distbenchJob(seq int) serve.Job {
+	work := func(d time.Duration) func(w *core.World) error {
+		return func(w *core.World) error {
+			deadline := time.Now().Add(d)
+			for time.Now().Before(deadline) {
+				if w.Cancelled() {
+					return errors.New("cancelled")
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			return w.WriteUint64(0, uint64(seq))
+		}
+	}
+	return serve.Job{
+		Kind: "distbench",
+		Name: fmt.Sprintf("block-%d", seq),
+		Alts: []core.Alt{
+			{Name: "fast", Body: work(time.Millisecond)},
+			{Name: "slow", Body: work(3 * time.Millisecond)},
+		},
+		SpaceSize: 4096,
+		Deadline:  30 * time.Second,
+	}
+}
+
+// runDistLevel runs one (nodes, consensusMode) measurement. In
+// consensus mode a voter runs on every fleet member and each job's
+// block claims through a quorum ballot from node 1; crashVoter kills
+// the last member's voter once half the jobs are in.
+func runDistLevel(nodes, jobs int, consensusMode, crashVoter bool) (distLevelResult, error) {
+	res := distLevelResult{Nodes: nodes, Mode: "local"}
+	if consensusMode {
+		res.Mode = "consensus"
+	}
+
+	fleet, err := transport.NewTCPFleet(nodes, distbenchSeed)
+	if err != nil {
+		return res, err
+	}
+	defer fleet.Close()
+	eps := fleet.Endpoints()
+	members := make([]ids.NodeID, len(eps))
+	var voters []*consensus.Voter
+	for i, ep := range eps {
+		members[i] = ep.ID()
+		if consensusMode {
+			voters = append(voters, consensus.StartVoter(ep, ""))
+		}
+	}
+	defer func() {
+		for _, v := range voters {
+			v.Stop()
+		}
+	}()
+
+	cfg := serve.Config{
+		Workers:    distbenchClients,
+		SpecTokens: 2 * distbenchClients,
+		MaxDegree:  2,
+		QueueDepth: 2 * distbenchClients,
+	}
+	if consensusMode {
+		ccfg := consensus.Config{Net: fleet.Counters()}
+		cfg.NewClaim = func(job serve.Job, id uint64) core.ClaimFunc {
+			key := fmt.Sprintf("bench/%s/%d", job.Name, id)
+			cl := consensus.NewClaimant(key, eps[0], members, "", ccfg)
+			return func(w *core.World) bool {
+				return cl.Claim(transport.Background(), w.PID()).Won
+			}
+		}
+	}
+	pool, err := serve.NewPool(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = pool.Close(ctx)
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies stats.Sample
+		firstErr  error
+		submitted int
+		crashOnce sync.Once
+	)
+	jobsPerClient := jobs / distbenchClients
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < distbenchClients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			for j := 0; j < jobsPerClient; j++ {
+				mu.Lock()
+				submitted++
+				half := submitted >= jobs/2
+				mu.Unlock()
+				if half && crashVoter && len(voters) > 0 {
+					crashOnce.Do(func() {
+						voters[len(voters)-1].Stop()
+						res.VoterCrashed = true
+					})
+				}
+				tk, err := pool.Submit(distbenchJob(client*jobsPerClient + j))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d submit: %w", client, err)
+					}
+					mu.Unlock()
+					return
+				}
+				r, err := tk.Wait(ctx)
+				if err != nil || r.Status != serve.StatusDone {
+					mu.Lock()
+					if firstErr == nil {
+						if err == nil {
+							err = fmt.Errorf("status %v: %w", r.Status, r.Err)
+						}
+						firstErr = fmt.Errorf("client %d job %d: %w", client, j, err)
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				latencies.Add(float64(r.Elapsed.Nanoseconds()) / 1e6)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return res, firstErr
+	}
+
+	p50, err := latencies.Percentile(50)
+	if err != nil {
+		return res, err
+	}
+	p95, err := latencies.Percentile(95)
+	if err != nil {
+		return res, err
+	}
+	res.Jobs = latencies.N()
+	res.P50MS = p50
+	res.P95MS = p95
+	res.MeanMS = latencies.Mean()
+	res.Throughput = float64(latencies.N()) / elapsed.Seconds()
+	if consensusMode {
+		snap := fleet.Counters().Snapshot()
+		res.Net = &snap
+	}
+	return res, nil
+}
+
+// runDistbench is the `altbench distbench` entry point.
+func runDistbench(args []string) error {
+	fs := flag.NewFlagSet("distbench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_dist.json", "output JSON path ('-' for stdout only)")
+	quick := fs.Bool("quick", false, "CI smoke mode: few jobs per level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	jobs := 48
+	if *quick {
+		jobs = 8
+	}
+
+	fmt.Println("distbench — local vs majority-consensus commit over real TCP peer groups")
+	fmt.Printf("%-6s %-10s %6s %10s %10s %10s %12s %8s %10s\n",
+		"nodes", "mode", "jobs", "p50 ms", "p95 ms", "mean ms", "blocks/s", "crashed", "msgs")
+	var results []distLevelResult
+	for _, nodes := range []int{1, 3, 5} {
+		for _, mode := range []bool{false, true} {
+			crash := mode && nodes >= 3
+			res, err := runDistLevel(nodes, jobs, mode, crash)
+			if err != nil {
+				return fmt.Errorf("nodes=%d mode=%s: %w", nodes, res.Mode, err)
+			}
+			results = append(results, res)
+			msgs := int64(0)
+			if res.Net != nil {
+				msgs = res.Net.MsgsSent
+			}
+			fmt.Printf("%-6d %-10s %6d %10.2f %10.2f %10.2f %12.1f %8v %10d\n",
+				res.Nodes, res.Mode, res.Jobs, res.P50MS, res.P95MS, res.MeanMS,
+				res.Throughput, res.VoterCrashed, msgs)
+		}
+	}
+	fmt.Println("\nconsensus rows include transport accounting; a crashed voter at n≥3 leaves the quorum intact")
+
+	return writeReport(*out, distBenchReport{
+		reportMeta: newReportMeta(),
+		Clients:    distbenchClients,
+		Levels:     results,
+	})
+}

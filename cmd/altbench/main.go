@@ -7,6 +7,7 @@
 //	altbench -run e3,e4  # run a subset
 //	altbench -list       # list experiments
 //	altbench membench    # real COW microbenchmarks → BENCH_mem.json
+//	altbench distbench   # local vs consensus commit over TCP → BENCH_dist.json
 //
 // All experiments run in the deterministic simulator; output is
 // reproducible across machines.
@@ -81,6 +82,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "servebench" {
 		if err := runServebench(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "altbench servebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "distbench" {
+		if err := runDistbench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "altbench distbench:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"altrun/internal/checkpoint"
+	"altrun/internal/consensus"
+	"altrun/internal/core"
+	"altrun/internal/ids"
+	"altrun/internal/mem"
+	"altrun/internal/page"
+	"altrun/internal/serve"
+	"altrun/internal/trace"
+	"altrun/internal/transport"
+)
+
+// The daemon's peer group: each altserved node runs a TCP transport
+// endpoint, a consensus voter, a load responder, and an rfork receiver.
+// A job submitted to any node commits through a majority of the group's
+// voters (§3.2.1: "the synchronization is set up as a majority
+// consensus decision"), and a busy node can rfork a job — shipped as a
+// checkpoint image — onto the least-loaded peer.
+
+const (
+	loadPort        = "cluster/load"
+	loadReplyWait   = 300 * time.Millisecond
+	rforkPageSize   = 4096
+	rforkJobTimeout = 10 * time.Second
+)
+
+// loadQuery asks a peer for its pool occupancy; loadReply answers.
+type loadQuery struct{ Reply transport.Addr }
+
+type loadReply struct {
+	Node    ids.NodeID
+	Running int
+	Queued  int
+}
+
+func init() {
+	gob.Register(loadQuery{})
+	gob.Register(loadReply{})
+}
+
+// peerSpec maps node IDs to cluster listen addresses ("1=host:port,...").
+type peerSpec map[ids.NodeID]string
+
+func parsePeers(s string) (peerSpec, error) {
+	spec := peerSpec{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want <node>=<host:port>", part)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(id), 10, 32)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("peer %q: bad node id", part)
+		}
+		spec[ids.NodeID(n)] = strings.TrimSpace(addr)
+	}
+	if len(spec) == 0 {
+		return nil, fmt.Errorf("empty peer spec %q", s)
+	}
+	return spec, nil
+}
+
+// clusterState is one daemon's membership in the peer group.
+type clusterState struct {
+	node    ids.NodeID
+	tcp     *transport.TCP
+	voter   *consensus.Voter
+	members []ids.NodeID
+	ccfg    consensus.Config
+	nc      *trace.NetCounters
+
+	pool *serve.Pool // wired by start()
+
+	ballots   atomic.Int64
+	commits   atomic.Int64
+	rforksIn  atomic.Int64
+	rforksOut atomic.Int64
+	replySeq  atomic.Int64
+
+	loadSvc  transport.Handle
+	rforkSvc transport.Handle
+}
+
+// newClusterState brings up the transport endpoint and voter. peers
+// must include this node's own listen address.
+func newClusterState(node ids.NodeID, peers peerSpec) (*clusterState, error) {
+	listen, ok := peers[node]
+	if !ok {
+		return nil, fmt.Errorf("peer spec has no entry for this node (%d)", node)
+	}
+	nc := &trace.NetCounters{}
+	tcp, err := transport.NewTCP(transport.TCPOptions{Node: node, Listen: listen, Counters: nc})
+	if err != nil {
+		return nil, fmt.Errorf("cluster listen: %w", err)
+	}
+	members := make([]ids.NodeID, 0, len(peers))
+	for id, addr := range peers {
+		members = append(members, id)
+		if id != node {
+			tcp.AddPeer(id, addr)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return clusterFromTransport(tcp, members, nc), nil
+}
+
+// clusterFromTransport wraps an already-meshed transport endpoint (the
+// in-process test path; production goes through newClusterState).
+func clusterFromTransport(tcp *transport.TCP, members []ids.NodeID, nc *trace.NetCounters) *clusterState {
+	return &clusterState{
+		node:    tcp.ID(),
+		tcp:     tcp,
+		voter:   consensus.StartVoter(tcp, ""),
+		members: members,
+		ccfg:    consensus.Config{Net: nc},
+		nc:      nc,
+	}
+}
+
+// start wires the pool in and launches the load and rfork services.
+func (c *clusterState) start(pool *serve.Pool) {
+	c.pool = pool
+	c.loadSvc = c.tcp.Spawn("load-svc", c.serveLoad)
+	c.rforkSvc = c.tcp.Spawn("rfork-svc", c.serveRFork)
+}
+
+func (c *clusterState) close() {
+	if c.loadSvc != nil {
+		c.loadSvc.Kill()
+	}
+	if c.rforkSvc != nil {
+		c.rforkSvc.Kill()
+	}
+	c.voter.Stop()
+	c.tcp.Close()
+}
+
+// newClaim is the pool's commit arbiter: each job gets its own
+// consensus key, so the block commits only once a quorum of the peer
+// group has granted it.
+func (c *clusterState) newClaim(job serve.Job, id uint64) core.ClaimFunc {
+	key := fmt.Sprintf("job/%d/%d", c.node, id)
+	cl := consensus.NewClaimant(key, c.tcp, c.members, "", c.ccfg)
+	return func(w *core.World) bool {
+		c.ballots.Add(1)
+		won := cl.Claim(transport.Background(), w.PID()).Won
+		if won {
+			c.commits.Add(1)
+		}
+		return won
+	}
+}
+
+// serveLoad answers peers' occupancy queries.
+func (c *clusterState) serveLoad(p transport.Proc) {
+	inbox := c.tcp.Bind(loadPort)
+	for {
+		env, ok := inbox.Recv(p)
+		if !ok {
+			return
+		}
+		q, isQ := env.Payload.(loadQuery)
+		if !isQ {
+			continue
+		}
+		st := c.pool.Stats()
+		c.tcp.Send(q.Reply, loadReply{Node: c.node, Running: st.Running, Queued: st.Queued})
+	}
+}
+
+// serveRFork receives shipped jobs: a checkpoint image whose address
+// space holds the JSON submit request. The image is restored into a
+// fresh space, the request re-read from it, and the job admitted to the
+// local pool under this node's own consensus key.
+func (c *clusterState) serveRFork(p transport.Proc) {
+	inbox := c.tcp.Bind(checkpoint.RForkPort)
+	for {
+		env, ok := inbox.Recv(p)
+		if !ok {
+			return
+		}
+		wire, isBytes := env.Payload.([]byte)
+		if !isBytes {
+			continue
+		}
+		img, err := checkpoint.Decode(wire)
+		if err != nil {
+			continue
+		}
+		req, err := requestFromImage(img)
+		if err != nil {
+			continue
+		}
+		job, err := buildJob(req)
+		if err != nil {
+			continue
+		}
+		if _, err := c.pool.Submit(job); err == nil {
+			c.rforksIn.Add(1)
+		}
+	}
+}
+
+// leastLoaded polls every peer and returns the one with the smallest
+// occupancy, provided it is strictly less loaded than this node.
+func (c *clusterState) leastLoaded() (ids.NodeID, bool) {
+	replyPort := fmt.Sprintf("cluster/load/reply/%d", c.replySeq.Add(1))
+	mb := c.tcp.Bind(replyPort)
+	defer c.tcp.Unbind(replyPort)
+	asked := 0
+	for _, m := range c.members {
+		if m == c.node {
+			continue
+		}
+		if c.tcp.Send(transport.Addr{Node: m, Port: loadPort}, loadQuery{Reply: transport.Addr{Node: c.node, Port: replyPort}}) {
+			asked++
+		}
+	}
+	best, bestLoad := ids.NodeID(0), math.MaxInt
+	deadline := time.Now().Add(loadReplyWait)
+	for got := 0; got < asked; got++ {
+		left := time.Until(deadline)
+		if left <= 0 {
+			break
+		}
+		env, ok := mb.RecvTimeout(transport.Background(), left)
+		if !ok {
+			break
+		}
+		if rep, isRep := env.Payload.(loadReply); isRep {
+			if load := rep.Running + rep.Queued; load < bestLoad {
+				best, bestLoad = rep.Node, load
+			}
+		}
+	}
+	st := c.pool.Stats()
+	if best == 0 || bestLoad >= st.Running+st.Queued {
+		return 0, false
+	}
+	return best, true
+}
+
+// rfork ships a submit request to a peer as a checkpoint image: the
+// JSON request is written into an address space, captured, and sent
+// over the transport exactly like a migrating process (§5.1.2's rfork).
+func (c *clusterState) rfork(to ids.NodeID, id uint64, req submitRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	store := page.NewStore(rforkPageSize)
+	space := mem.New(store, int64(len(body)))
+	if err := space.WriteAt(body, 0); err != nil {
+		return err
+	}
+	img, err := checkpoint.Capture(ids.PID(id+1), "rfork-job", space, map[string]int64{"len": int64(len(body))})
+	if err != nil {
+		return err
+	}
+	if _, err := checkpoint.Ship(transport.Background(), c.tcp, to, img); err != nil {
+		return err
+	}
+	c.rforksOut.Add(1)
+	return nil
+}
+
+// requestFromImage restores a shipped image and re-reads the JSON
+// request embedded in its address space.
+func requestFromImage(img *checkpoint.Image) (submitRequest, error) {
+	var req submitRequest
+	space, err := img.Restore(page.NewStore(img.PageSize))
+	if err != nil {
+		return req, err
+	}
+	n := img.Control["len"]
+	if n <= 0 || n > img.SpaceSize {
+		return req, fmt.Errorf("rfork image: bad payload length %d", n)
+	}
+	body := make([]byte, n)
+	if err := space.ReadAt(body, 0); err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("rfork image: %w", err)
+	}
+	return req, nil
+}
+
+// clusterView is the /metrics rendering of the peer group.
+type clusterView struct {
+	Node             ids.NodeID        `json:"node"`
+	Members          []ids.NodeID      `json:"members"`
+	Quorum           int               `json:"quorum"`
+	Ballots          int64             `json:"ballots"`
+	ConsensusCommits int64             `json:"consensus_commits"`
+	RForksIn         int64             `json:"rforks_in"`
+	RForksOut        int64             `json:"rforks_out"`
+	Net              trace.NetSnapshot `json:"net"`
+}
+
+func (c *clusterState) view() *clusterView {
+	return &clusterView{
+		Node:             c.node,
+		Members:          c.members,
+		Quorum:           len(c.members)/2 + 1,
+		Ballots:          c.ballots.Load(),
+		ConsensusCommits: c.commits.Load(),
+		RForksIn:         c.rforksIn.Load(),
+		RForksOut:        c.rforksOut.Load(),
+		Net:              c.nc.Snapshot(),
+	}
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/ids"
+	"altrun/internal/serve"
+	"altrun/internal/trace"
+	"altrun/internal/transport"
+)
+
+// clusterNode is one in-process daemon: transport + voter + pool + HTTP.
+type clusterNode struct {
+	state *clusterState
+	pool  *serve.Pool
+	http  *httptest.Server
+}
+
+// testCluster brings up n daemons meshed over loopback TCP on ephemeral
+// ports — the in-process equivalent of `altserved -node i -peers ...`.
+func testCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	tcps := make([]*transport.TCP, n)
+	members := make([]ids.NodeID, n)
+	for i := range tcps {
+		nc := &trace.NetCounters{}
+		tcp, err := transport.NewTCP(transport.TCPOptions{Node: ids.NodeID(i + 1), Counters: nc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcps[i] = tcp
+		members[i] = tcp.ID()
+	}
+	for i, a := range tcps {
+		for j, b := range tcps {
+			if i != j {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	nodes := make([]*clusterNode, n)
+	for i, tcp := range tcps {
+		cs := clusterFromTransport(tcp, members, tcp.Counters())
+		pool, err := serve.NewPool(serve.Config{
+			Workers:         2,
+			SpecTokens:      4,
+			QueueDepth:      8,
+			DefaultDeadline: 30 * time.Second,
+			Runtime:         core.New(core.Config{Trace: true, TraceCap: 1024}),
+			NewClaim:        cs.newClaim,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs.start(pool)
+		nodes[i] = &clusterNode{
+			state: cs,
+			pool:  pool,
+			http:  httptest.NewServer(newHandler(pool, cs)),
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.http.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := nd.pool.Close(ctx); err != nil {
+				t.Errorf("pool close: %v", err)
+			}
+			cancel()
+			nd.state.close()
+		}
+	})
+	return nodes
+}
+
+func getMetrics(t *testing.T, url string) metricsView {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsView
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestClusterConsensusCommit: a job submitted to one node of a 3-node
+// group commits through majority consensus — with one voter killed mid-
+// block, the remaining quorum of 2 still decides, and exactly one
+// alternative commits.
+func TestClusterConsensusCommit(t *testing.T) {
+	nodes := testCluster(t, 3)
+
+	// Kill node 3's voter as the job runs: quorum is 2 of 3.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		nodes[2].state.voter.Stop()
+	}()
+
+	input := make([]int, 500)
+	for i := range input {
+		input[i] = len(input) - i
+	}
+	resp, v := postJSON(t, nodes[0].http.URL+"/jobs?wait=1", submitRequest{
+		Kind:         "sort",
+		Input:        input,
+		PerCompareNS: int64(20 * time.Microsecond),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %+v", resp.StatusCode, v)
+	}
+	if v.Status != "done" {
+		t.Fatalf("job status = %q (error %q), want done", v.Status, v.Error)
+	}
+
+	m := getMetrics(t, nodes[0].http.URL)
+	if m.Cluster == nil {
+		t.Fatal("metrics missing cluster section")
+	}
+	if m.Cluster.ConsensusCommits != 1 {
+		t.Fatalf("consensus_commits = %d, want exactly 1 (at-most-one per block)", m.Cluster.ConsensusCommits)
+	}
+	if m.Cluster.Ballots < 1 {
+		t.Fatalf("ballots = %d, want ≥ 1", m.Cluster.Ballots)
+	}
+	if m.Cluster.Quorum != 2 || len(m.Cluster.Members) != 3 {
+		t.Fatalf("cluster view = %+v", m.Cluster)
+	}
+	if m.Cluster.Net.MsgsSent == 0 {
+		t.Fatal("consensus over TCP must account sent messages")
+	}
+}
+
+// TestClusterRForkForwarding: a busy node forwards an ?rfork=1 job to
+// the least-loaded peer as a shipped checkpoint image; the peer rebuilds
+// and runs it under its own consensus key.
+func TestClusterRForkForwarding(t *testing.T) {
+	nodes := testCluster(t, 3)
+
+	// Occupy node 1 with a slow job so a peer is strictly less loaded.
+	slow := make([]int, 3000)
+	for i := range slow {
+		slow[i] = len(slow) - i
+	}
+	if resp, _ := postJSON(t, nodes[0].http.URL+"/jobs", submitRequest{
+		Kind:         "sort",
+		Input:        slow,
+		PerCompareNS: int64(30 * time.Microsecond),
+	}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow job status = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	forwarded := false
+	for !forwarded {
+		if time.Now().After(deadline) {
+			t.Fatal("rfork submission never forwarded")
+		}
+		resp, _ := postJSON(t, nodes[0].http.URL+"/jobs?rfork=1", submitRequest{
+			Kind:  "sort",
+			Input: []int{9, 7, 8},
+		})
+		if resp.StatusCode == http.StatusAccepted {
+			forwarded = nodes[0].state.rforksOut.Load() > 0
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Some peer received the image, rebuilt the job, and completed it.
+	for time.Now().Before(deadline) {
+		for _, nd := range nodes[1:] {
+			if nd.state.rforksIn.Load() > 0 && nd.pool.Stats().JobsCompleted > 0 {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no peer completed the forwarded job")
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"altrun/internal/core"
+	"altrun/internal/ids"
 	"altrun/internal/serve"
 	"altrun/internal/trace"
 )
@@ -36,29 +37,58 @@ func main() {
 		deadline     = flag.Duration("deadline", 30*time.Second, "default per-job deadline (0 = none)")
 		traceCap     = flag.Int("trace-cap", trace.DefaultLogCap, "trace ring-buffer capacity (events)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+		node         = flag.Int("node", 0, "this daemon's node id in the peer group (0 = single-node)")
+		peers        = flag.String("peers", "", `peer group as "1=host:port,2=host:port,..." (must include this node)`)
 	)
 	flag.Parse()
-	if err := run(*addr, serve.Config{
+	var cluster *clusterState
+	if *peers != "" {
+		if *node <= 0 {
+			fmt.Fprintln(os.Stderr, "altserved: -peers requires -node")
+			os.Exit(1)
+		}
+		spec, err := parsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "altserved:", err)
+			os.Exit(1)
+		}
+		cluster, err = newClusterState(ids.NodeID(*node), spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "altserved:", err)
+			os.Exit(1)
+		}
+	}
+	cfg := serve.Config{
 		Workers:         *workers,
 		SpecTokens:      *specTokens,
 		MaxDegree:       *maxDegree,
 		QueueDepth:      *queueDepth,
 		DefaultDeadline: *deadline,
 		Runtime:         core.New(core.Config{Trace: true, TraceCap: *traceCap}),
-	}, *drainTimeout); err != nil {
+	}
+	if cluster != nil {
+		cfg.NewClaim = cluster.newClaim
+	}
+	if err := run(*addr, cfg, cluster, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "altserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+func run(addr string, cfg serve.Config, cluster *clusterState, drainTimeout time.Duration) error {
 	pool, err := serve.NewPool(cfg)
 	if err != nil {
 		return err
 	}
+	if cluster != nil {
+		cluster.start(pool)
+		defer cluster.close()
+		log.Printf("altserved node %d in peer group %v (cluster addr %s, quorum %d)",
+			cluster.node, cluster.members, cluster.tcp.Addr(), len(cluster.members)/2+1)
+	}
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: newHandler(pool),
+		Handler: newHandler(pool, cluster),
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

@@ -26,7 +26,7 @@ func testServer(t *testing.T) (*httptest.Server, *serve.Pool) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(pool))
+	ts := httptest.NewServer(newHandler(pool, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -56,10 +56,12 @@ type metricsView struct {
 	PageAllocs   int64             `json:"page_allocs"`
 	PageCopies   int64             `json:"page_copies"`
 	TraceDropped uint64            `json:"trace_dropped"`
+	Cluster      *clusterView      `json:"cluster,omitempty"`
 }
 
 type server struct {
-	pool *serve.Pool
+	pool    *serve.Pool
+	cluster *clusterState // nil when running single-node
 }
 
 // newHandler builds the daemon's HTTP API around a pool:
@@ -71,8 +73,8 @@ type server struct {
 //	DELETE /jobs/{id}   cancel
 //	GET    /metrics     pool + selection + message + page counters
 //	GET    /healthz     liveness
-func newHandler(pool *serve.Pool) http.Handler {
-	s := &server{pool: pool}
+func newHandler(pool *serve.Pool, cluster *clusterState) http.Handler {
+	s := &server{pool: pool, cluster: cluster}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
@@ -153,9 +155,28 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// In a peer group, ?rfork=1 forwards the job to the least-loaded
+	// peer up front; a full local queue triggers the same forwarding as
+	// a fallback before the submission is rejected.
+	if s.cluster != nil && r.URL.Query().Get("rfork") != "" {
+		if to, ok := s.cluster.leastLoaded(); ok {
+			if ferr := s.cluster.rfork(to, 0, req); ferr == nil {
+				writeJSON(w, http.StatusAccepted, map[string]any{"rforked_to": to})
+				return
+			}
+		}
+	}
 	tk, err := s.pool.Submit(job)
 	switch {
 	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrDraining):
+		if s.cluster != nil && errors.Is(err, serve.ErrQueueFull) {
+			if to, ok := s.cluster.leastLoaded(); ok {
+				if ferr := s.cluster.rfork(to, 0, req); ferr == nil {
+					writeJSON(w, http.StatusAccepted, map[string]any{"rforked_to": to})
+					return
+				}
+			}
+		}
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -223,6 +244,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if l := rt.Log(); l != nil {
 		m.TraceDropped = l.Dropped()
+	}
+	if s.cluster != nil {
+		m.Cluster = s.cluster.view()
 	}
 	writeJSON(w, http.StatusOK, m)
 }

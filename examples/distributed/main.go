@@ -42,7 +42,7 @@ func runBlock(crashes int) error {
 	for i := 0; i < 5; i++ {
 		nodes = append(nodes, c.AddNode(sim.ProfileHP9000()))
 	}
-	group := consensus.NewGroup("demo", c, nodes, consensus.Config{
+	group := consensus.NewGroup("demo", c.Endpoints(), consensus.Config{
 		ReplyTimeout: 100 * time.Millisecond,
 		MaxAttempts:  3,
 	})

@@ -1,0 +1,83 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"altrun/internal/checkpoint"
+	"altrun/internal/ids"
+	"altrun/internal/mem"
+	"altrun/internal/page"
+	"altrun/internal/transport"
+	"altrun/internal/transport/transporttest"
+)
+
+// Ship/Receive is the rfork pipeline of E5, here exercised over both
+// fabrics: capture on node 1, ship to node 2, restore, compare.
+
+func TestShipReceiveRoundTrip(t *testing.T) {
+	transporttest.Each(t, 2, 5, func(t *testing.T, f *transporttest.Fabric) {
+		src, dst := f.Eps()[0], f.Eps()[1]
+		const size = 4096
+		store := page.NewStore(256)
+		space := mem.New(store, size)
+		content := bytes.Repeat([]byte{0xAB}, size)
+		if err := space.WriteAt(content, 0); err != nil {
+			t.Fatal(err)
+		}
+		img, err := checkpoint.Capture(ids.PID(7), "migrant", space, map[string]int64{"pc": 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		inbox := dst.Bind(checkpoint.RForkPort)
+		f.Go("receiver", func(p transport.Proc) {
+			got, err := checkpoint.Receive(p, inbox, 10*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got.PID != ids.PID(7) || got.Name != "migrant" || got.Control["pc"] != 42 {
+				t.Errorf("image header = %+v", got)
+			}
+			restored, err := got.Restore(page.NewStore(256))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			back := make([]byte, size)
+			if err := restored.ReadAt(back, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(back, content) {
+				t.Error("restored space differs from the original")
+			}
+		})
+		f.Go("sender", func(p transport.Proc) {
+			n, err := checkpoint.Ship(p, src, dst.ID(), img)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if n <= size {
+				t.Errorf("wire size %d, want > payload %d", n, size)
+			}
+		})
+		f.Run(t)
+	})
+}
+
+func TestReceiveTimesOut(t *testing.T) {
+	transporttest.Each(t, 2, 5, func(t *testing.T, f *transporttest.Fabric) {
+		dst := f.Eps()[1]
+		inbox := dst.Bind(checkpoint.RForkPort)
+		f.Go("receiver", func(p transport.Proc) {
+			if _, err := checkpoint.Receive(p, inbox, 50*time.Millisecond); err == nil {
+				t.Error("receive with no sender must time out")
+			}
+		})
+		f.Run(t)
+	})
+}

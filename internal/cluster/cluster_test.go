@@ -23,7 +23,7 @@ func TestSendDelivery(t *testing.T) {
 	var when time.Duration
 	start := e.Now()
 	e.Spawn("recv", func(p *sim.Proc) {
-		got = inbox.Recv(p).(Envelope)
+		got, _ = inbox.Recv(p)
 		when = e.Since(start)
 	})
 	e.Spawn("send", func(p *sim.Proc) {
@@ -49,7 +49,8 @@ func TestFIFOOrdering(t *testing.T) {
 	var got []int
 	e.Spawn("recv", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
-			got = append(got, inbox.Recv(p).(Envelope).Payload.(int))
+			env, _ := inbox.Recv(p)
+			got = append(got, env.Payload.(int))
 		}
 	})
 	e.Spawn("send", func(p *sim.Proc) {
@@ -104,7 +105,7 @@ func TestPartitionDrops(t *testing.T) {
 	c.Heal(a.ID(), b.ID())
 	inbox := b.Bind("app")
 	var got any
-	e.Spawn("recv", func(p *sim.Proc) { got = inbox.Recv(p).(Envelope).Payload })
+	e.Spawn("recv", func(p *sim.Proc) { env, _ := inbox.Recv(p); got = env.Payload })
 	e.Spawn("send2", func(p *sim.Proc) {
 		c.Send(a, Addr{Node: b.ID(), Port: "app"}, "ok")
 	})
@@ -132,6 +133,58 @@ func TestIsolate(t *testing.T) {
 		}
 		if !c.Send(nodes[1], Addr{Node: nodes[2].ID(), Port: "x"}, 1) {
 			t.Error("non-isolated pair must communicate")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: Isolate must cut both directions of every pair touching
+// the isolated node, regardless of which order the pair's IDs reach
+// pairKey — an isolated node can neither send nor receive, and a
+// broadcast from it reaches only its own mailbox.
+func TestIsolateSymmetric(t *testing.T) {
+	e := sim.New(0)
+	c := New(e, 1)
+	var nodes []*Node
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, c.AddNode(sim.ProfileHP9000()))
+	}
+	// Isolate a middle node so pairs exist on both sides of its ID.
+	iso := nodes[2]
+	c.Isolate(iso.ID())
+	e.Spawn("probe", func(p *sim.Proc) {
+		for _, n := range nodes {
+			n.Bind("x")
+		}
+		for _, other := range []*Node{nodes[0], nodes[1], nodes[3]} {
+			if c.Send(iso, Addr{Node: other.ID(), Port: "x"}, 1) {
+				t.Errorf("isolated node sent to %v", other.ID())
+			}
+			if c.Send(other, Addr{Node: iso.ID(), Port: "x"}, 1) {
+				t.Errorf("%v reached the isolated node", other.ID())
+			}
+		}
+		// Broadcast from the isolated node: only its own port hears it.
+		c.Broadcast(iso, "x", "hello?")
+		p.Sleep(time.Second)
+		for _, n := range nodes {
+			want := 0
+			if n == iso {
+				want = 1
+			}
+			if got := n.Bind("x").(mailbox).Chan().Len(); got != want {
+				t.Errorf("node %v queued %d broadcast messages, want %d", n.ID(), got, want)
+			}
+		}
+		// Heal in flipped argument order must restore both directions.
+		c.Heal(nodes[0].ID(), iso.ID())
+		c.Heal(iso.ID(), nodes[3].ID())
+		if !c.Send(iso, Addr{Node: nodes[0].ID(), Port: "x"}, 1) ||
+			!c.Send(nodes[0], Addr{Node: iso.ID(), Port: "x"}, 1) ||
+			!c.Send(nodes[3], Addr{Node: iso.ID(), Port: "x"}, 1) {
+			t.Error("heal must restore both directions regardless of key order")
 		}
 	})
 	if err := e.Run(); err != nil {
@@ -216,7 +269,7 @@ func TestUnbindDiscardsLateMessages(t *testing.T) {
 		c.Send(a, Addr{Node: b.ID(), Port: "app"}, "in-flight")
 		b.Unbind("app")
 		p.Sleep(time.Second)
-		if inbox.Len() != 0 {
+		if inbox.(mailbox).Chan().Len() != 0 {
 			t.Error("message delivered to unbound port")
 		}
 	})

@@ -1,0 +1,17 @@
+package consensus
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ReplyTimeout != DefaultReplyTimeout || c.BackoffBase != DefaultBackoffBase || c.MaxAttempts != DefaultMaxAttempts {
+		t.Fatalf("defaults = %+v", c)
+	}
+	keep := Config{ReplyTimeout: time.Second, BackoffBase: time.Second, MaxAttempts: 3}.withDefaults()
+	if keep.ReplyTimeout != time.Second || keep.MaxAttempts != 3 {
+		t.Fatalf("explicit values overridden: %+v", keep)
+	}
+}

@@ -19,27 +19,40 @@
 // sacrificed deliberately: if no claimant can reach a majority the block
 // times out and fails — "the engineering tradeoff here is between
 // performance and reliability" (§3.2.1).
+//
+// The package is written against transport.Endpoint only, so the same
+// voter and claimant code runs on the deterministic simulated cluster
+// (experiments, E10) and on the real TCP transport (altserved peer
+// groups). Semaphores are named: a Voter multiplexes any number of
+// independent keys on one port, so a daemon runs one voter for all its
+// jobs, while a Group bundles per-node voters plus a single key for
+// the one-shot blocks the experiments race.
 package consensus
 
 import (
+	"encoding/gob"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"altrun/internal/cluster"
 	"altrun/internal/ids"
-	"altrun/internal/sim"
+	"altrun/internal/trace"
+	"altrun/internal/transport"
 )
 
 // Message types exchanged by the protocol.
 type (
-	// VoteReq asks a voter for its vote.
+	// VoteReq asks a voter for its vote on a keyed semaphore.
 	VoteReq struct {
+		Key      string
 		Claimant ids.PID
 		Ballot   int
-		Reply    cluster.Addr
+		Reply    transport.Addr
 	}
 	// VoteReply answers a VoteReq.
 	VoteReply struct {
+		Key     string
 		Voter   ids.NodeID
 		Ballot  int
 		Granted bool
@@ -48,14 +61,24 @@ type (
 	}
 	// Release returns a claimant's votes after a failed ballot.
 	Release struct {
+		Key      string
 		Claimant ids.PID
 		Ballot   int
 	}
-	// CommitAnnounce locks the group on the winner.
+	// CommitAnnounce locks the key on the winner.
 	CommitAnnounce struct {
+		Key    string
 		Winner ids.PID
 	}
 )
+
+func init() {
+	// The protocol crosses the real transport's gob framing.
+	gob.Register(VoteReq{})
+	gob.Register(VoteReply{})
+	gob.Register(Release{})
+	gob.Register(CommitAnnounce{})
+}
 
 // Config tunes the claim protocol.
 type Config struct {
@@ -65,6 +88,9 @@ type Config struct {
 	BackoffBase time.Duration
 	// MaxAttempts bounds ballots per claim; 0 means DefaultMaxAttempts.
 	MaxAttempts int
+	// Net, when set, receives one RTT observation per vote reply
+	// (ballot send → reply receipt), feeding /metrics quantiles.
+	Net *trace.NetCounters
 }
 
 // Defaults used when Config fields are zero.
@@ -87,102 +113,100 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// voter is the per-node protocol state.
-type voter struct {
-	node    *cluster.Node
-	proc    *sim.Proc
+// DefaultVotePort is the well-known port a daemon's voter binds.
+const DefaultVotePort = "consensus/vote"
+
+// keyState is a voter's per-semaphore state. Decided keys are retained
+// forever: keys are never reused (altserved derives them from unique
+// job IDs), and a voter must keep answering "too late" to stragglers.
+type keyState struct {
 	granted ids.PID
 	winner  ids.PID
 }
 
-// Group is a majority-consensus semaphore spanning a set of nodes.
-type Group struct {
-	name    string
-	c       *cluster.Cluster
-	cfg     Config
-	voters  []*voter
-	quorum  int
-	winner  ids.PID // observational: first CommitAnnounce seen by any voter
-	ballots int     // total ballots run (for experiment accounting)
+// Voter is one node's voting service: a single process answering vote
+// traffic for any number of keyed semaphores on one port.
+type Voter struct {
+	ep     transport.Endpoint
+	port   string
+	handle transport.Handle
+
+	mu   sync.Mutex
+	keys map[string]*keyState
 }
 
-// NewGroup spawns one voter process on each node and returns the group.
-// name must be unique per cluster (it namespaces the ports).
-func NewGroup(name string, c *cluster.Cluster, nodes []*cluster.Node, cfg Config) *Group {
-	g := &Group{
-		name:   name,
-		c:      c,
-		cfg:    cfg.withDefaults(),
-		quorum: len(nodes)/2 + 1,
+// StartVoter binds port on ep and spawns the voter process. port ""
+// means DefaultVotePort.
+func StartVoter(ep transport.Endpoint, port string) *Voter {
+	if port == "" {
+		port = DefaultVotePort
 	}
-	for _, n := range nodes {
-		v := &voter{node: n}
-		port := g.votePort()
-		inbox := n.Bind(port)
-		v.proc = c.Engine().Spawn(fmt.Sprintf("voter-%s-%v", name, n.ID()), func(p *sim.Proc) {
-			g.runVoter(p, v, inbox)
-		})
-		g.voters = append(g.voters, v)
-	}
-	return g
+	v := &Voter{ep: ep, port: port, keys: make(map[string]*keyState)}
+	inbox := ep.Bind(port)
+	v.handle = ep.Spawn(fmt.Sprintf("voter-%v", ep.ID()), func(p transport.Proc) {
+		v.run(p, inbox)
+	})
+	return v
 }
 
-func (g *Group) votePort() string { return "consensus/" + g.name + "/vote" }
+// Stop kills the voter process. The port stays bound, so late messages
+// queue unanswered — exactly how a crashed node looks to claimants.
+func (v *Voter) Stop() { v.handle.Kill() }
 
-// Quorum returns the majority size.
-func (g *Group) Quorum() int { return g.quorum }
-
-// Ballots returns the total number of ballots claimants have run.
-func (g *Group) Ballots() int { return g.ballots }
-
-// Winner returns the committed PID, if any voter has seen the commit.
-func (g *Group) Winner() (ids.PID, bool) {
-	if g.winner.IsValid() {
-		return g.winner, true
+// Winner returns the committed PID for key, if this voter has seen the
+// commit announcement.
+func (v *Voter) Winner(key string) (ids.PID, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if st, ok := v.keys[key]; ok && st.winner.IsValid() {
+		return st.winner, true
 	}
 	return ids.None, false
 }
 
-// Shutdown kills the voter processes. Call when the group is no longer
-// needed so the simulation can drain.
-func (g *Group) Shutdown() {
-	for _, v := range g.voters {
-		g.c.Engine().Kill(v.proc)
+func (v *Voter) state(key string) *keyState {
+	st, ok := v.keys[key]
+	if !ok {
+		st = &keyState{}
+		v.keys[key] = st
 	}
+	return st
 }
 
-// CrashVoter kills voter i (fault injection for E10).
-func (g *Group) CrashVoter(i int) {
-	if i >= 0 && i < len(g.voters) {
-		g.c.Engine().Kill(g.voters[i].proc)
-	}
-}
-
-// runVoter is the voter main loop.
-func (g *Group) runVoter(p *sim.Proc, v *voter, inbox *sim.Chan) {
+// run is the voter main loop.
+func (v *Voter) run(p transport.Proc, inbox transport.Mailbox) {
 	for {
-		env, _ := inbox.Recv(p).(cluster.Envelope)
+		env, ok := inbox.Recv(p)
+		if !ok {
+			return
+		}
 		switch m := env.Payload.(type) {
 		case VoteReq:
-			reply := VoteReply{Voter: v.node.ID(), Ballot: m.Ballot}
+			reply := VoteReply{Key: m.Key, Voter: v.ep.ID(), Ballot: m.Ballot}
+			v.mu.Lock()
+			st := v.state(m.Key)
 			switch {
-			case v.winner.IsValid():
-				reply.Winner = v.winner
-			case !v.granted.IsValid() || v.granted == m.Claimant:
-				v.granted = m.Claimant
+			case st.winner.IsValid():
+				reply.Winner = st.winner
+			case !st.granted.IsValid() || st.granted == m.Claimant:
+				st.granted = m.Claimant
 				reply.Granted = true
 			}
-			g.c.Send(v.node, m.Reply, reply)
+			v.mu.Unlock()
+			v.ep.Send(m.Reply, reply)
 		case Release:
-			if v.granted == m.Claimant {
-				v.granted = ids.None
+			v.mu.Lock()
+			st := v.state(m.Key)
+			if st.granted == m.Claimant {
+				st.granted = ids.None
 			}
+			v.mu.Unlock()
 		case CommitAnnounce:
-			v.winner = m.Winner
-			v.granted = ids.None
-			if !g.winner.IsValid() {
-				g.winner = m.Winner
-			}
+			v.mu.Lock()
+			st := v.state(m.Key)
+			st.winner = m.Winner
+			st.granted = ids.None
+			v.mu.Unlock()
 		}
 	}
 }
@@ -200,29 +224,58 @@ type Result struct {
 	Ballots int
 }
 
-// Claim runs the claim protocol on behalf of pid from node, blocking
-// the calling simulated process. At most one Claim per group ever
-// returns Won.
-func (g *Group) Claim(p *sim.Proc, node *cluster.Node, pid ids.PID) Result {
-	replyPort := fmt.Sprintf("consensus/%s/reply/%v", g.name, pid)
-	replies := node.Bind(replyPort)
-	defer node.Unbind(replyPort)
-	replyAddr := cluster.Addr{Node: node.ID(), Port: replyPort}
+// Claimant runs the claim side of one keyed semaphore from one
+// endpoint. It is cheap; build one per claim.
+type Claimant struct {
+	key      string
+	ep       transport.Endpoint
+	members  []ids.NodeID
+	votePort string
+	cfg      Config
+	quorum   int
+}
+
+// NewClaimant prepares a claim on the semaphore named key, voted on by
+// the voters at votePort ("" = DefaultVotePort) on members.
+func NewClaimant(key string, ep transport.Endpoint, members []ids.NodeID, votePort string, cfg Config) *Claimant {
+	if votePort == "" {
+		votePort = DefaultVotePort
+	}
+	return &Claimant{
+		key:      key,
+		ep:       ep,
+		members:  members,
+		votePort: votePort,
+		cfg:      cfg.withDefaults(),
+		quorum:   len(members)/2 + 1,
+	}
+}
+
+// Quorum returns the majority size.
+func (cl *Claimant) Quorum() int { return cl.quorum }
+
+// Claim runs the claim protocol on behalf of pid, blocking the calling
+// process. At most one Claim per key ever returns Won.
+func (cl *Claimant) Claim(p transport.Proc, pid ids.PID) Result {
+	replyPort := fmt.Sprintf("%s/reply/%s/%v", cl.votePort, cl.key, pid)
+	replies := cl.ep.Bind(replyPort)
+	defer cl.ep.Unbind(replyPort)
+	replyAddr := transport.Addr{Node: cl.ep.ID(), Port: replyPort}
 
 	res := Result{}
-	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+	for attempt := 0; attempt < cl.cfg.MaxAttempts; attempt++ {
 		ballot := attempt
 		res.Ballots++
-		g.ballots++
-		for _, v := range g.voters {
-			g.c.Send(node, cluster.Addr{Node: v.node.ID(), Port: g.votePort()}, VoteReq{
-				Claimant: pid, Ballot: ballot, Reply: replyAddr,
+		ballotStart := cl.ep.Now()
+		for _, m := range cl.members {
+			cl.ep.Send(transport.Addr{Node: m, Port: cl.votePort}, VoteReq{
+				Key: cl.key, Claimant: pid, Ballot: ballot, Reply: replyAddr,
 			})
 		}
 		grants, answered := 0, 0
-		deadline := g.c.Engine().Now().Add(g.cfg.ReplyTimeout)
-		for grants < g.quorum && answered < len(g.voters) {
-			remain := deadline.Sub(g.c.Engine().Now())
+		deadline := cl.ep.Now().Add(cl.cfg.ReplyTimeout)
+		for grants < cl.quorum && answered < len(cl.members) {
+			remain := deadline.Sub(cl.ep.Now())
 			if remain < 0 {
 				break
 			}
@@ -230,10 +283,11 @@ func (g *Group) Claim(p *sim.Proc, node *cluster.Node, pid ids.PID) Result {
 			if !ok {
 				break
 			}
-			reply, isReply := env.(cluster.Envelope).Payload.(VoteReply)
-			if !isReply || reply.Ballot != ballot {
+			reply, isReply := env.Payload.(VoteReply)
+			if !isReply || reply.Key != cl.key || reply.Ballot != ballot {
 				continue // stale
 			}
+			cl.cfg.Net.ObserveRTT(cl.ep.Now().Sub(ballotStart))
 			answered++
 			if reply.Winner.IsValid() {
 				if reply.Winner == pid {
@@ -244,34 +298,114 @@ func (g *Group) Claim(p *sim.Proc, node *cluster.Node, pid ids.PID) Result {
 				}
 				res.TooLate = true
 				res.Winner = reply.Winner
-				g.releaseAll(node, pid, ballot)
+				cl.releaseAll(pid, ballot)
 				return res
 			}
 			if reply.Granted {
 				grants++
 			}
 		}
-		if grants >= g.quorum {
-			for _, v := range g.voters {
-				g.c.Send(node, cluster.Addr{Node: v.node.ID(), Port: g.votePort()},
-					CommitAnnounce{Winner: pid})
+		if grants >= cl.quorum {
+			for _, m := range cl.members {
+				cl.ep.Send(transport.Addr{Node: m, Port: cl.votePort},
+					CommitAnnounce{Key: cl.key, Winner: pid})
 			}
 			res.Won = true
 			return res
 		}
-		g.releaseAll(node, pid, ballot)
+		cl.releaseAll(pid, ballot)
 		// Deterministic stagger: lower PIDs retry sooner, breaking
 		// symmetric vote splits.
-		backoff := g.cfg.BackoffBase * time.Duration(attempt+1)
-		backoff += time.Duration(pid%16) * (g.cfg.BackoffBase / 4)
+		backoff := cl.cfg.BackoffBase * time.Duration(attempt+1)
+		backoff += time.Duration(pid%16) * (cl.cfg.BackoffBase / 4)
 		p.Sleep(backoff)
 	}
 	return res
 }
 
-func (g *Group) releaseAll(node *cluster.Node, pid ids.PID, ballot int) {
-	for _, v := range g.voters {
-		g.c.Send(node, cluster.Addr{Node: v.node.ID(), Port: g.votePort()},
-			Release{Claimant: pid, Ballot: ballot})
+func (cl *Claimant) releaseAll(pid ids.PID, ballot int) {
+	for _, m := range cl.members {
+		cl.ep.Send(transport.Addr{Node: m, Port: cl.votePort},
+			Release{Key: cl.key, Claimant: pid, Ballot: ballot})
 	}
+}
+
+// Group is a majority-consensus semaphore spanning a set of endpoints:
+// one voter per endpoint plus a single key, the shape the experiments
+// and the one-shot block tests use. name must be unique per fabric (it
+// namespaces the ports and is the semaphore key).
+type Group struct {
+	name    string
+	eps     []transport.Endpoint
+	members []ids.NodeID
+	cfg     Config
+	voters  []*Voter
+	quorum  int
+	ballots atomic.Int64 // total ballots run (for experiment accounting)
+}
+
+// NewGroup spawns one voter process on each endpoint and returns the
+// group.
+func NewGroup(name string, eps []transport.Endpoint, cfg Config) *Group {
+	g := &Group{
+		name:   name,
+		eps:    eps,
+		cfg:    cfg.withDefaults(),
+		quorum: len(eps)/2 + 1,
+	}
+	for _, ep := range eps {
+		g.members = append(g.members, ep.ID())
+		g.voters = append(g.voters, StartVoter(ep, g.votePort()))
+	}
+	return g
+}
+
+func (g *Group) votePort() string { return "consensus/" + g.name + "/vote" }
+
+// Quorum returns the majority size.
+func (g *Group) Quorum() int { return g.quorum }
+
+// Ballots returns the total number of ballots claimants have run.
+func (g *Group) Ballots() int { return int(g.ballots.Load()) }
+
+// Winner returns the committed PID, if any voter has seen the commit.
+func (g *Group) Winner() (ids.PID, bool) {
+	for _, v := range g.voters {
+		if pid, ok := v.Winner(g.name); ok {
+			return pid, ok
+		}
+	}
+	return ids.None, false
+}
+
+// Shutdown kills the voter processes. Call when the group is no longer
+// needed so the simulation can drain.
+func (g *Group) Shutdown() {
+	for _, v := range g.voters {
+		v.Stop()
+	}
+}
+
+// CrashVoter kills voter i (fault injection for E10).
+func (g *Group) CrashVoter(i int) {
+	if i >= 0 && i < len(g.voters) {
+		g.voters[i].Stop()
+	}
+}
+
+// Claim runs the claim protocol on behalf of pid from endpoint ep,
+// blocking the calling process. At most one Claim per group ever
+// returns Won.
+func (g *Group) Claim(p transport.Proc, ep transport.Endpoint, pid ids.PID) Result {
+	cl := &Claimant{
+		key:      g.name,
+		ep:       ep,
+		members:  g.members,
+		votePort: g.votePort(),
+		cfg:      g.cfg,
+		quorum:   g.quorum,
+	}
+	res := cl.Claim(p, pid)
+	g.ballots.Add(int64(res.Ballots))
+	return res
 }

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"altrun/internal/consensus"
+	"altrun/internal/ids"
+	"altrun/internal/transport"
+)
+
+// TestConsensusCancelWinnerRace races root.Cancel (the abandon-block
+// path) against an instantly-committing alternative whose commit
+// arbiter is a live majority-consensus group over the real TCP
+// transport. Whatever the interleaving, the quorum's at-most-one
+// semantics must hold: either the block commits (err == nil) and the
+// voters agree on a single winner, or it is abandoned (ErrEliminated) —
+// and in both cases every speculative world is reclaimed.
+func TestConsensusCancelWinnerRace(t *testing.T) {
+	fleet, err := transport.NewTCPFleet(3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	eps := fleet.Endpoints()
+	members := make([]ids.NodeID, len(eps))
+	var voters []*consensus.Voter
+	for i, ep := range eps {
+		members[i] = ep.ID()
+		voters = append(voters, consensus.StartVoter(ep, ""))
+	}
+	defer func() {
+		for _, v := range voters {
+			v.Stop()
+		}
+	}()
+
+	cfg := consensus.Config{ReplyTimeout: time.Second, BackoffBase: 5 * time.Millisecond, MaxAttempts: 4}
+
+	for i := 0; i < 25; i++ {
+		key := fmt.Sprintf("race/%d", i)
+		cl := consensus.NewClaimant(key, eps[0], members, "", cfg)
+		claim := func(w *World) bool {
+			return cl.Claim(transport.Background(), w.PID()).Won
+		}
+
+		rt := New(Config{PageSize: 64})
+		root, err := rt.NewRootWorld("main", 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root.Cancel()
+		}()
+		_, err = root.RunAlt(Options{Claim: claim},
+			Alt{Name: "instant", Body: func(w *World) error {
+				return w.WriteAt([]byte("won"), 0)
+			}},
+		)
+		wg.Wait()
+		if err != nil && !errors.Is(err, ErrEliminated) {
+			t.Fatalf("iter %d: err = %v, want nil or ErrEliminated", i, err)
+		}
+		// At-most-one commit: any voters that saw this key's announcement
+		// must name the same PID.
+		if err == nil {
+			seen := map[ids.PID]bool{}
+			for _, v := range voters {
+				if pid, ok := v.Winner(key); ok {
+					seen[pid] = true
+				}
+			}
+			if len(seen) > 1 {
+				t.Fatalf("iter %d: voters disagree on the winner: %v", i, seen)
+			}
+		}
+		rt.Wait()
+		if n := rt.LiveWorlds(); n != 1 {
+			t.Fatalf("iter %d: LiveWorlds = %d, want 1 (err was %v)", i, n, err)
+		}
+		rt.Shutdown(root)
+		if n := rt.LiveWorlds(); n != 0 {
+			t.Fatalf("iter %d: LiveWorlds after shutdown = %d", i, n)
+		}
+	}
+}
+
+// TestClaimFactoryDefault verifies SetClaimFactory supplies the commit
+// arbiter for blocks that pass no explicit Options.Claim, and that an
+// explicit Claim still wins over the factory.
+func TestClaimFactoryDefault(t *testing.T) {
+	rt := New(Config{PageSize: 64})
+	var factoryCalls, claimCalls int
+	var mu sync.Mutex
+	rt.SetClaimFactory(func(parent *World) ClaimFunc {
+		mu.Lock()
+		factoryCalls++
+		mu.Unlock()
+		var once sync.Once
+		won := false
+		return func(w *World) bool {
+			mu.Lock()
+			claimCalls++
+			mu.Unlock()
+			once.Do(func() { won = true })
+			ok := won
+			won = false
+			return ok
+		}
+	})
+	root, err := rt.NewRootWorld("main", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown(root)
+	if _, err := root.RunAlt(Options{},
+		Alt{Name: "a", Body: func(w *World) error { return nil }},
+	); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	fc, cc := factoryCalls, claimCalls
+	mu.Unlock()
+	if fc != 1 || cc == 0 {
+		t.Fatalf("factory consulted %d times (want 1), claim called %d times (want >0)", fc, cc)
+	}
+
+	// An explicit Options.Claim bypasses the factory.
+	explicit := 0
+	if _, err := root.RunAlt(Options{Claim: func(w *World) bool { explicit++; return true }},
+		Alt{Name: "b", Body: func(w *World) error { return nil }},
+	); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	fc2 := factoryCalls
+	mu.Unlock()
+	if fc2 != fc || explicit == 0 {
+		t.Fatalf("explicit claim: factory calls %d -> %d, explicit %d", fc, fc2, explicit)
+	}
+
+	// Removing the factory restores the built-in local arbiter.
+	rt.SetClaimFactory(nil)
+	if _, err := root.RunAlt(Options{},
+		Alt{Name: "c", Body: func(w *World) error { return nil }},
+	); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if factoryCalls != fc2 {
+		t.Fatalf("factory consulted after removal")
+	}
+	mu.Unlock()
+}

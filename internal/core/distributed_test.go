@@ -37,7 +37,7 @@ func newConsensusFixture(t *testing.T, nNodes int) (*Runtime, *cluster.Cluster, 
 	for i := 0; i < nNodes; i++ {
 		nodes = append(nodes, c.AddNode(sim.ProfileHP9000()))
 	}
-	g := consensus.NewGroup("block", c, nodes, consensus.Config{
+	g := consensus.NewGroup("block", c.Endpoints(), consensus.Config{
 		ReplyTimeout: 100 * time.Millisecond,
 		MaxAttempts:  4,
 	})

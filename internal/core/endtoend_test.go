@@ -36,7 +36,7 @@ func TestEndToEndKitchenSink(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		nodes = append(nodes, c.AddNode(sim.ProfileHP9000()))
 	}
-	group := consensus.NewGroup("e2e", c, nodes, consensus.Config{
+	group := consensus.NewGroup("e2e", c.Endpoints(), consensus.Config{
 		ReplyTimeout: 100 * time.Millisecond,
 		MaxAttempts:  4,
 	})

@@ -133,11 +133,36 @@ type Runtime struct {
 	// observer, when set, is notified of world registration and
 	// unregistration (see WorldObserver).
 	observer atomic.Pointer[worldObserverBox]
+
+	// claimFactory, when set, supplies the default commit arbiter for
+	// alternative blocks that don't pass an explicit Options.Claim —
+	// e.g. a distributed majority-consensus claim (§3.2.1). It is
+	// consulted once per RunAlt with the parent world.
+	claimFactory atomic.Pointer[claimFactoryBox]
 }
 
 // worldObserverBox wraps the observer interface so it can live in an
 // atomic.Pointer.
 type worldObserverBox struct{ o WorldObserver }
+
+// claimFactoryBox wraps a claim factory so it can live in an
+// atomic.Pointer.
+type claimFactoryBox struct {
+	f func(parent *World) ClaimFunc
+}
+
+// SetClaimFactory installs (or, with nil, removes) the runtime-wide
+// default commit arbiter. Blocks that pass Options.Claim are
+// unaffected. The factory receives the parent world of each block and
+// returns the ClaimFunc its children race through; returning nil falls
+// back to the built-in local arbiter.
+func (rt *Runtime) SetClaimFactory(f func(parent *World) ClaimFunc) {
+	if f == nil {
+		rt.claimFactory.Store(nil)
+		return
+	}
+	rt.claimFactory.Store(&claimFactoryBox{f: f})
+}
 
 // propQueue is a reusable propagation work queue.
 type propQueue struct {

@@ -1,12 +1,13 @@
 package device
 
 import (
+	"encoding/gob"
 	"fmt"
 	"time"
 
-	"altrun/internal/cluster"
+	"altrun/internal/ids"
 	"altrun/internal/mem"
-	"altrun/internal/sim"
+	"altrun/internal/transport"
 )
 
 // Network-transparent paged files (§3.1): "files are named sets of
@@ -15,10 +16,12 @@ import (
 // network through the page management abstraction."
 //
 // A PageServer exports a FileStore's committed contents page by page
-// over the simulated cluster; a RemoteFile is a client-side window that
+// over the transport fabric; a RemoteFile is a client-side window that
 // fetches pages on demand and caches them, so repeated reads of the
 // same page cost one round trip — the remote fork experiment (E5) uses
-// the same idea in bulk.
+// the same idea in bulk. Both are written against transport.Endpoint,
+// so the same code serves pages on the simulated cluster and over real
+// TCP.
 
 // Wire messages.
 type (
@@ -26,7 +29,7 @@ type (
 	PageRequest struct {
 		File  string
 		Page  int64
-		Reply cluster.Addr
+		Reply transport.Addr
 	}
 	// PageReply carries the page contents (nil Data with OK=false for
 	// missing files or out-of-range pages).
@@ -38,13 +41,18 @@ type (
 	}
 )
 
-// PageServer serves a FileStore's pages on a node.
+func init() {
+	// The protocol crosses the real transport's gob framing.
+	gob.Register(PageRequest{})
+	gob.Register(PageReply{})
+}
+
+// PageServer serves a FileStore's pages on an endpoint.
 type PageServer struct {
-	fs   *FileStore
-	node *cluster.Node
-	c    *cluster.Cluster
-	port string
-	proc *sim.Proc
+	fs     *FileStore
+	ep     transport.Endpoint
+	port   string
+	handle transport.Handle
 
 	served int
 }
@@ -52,16 +60,23 @@ type PageServer struct {
 // ServePort is the well-known port page servers bind.
 const ServePort = "pagesvc"
 
-// NewPageServer starts a page service for fs on node. Call Shutdown to
+// NewPageServer starts a page service for fs on ep. Call Shutdown to
 // stop it (so simulations can drain).
-func NewPageServer(c *cluster.Cluster, node *cluster.Node, fs *FileStore) *PageServer {
-	s := &PageServer{fs: fs, node: node, c: c, port: ServePort}
-	inbox := node.Bind(s.port)
-	s.proc = c.Engine().Spawn(fmt.Sprintf("pagesvc-%v", node.ID()), func(p *sim.Proc) {
+func NewPageServer(ep transport.Endpoint, fs *FileStore) *PageServer {
+	s := &PageServer{fs: fs, ep: ep, port: ServePort}
+	inbox := ep.Bind(s.port)
+	// Serialization cost per payload byte; on the simulator this is the
+	// profile's NetPerByte, on a real transport it is zero (the wire
+	// itself is the cost).
+	perByte := ep.TransferCost(1) - ep.TransferCost(0)
+	s.handle = ep.Spawn(fmt.Sprintf("pagesvc-%v", ep.ID()), func(p transport.Proc) {
 		for {
-			env, _ := inbox.Recv(p).(cluster.Envelope)
-			req, ok := env.Payload.(PageRequest)
+			env, ok := inbox.Recv(p)
 			if !ok {
+				return
+			}
+			req, isReq := env.Payload.(PageRequest)
+			if !isReq {
 				continue
 			}
 			s.served++
@@ -74,8 +89,8 @@ func NewPageServer(c *cluster.Cluster, node *cluster.Node, fs *FileStore) *PageS
 			}
 			// Page transfer cost: latency is added by the link; the
 			// per-byte cost is modelled on the server.
-			p.Sleep(time.Duration(len(reply.Data)) * node.Profile().NetPerByte)
-			c.Send(node, req.Reply, reply)
+			p.Sleep(time.Duration(len(reply.Data)) * perByte)
+			ep.Send(req.Reply, reply)
 		}
 	})
 	return s
@@ -85,39 +100,46 @@ func NewPageServer(c *cluster.Cluster, node *cluster.Node, fs *FileStore) *PageS
 func (s *PageServer) Served() int { return s.served }
 
 // Shutdown stops the server process.
-func (s *PageServer) Shutdown() { s.c.Engine().Kill(s.proc) }
+func (s *PageServer) Shutdown() { s.handle.Kill() }
+
+// DefaultFetchTimeout bounds one remote page fetch.
+const DefaultFetchTimeout = 5 * time.Second
 
 // RemoteFile is a client-side, page-cached window onto a served file.
-// It is used from a single simulated process.
+// It is used from a single process.
 type RemoteFile struct {
-	c        *cluster.Cluster
-	node     *cluster.Node
-	server   cluster.Addr
-	name     string
-	size     int64
-	pageSize int64
-	cache    map[int64][]byte
-	port     string
+	ep           transport.Endpoint
+	server       transport.Addr
+	name         string
+	size         int64
+	pageSize     int64
+	cache        map[int64][]byte
+	port         string
+	fetchTimeout time.Duration
 
 	fetches int
 	hits    int
 }
 
 // OpenRemote opens a window of `size` bytes onto file `name` served at
-// serverNode. pageSize must match the server store's geometry (in the
+// node server. pageSize must match the server store's geometry (in the
 // paper's single-level store there is one page size system-wide, §3.1).
-func OpenRemote(c *cluster.Cluster, node *cluster.Node, serverNode *cluster.Node, name string, size int64, pageSize int) *RemoteFile {
+func OpenRemote(ep transport.Endpoint, server ids.NodeID, name string, size int64, pageSize int) *RemoteFile {
 	return &RemoteFile{
-		c:        c,
-		node:     node,
-		server:   cluster.Addr{Node: serverNode.ID(), Port: ServePort},
-		name:     name,
-		size:     size,
-		pageSize: int64(pageSize),
-		cache:    make(map[int64][]byte),
-		port:     fmt.Sprintf("pagecli/%s/%v", name, node.ID()),
+		ep:           ep,
+		server:       transport.Addr{Node: server, Port: ServePort},
+		name:         name,
+		size:         size,
+		pageSize:     int64(pageSize),
+		cache:        make(map[int64][]byte),
+		port:         fmt.Sprintf("pagecli/%s/%v", name, ep.ID()),
+		fetchTimeout: DefaultFetchTimeout,
 	}
 }
+
+// SetFetchTimeout overrides the per-fetch timeout (tests on the real
+// transport shorten it so partition timeouts don't stall wall-clock).
+func (f *RemoteFile) SetFetchTimeout(d time.Duration) { f.fetchTimeout = d }
 
 // Fetches returns the number of remote page fetches performed.
 func (f *RemoteFile) Fetches() int { return f.fetches }
@@ -125,25 +147,23 @@ func (f *RemoteFile) Fetches() int { return f.fetches }
 // Hits returns the number of reads satisfied from the page cache.
 func (f *RemoteFile) Hits() int { return f.hits }
 
-// pageSize is learned from the first reply; until then assume the
-// server's store page size via a fetch.
-func (f *RemoteFile) fetchPage(p *sim.Proc, pageNo int64) ([]byte, error) {
+func (f *RemoteFile) fetchPage(p transport.Proc, pageNo int64) ([]byte, error) {
 	if data, ok := f.cache[pageNo]; ok {
 		f.hits++
 		return data, nil
 	}
-	inbox := f.node.Bind(f.port)
-	f.c.Send(f.node, f.server, PageRequest{
+	inbox := f.ep.Bind(f.port)
+	f.ep.Send(f.server, PageRequest{
 		File:  f.name,
 		Page:  pageNo,
-		Reply: cluster.Addr{Node: f.node.ID(), Port: f.port},
+		Reply: transport.Addr{Node: f.ep.ID(), Port: f.port},
 	})
 	for {
-		env, ok := inbox.RecvTimeout(p, 5*time.Second)
+		env, ok := inbox.RecvTimeout(p, f.fetchTimeout)
 		if !ok {
 			return nil, fmt.Errorf("device: page fetch %s/%d timed out", f.name, pageNo)
 		}
-		reply, isReply := env.(cluster.Envelope).Payload.(PageReply)
+		reply, isReply := env.Payload.(PageReply)
 		if !isReply || reply.File != f.name || reply.Page != pageNo {
 			continue // stale reply from an earlier fetch
 		}
@@ -160,7 +180,7 @@ func (f *RemoteFile) fetchPage(p *sim.Proc, pageNo int64) ([]byte, error) {
 // the network. The page size is the server store's; the caller's
 // offsets are plain byte offsets — the network is hidden behind the
 // page abstraction.
-func (f *RemoteFile) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+func (f *RemoteFile) ReadAt(p transport.Proc, buf []byte, off int64) error {
 	if off < 0 || off+int64(len(buf)) > f.size {
 		return fmt.Errorf("%w: [%d,%d) of %d", mem.ErrOutOfRange, off, off+int64(len(buf)), f.size)
 	}

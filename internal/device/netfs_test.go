@@ -1,22 +1,24 @@
-package device
+package device_test
 
 import (
 	"bytes"
 	"testing"
 	"time"
 
-	"altrun/internal/cluster"
+	"altrun/internal/device"
 	"altrun/internal/page"
-	"altrun/internal/sim"
+	"altrun/internal/transport"
+	"altrun/internal/transport/transporttest"
 )
 
-func netfsFixture(t *testing.T) (*sim.Engine, *cluster.Cluster, *cluster.Node, *cluster.Node, *FileStore, *PageServer) {
+// The netfs suite runs over both fabrics via transporttest.Each:
+// eps[0] serves, eps[1] reads. Virtual-time assertions (exact
+// latencies, the 5s partition timeout) are gated on f.Sim().
+
+func netfsFixture(t *testing.T, f *transporttest.Fabric) (server, client transport.Endpoint, fs *device.FileStore, srv *device.PageServer) {
 	t.Helper()
-	e := sim.New(0)
-	c := cluster.New(e, 3)
-	serverNode := c.AddNode(sim.ProfileHP9000())
-	clientNode := c.AddNode(sim.ProfileHP9000())
-	fs := NewFileStore(page.NewStore(64))
+	server, client = f.Eps()[0], f.Eps()[1]
+	fs = device.NewFileStore(page.NewStore(64))
 	if err := fs.Create("data", 640); err != nil {
 		t.Fatal(err)
 	}
@@ -34,176 +36,180 @@ func netfsFixture(t *testing.T) (*sim.Engine, *cluster.Cluster, *cluster.Node, *
 	if err := v.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	srv := NewPageServer(c, serverNode, fs)
-	return e, c, serverNode, clientNode, fs, srv
+	srv = device.NewPageServer(server, fs)
+	return server, client, fs, srv
 }
 
 func TestRemoteReadMatchesServer(t *testing.T) {
-	e, c, serverNode, clientNode, _, srv := netfsFixture(t)
-	e.Spawn("client", func(p *sim.Proc) {
-		defer srv.Shutdown()
-		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
-		got := make([]byte, 200)
-		if err := rf.ReadAt(p, got, 37); err != nil {
-			t.Error(err)
-			return
-		}
-		for i := range got {
-			if got[i] != byte((37+i)%251) {
-				t.Errorf("byte %d = %d, want %d", i, got[i], byte((37+i)%251))
+	transporttest.Each(t, 2, 3, func(t *testing.T, f *transporttest.Fabric) {
+		server, client, _, srv := netfsFixture(t, f)
+		f.Go("client", func(p transport.Proc) {
+			defer srv.Shutdown()
+			rf := device.OpenRemote(client, server.ID(), "data", 640, 64)
+			got := make([]byte, 200)
+			if err := rf.ReadAt(p, got, 37); err != nil {
+				t.Error(err)
 				return
 			}
-		}
+			for i := range got {
+				if got[i] != byte((37+i)%251) {
+					t.Errorf("byte %d = %d, want %d", i, got[i], byte((37+i)%251))
+					return
+				}
+			}
+		})
+		f.Run(t)
 	})
-	if err := e.Run(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestRemoteReadCaches(t *testing.T) {
-	e, c, serverNode, clientNode, _, srv := netfsFixture(t)
-	e.Spawn("client", func(p *sim.Proc) {
-		defer srv.Shutdown()
-		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
-		buf := make([]byte, 64)
-		start := e.Now()
-		if err := rf.ReadAt(p, buf, 0); err != nil {
-			t.Error(err)
-			return
-		}
-		firstCost := e.Since(start)
-		if firstCost < clientNode.Profile().NetLatency {
-			t.Errorf("first read cost %v, want at least one round trip", firstCost)
-		}
-		start = e.Now()
-		for i := 0; i < 10; i++ {
+	transporttest.Each(t, 2, 3, func(t *testing.T, f *transporttest.Fabric) {
+		server, client, _, srv := netfsFixture(t, f)
+		f.Go("client", func(p transport.Proc) {
+			defer srv.Shutdown()
+			rf := device.OpenRemote(client, server.ID(), "data", 640, 64)
+			buf := make([]byte, 64)
+			start := client.Now()
 			if err := rf.ReadAt(p, buf, 0); err != nil {
 				t.Error(err)
 				return
 			}
-		}
-		if repeat := e.Since(start); repeat != 0 {
-			t.Errorf("cached reads cost %v, want 0 (no network)", repeat)
-		}
-		if rf.Fetches() != 1 || rf.Hits() < 10 {
-			t.Errorf("fetches=%d hits=%d", rf.Fetches(), rf.Hits())
-		}
-		if srv.Served() != 1 {
-			t.Errorf("server answered %d requests, want 1", srv.Served())
-		}
+			firstCost := client.Now().Sub(start)
+			if f.Sim() && firstCost < client.TransferCost(0) {
+				t.Errorf("first read cost %v, want at least one round trip", firstCost)
+			}
+			start = client.Now()
+			for i := 0; i < 10; i++ {
+				if err := rf.ReadAt(p, buf, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if repeat := client.Now().Sub(start); f.Sim() && repeat != 0 {
+				t.Errorf("cached reads cost %v, want 0 (no network)", repeat)
+			}
+			if rf.Fetches() != 1 || rf.Hits() < 10 {
+				t.Errorf("fetches=%d hits=%d", rf.Fetches(), rf.Hits())
+			}
+			if srv.Served() != 1 {
+				t.Errorf("server answered %d requests, want 1", srv.Served())
+			}
+		})
+		f.Run(t)
 	})
-	if err := e.Run(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestRemoteReadSpansPages(t *testing.T) {
-	e, c, serverNode, clientNode, fs, srv := netfsFixture(t)
-	e.Spawn("client", func(p *sim.Proc) {
-		defer srv.Shutdown()
-		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
-		got := make([]byte, 640)
-		if err := rf.ReadAt(p, got, 0); err != nil {
-			t.Error(err)
-			return
-		}
-		want := make([]byte, 640)
-		if err := fs.ReadAt("data", want, 0); err != nil {
-			t.Error(err)
-			return
-		}
-		if !bytes.Equal(got, want) {
-			t.Error("remote window differs from the served file")
-		}
-		if rf.Fetches() != 10 {
-			t.Errorf("fetches = %d, want 10 (one per page)", rf.Fetches())
-		}
+	transporttest.Each(t, 2, 3, func(t *testing.T, f *transporttest.Fabric) {
+		server, client, fs, srv := netfsFixture(t, f)
+		f.Go("client", func(p transport.Proc) {
+			defer srv.Shutdown()
+			rf := device.OpenRemote(client, server.ID(), "data", 640, 64)
+			got := make([]byte, 640)
+			if err := rf.ReadAt(p, got, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			want := make([]byte, 640)
+			if err := fs.ReadAt("data", want, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("remote window differs from the served file")
+			}
+			if rf.Fetches() != 10 {
+				t.Errorf("fetches = %d, want 10 (one per page)", rf.Fetches())
+			}
+		})
+		f.Run(t)
 	})
-	if err := e.Run(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestRemoteReadErrors(t *testing.T) {
-	e, c, serverNode, clientNode, _, srv := netfsFixture(t)
-	e.Spawn("client", func(p *sim.Proc) {
-		defer srv.Shutdown()
-		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
-		if err := rf.ReadAt(p, make([]byte, 1), 640); err == nil {
-			t.Error("out-of-range read must fail")
-		}
-		missing := OpenRemote(c, clientNode, serverNode, "nope", 64, 64)
-		if err := missing.ReadAt(p, make([]byte, 1), 0); err == nil {
-			t.Error("missing file must fail")
-		}
+	transporttest.Each(t, 2, 3, func(t *testing.T, f *transporttest.Fabric) {
+		server, client, _, srv := netfsFixture(t, f)
+		f.Go("client", func(p transport.Proc) {
+			defer srv.Shutdown()
+			rf := device.OpenRemote(client, server.ID(), "data", 640, 64)
+			if err := rf.ReadAt(p, make([]byte, 1), 640); err == nil {
+				t.Error("out-of-range read must fail")
+			}
+			missing := device.OpenRemote(client, server.ID(), "nope", 64, 64)
+			if err := missing.ReadAt(p, make([]byte, 1), 0); err == nil {
+				t.Error("missing file must fail")
+			}
+		})
+		f.Run(t)
 	})
-	if err := e.Run(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestRemoteInvalidateSeesNewCommit(t *testing.T) {
-	e, c, serverNode, clientNode, fs, srv := netfsFixture(t)
-	e.Spawn("client", func(p *sim.Proc) {
-		defer srv.Shutdown()
-		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
-		buf := make([]byte, 4)
-		if err := rf.ReadAt(p, buf, 0); err != nil {
-			t.Error(err)
-			return
-		}
-		// A new committed version on the server.
-		v, err := fs.View()
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		if err := v.WriteAt("data", []byte("NEW!"), 0); err != nil {
-			t.Error(err)
-			return
-		}
-		if err := v.Commit(); err != nil {
-			t.Error(err)
-			return
-		}
-		// Cached window still shows the old version until invalidated.
-		if err := rf.ReadAt(p, buf, 0); err != nil {
-			t.Error(err)
-			return
-		}
-		if string(buf) == "NEW!" {
-			t.Error("cache must serve the old version until invalidated")
-		}
-		rf.Invalidate()
-		if err := rf.ReadAt(p, buf, 0); err != nil {
-			t.Error(err)
-			return
-		}
-		if string(buf) != "NEW!" {
-			t.Errorf("after invalidate got %q", buf)
-		}
+	transporttest.Each(t, 2, 3, func(t *testing.T, f *transporttest.Fabric) {
+		server, client, fs, srv := netfsFixture(t, f)
+		f.Go("client", func(p transport.Proc) {
+			defer srv.Shutdown()
+			rf := device.OpenRemote(client, server.ID(), "data", 640, 64)
+			buf := make([]byte, 4)
+			if err := rf.ReadAt(p, buf, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			// A new committed version on the server.
+			v, err := fs.View()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := v.WriteAt("data", []byte("NEW!"), 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := v.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+			// Cached window still shows the old version until invalidated.
+			if err := rf.ReadAt(p, buf, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if string(buf) == "NEW!" {
+				t.Error("cache must serve the old version until invalidated")
+			}
+			rf.Invalidate()
+			if err := rf.ReadAt(p, buf, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if string(buf) != "NEW!" {
+				t.Errorf("after invalidate got %q", buf)
+			}
+		})
+		f.Run(t)
 	})
-	if err := e.Run(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestRemoteFetchTimeoutOnPartition(t *testing.T) {
-	e, c, serverNode, clientNode, _, srv := netfsFixture(t)
-	e.Spawn("client", func(p *sim.Proc) {
-		defer srv.Shutdown()
-		c.Partition(serverNode.ID(), clientNode.ID())
-		rf := OpenRemote(c, clientNode, serverNode, "data", 640, 64)
-		start := e.Now()
-		err := rf.ReadAt(p, make([]byte, 1), 0)
-		if err == nil {
-			t.Error("partitioned fetch must fail")
-		}
-		if e.Since(start) < 5*time.Second {
-			t.Error("fetch must wait out its timeout")
-		}
+	transporttest.Each(t, 2, 3, func(t *testing.T, f *transporttest.Fabric) {
+		server, client, _, srv := netfsFixture(t, f)
+		f.Go("client", func(p transport.Proc) {
+			defer srv.Shutdown()
+			f.T.Partition(server.ID(), client.ID())
+			rf := device.OpenRemote(client, server.ID(), "data", 640, 64)
+			if !f.Sim() {
+				// Real wall-clock: don't stall the suite for the full 5s.
+				rf.SetFetchTimeout(250 * time.Millisecond)
+			}
+			start := client.Now()
+			err := rf.ReadAt(p, make([]byte, 1), 0)
+			if err == nil {
+				t.Error("partitioned fetch must fail")
+			}
+			if f.Sim() && client.Now().Sub(start) < device.DefaultFetchTimeout {
+				t.Error("fetch must wait out its timeout")
+			}
+		})
+		f.Run(t)
 	})
-	if err := e.Run(); err != nil {
-		t.Fatal(err)
-	}
 }

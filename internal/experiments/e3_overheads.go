@@ -235,19 +235,9 @@ func measureRFork(size int) (E5Row, error) {
 
 	var row E5Row
 	var failure error
-	inbox := dst.Bind("rfork")
+	inbox := dst.Bind(checkpoint.RForkPort)
 	e.Spawn("rfork-receiver", func(p *sim.Proc) {
-		env, ok := inbox.RecvTimeout(p, time.Hour)
-		if !ok {
-			failure = fmt.Errorf("rfork: image never arrived")
-			return
-		}
-		wire, isBytes := env.(cluster.Envelope).Payload.([]byte)
-		if !isBytes {
-			failure = fmt.Errorf("rfork: bad payload")
-			return
-		}
-		img, err := checkpoint.Decode(wire)
+		img, err := checkpoint.Receive(p, inbox, time.Hour)
 		if err != nil {
 			failure = err
 			return
@@ -273,14 +263,11 @@ func measureRFork(size int) (E5Row, error) {
 		p.Compute(profile.CheckpointCost(img.Bytes()))
 		row.Checkpoint = e.Since(start)
 
-		wire, err := img.Encode()
-		if err != nil {
+		tStart := e.Now()
+		if _, err := checkpoint.Ship(p, src, dst.ID(), img); err != nil {
 			failure = err
 			return
 		}
-		tStart := e.Now()
-		p.Sleep(src.TransferCost(len(wire)) - profile.NetLatency) // serialization delay
-		c.Send(src, cluster.Addr{Node: dst.ID(), Port: "rfork"}, wire)
 		row.Transfer = e.Since(tStart) + profile.NetLatency
 	})
 	if err := e.Run(); err != nil {

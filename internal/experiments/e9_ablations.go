@@ -114,7 +114,7 @@ func measureConsensus(nodes, crashes int) (E10Row, error) {
 	for i := 0; i < nodes; i++ {
 		members = append(members, c.AddNode(profile))
 	}
-	g := consensus.NewGroup("e10", c, members, consensus.Config{
+	g := consensus.NewGroup("e10", c.Endpoints(), consensus.Config{
 		ReplyTimeout: 200 * time.Millisecond,
 		MaxAttempts:  3,
 	})

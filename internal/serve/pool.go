@@ -37,6 +37,11 @@ type Config struct {
 	// the pool installs itself as its world observer. Nil builds a
 	// private runtime.
 	Runtime *core.Runtime
+	// NewClaim, when non-nil, supplies the commit arbiter for each
+	// job's alternative block — e.g. a distributed majority-consensus
+	// claim keyed per job so a block submitted to one node commits
+	// across the peer group. Nil keeps the local in-process arbiter.
+	NewClaim func(job Job, id uint64) core.ClaimFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -367,6 +372,13 @@ func (p *Pool) runTask(t *task) {
 		maxDegree = j.MaxDegree
 	}
 
+	// One claim per job, shared across waves: if a wave fails without
+	// claiming, the next wave races for the same (still unclaimed) key.
+	var claim core.ClaimFunc
+	if p.cfg.NewClaim != nil {
+		claim = p.cfg.NewClaim(j, t.id)
+	}
+
 	waves := 0
 	for len(remaining) > 0 {
 		want := min(len(remaining), maxDegree)
@@ -391,6 +403,7 @@ func (p *Pool) runTask(t *task) {
 		res, err := root.RunAlt(core.Options{
 			SyncElimination: true, // losers are gone before tokens free
 			FullCopy:        j.FullCopy,
+			Claim:           claim,
 		}, wave...)
 		p.budget.Release(got)
 

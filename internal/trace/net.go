@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetCounters counts transport-fabric work: messages and bytes moved,
+// losses, reconnect attempts, and commit-protocol round-trip times.
+// Like SelCounters they are plain atomics (plus a small mutex-guarded
+// RTT reservoir), cheap enough to stay on in production; the daemon
+// exposes a snapshot on /metrics and distbench records one per run.
+type NetCounters struct {
+	// MsgsSent / MsgsRecv count messages submitted and delivered.
+	MsgsSent atomic.Int64
+	MsgsRecv atomic.Int64
+	// BytesSent / BytesRecv count payload bytes (actual frame bytes on
+	// the real transport, estimated on the simulator).
+	BytesSent atomic.Int64
+	BytesRecv atomic.Int64
+	// Dropped counts messages lost to partitions, drop injection,
+	// unbound ports, or full peer queues.
+	Dropped atomic.Int64
+	// Retries counts reconnect/redial attempts on the real transport.
+	Retries atomic.Int64
+
+	// rtt is a bounded reservoir of observed round-trip times (consensus
+	// ballot request → reply). Once full, new samples overwrite the
+	// oldest — recent behaviour is what /metrics wants.
+	rttMu    sync.Mutex
+	rtt      []time.Duration
+	rttNext  int
+	rttCount int64
+}
+
+// rttReservoirCap bounds the RTT sample memory.
+const rttReservoirCap = 1024
+
+// ObserveRTT records one protocol round-trip time. Nil-safe.
+func (c *NetCounters) ObserveRTT(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.rttMu.Lock()
+	defer c.rttMu.Unlock()
+	if len(c.rtt) < rttReservoirCap {
+		c.rtt = append(c.rtt, d)
+	} else {
+		c.rtt[c.rttNext] = d
+		c.rttNext = (c.rttNext + 1) % rttReservoirCap
+	}
+	c.rttCount++
+}
+
+// NetSnapshot is a point-in-time copy of NetCounters.
+type NetSnapshot struct {
+	MsgsSent  int64 `json:"msgs_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+	Dropped   int64 `json:"dropped"`
+	Retries   int64 `json:"retries"`
+
+	// RTT quantiles over the sample reservoir, in milliseconds
+	// (float so sub-millisecond sim latencies survive).
+	RTTSamples int64   `json:"rtt_samples"`
+	RTTP50MS   float64 `json:"rtt_p50_ms"`
+	RTTP95MS   float64 `json:"rtt_p95_ms"`
+	RTTP99MS   float64 `json:"rtt_p99_ms"`
+}
+
+// Snapshot reads all counters. Nil-safe, matching SelCounters.
+func (c *NetCounters) Snapshot() NetSnapshot {
+	if c == nil {
+		return NetSnapshot{}
+	}
+	s := NetSnapshot{
+		MsgsSent:  c.MsgsSent.Load(),
+		MsgsRecv:  c.MsgsRecv.Load(),
+		BytesSent: c.BytesSent.Load(),
+		BytesRecv: c.BytesRecv.Load(),
+		Dropped:   c.Dropped.Load(),
+		Retries:   c.Retries.Load(),
+	}
+	c.rttMu.Lock()
+	samples := append([]time.Duration(nil), c.rtt...)
+	s.RTTSamples = c.rttCount
+	c.rttMu.Unlock()
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(samples)-1))
+			return float64(samples[i]) / float64(time.Millisecond)
+		}
+		s.RTTP50MS = q(0.50)
+		s.RTTP95MS = q(0.95)
+		s.RTTP99MS = q(0.99)
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"fmt"
+
+	"altrun/internal/ids"
+	"altrun/internal/trace"
+)
+
+// TCPFleet is an in-process fabric of real TCP transports wired
+// together over loopback — the TCP counterpart of the simulated
+// cluster for tests and distbench. Fault injection fans out to every
+// member so Partition/Isolate have the same whole-fabric semantics as
+// the simulator's.
+type TCPFleet struct {
+	members []*TCP
+	nc      *trace.NetCounters
+}
+
+// NewTCPFleet starts n TCP transports on loopback (nodes 1..n), fully
+// meshed. All members share one counter set. seed drives drop
+// injection.
+func NewTCPFleet(n int, seed int64) (*TCPFleet, error) {
+	f := &TCPFleet{nc: &trace.NetCounters{}}
+	for i := 1; i <= n; i++ {
+		t, err := NewTCP(TCPOptions{
+			Node:     ids.NodeID(i),
+			Counters: f.nc,
+			Seed:     seed + int64(i),
+		})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("transport: fleet node %d: %w", i, err)
+		}
+		f.members = append(f.members, t)
+	}
+	for _, a := range f.members {
+		for _, b := range f.members {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	return f, nil
+}
+
+// Members returns the underlying per-node transports in node order.
+func (f *TCPFleet) Members() []*TCP { return f.members }
+
+// Endpoints returns all endpoints in node-ID order.
+func (f *TCPFleet) Endpoints() []Endpoint {
+	out := make([]Endpoint, len(f.members))
+	for i, t := range f.members {
+		out[i] = t
+	}
+	return out
+}
+
+// Endpoint returns the endpoint for a node, if present.
+func (f *TCPFleet) Endpoint(id ids.NodeID) (Endpoint, bool) {
+	for _, t := range f.members {
+		if t.ID() == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Partition cuts the (bidirectional) link between a and b on both
+// members, so neither direction delivers.
+func (f *TCPFleet) Partition(a, b ids.NodeID) {
+	for _, t := range f.members {
+		t.Partition(a, b)
+	}
+}
+
+// Heal restores the link between a and b.
+func (f *TCPFleet) Heal(a, b ids.NodeID) {
+	for _, t := range f.members {
+		t.Heal(a, b)
+	}
+}
+
+// Isolate partitions node a from every other node.
+func (f *TCPFleet) Isolate(a ids.NodeID) {
+	for _, t := range f.members {
+		if t.ID() == a {
+			t.Isolate(a)
+		} else {
+			t.Partition(a, t.ID())
+		}
+	}
+}
+
+// SetDropRate applies r to every member's edges. A message crosses two
+// edges (sender and receiver), so the end-to-end loss rate is
+// 1-(1-r)², slightly above r — tests that assert exact loss rates
+// should use the simulator.
+func (f *TCPFleet) SetDropRate(r float64) {
+	for _, t := range f.members {
+		t.SetDropRate(r)
+	}
+}
+
+// Counters returns the fleet-wide accounting.
+func (f *TCPFleet) Counters() *trace.NetCounters { return f.nc }
+
+// Close shuts every member down.
+func (f *TCPFleet) Close() {
+	for _, t := range f.members {
+		t.Close()
+	}
+}
