@@ -92,6 +92,7 @@ type clusterState struct {
 	rforksIn  atomic.Int64
 	rforksOut atomic.Int64
 	replySeq  atomic.Int64
+	rforkSeq  atomic.Int64
 
 	loadSvc  transport.Handle
 	rforkSvc transport.Handle
@@ -260,6 +261,12 @@ func (c *clusterState) leastLoaded() (ids.NodeID, bool) {
 // JSON request is written into an address space, captured, and sent
 // over the transport exactly like a migrating process (§5.1.2's rfork).
 func (c *clusterState) rfork(to ids.NodeID, id uint64, req submitRequest) error {
+	// Stamp the stitch ID before the request leaves this node: the
+	// receiving daemon's flight recorder tags its timeline with it, so
+	// the origin and the executing node's spans join on one key.
+	if req.TraceID == "" {
+		req.TraceID = fmt.Sprintf("n%d-r%d", c.node, c.rforkSeq.Add(1))
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err

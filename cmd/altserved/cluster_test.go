@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"altrun/internal/core"
 	"altrun/internal/ids"
+	"altrun/internal/obs"
 	"altrun/internal/serve"
 	"altrun/internal/trace"
 	"altrun/internal/transport"
@@ -20,6 +22,7 @@ type clusterNode struct {
 	state *clusterState
 	pool  *serve.Pool
 	http  *httptest.Server
+	rec   *obs.Recorder
 }
 
 // testCluster brings up n daemons meshed over loopback TCP on ephemeral
@@ -47,6 +50,7 @@ func testCluster(t *testing.T, n int) []*clusterNode {
 	nodes := make([]*clusterNode, n)
 	for i, tcp := range tcps {
 		cs := clusterFromTransport(tcp, members, tcp.Counters())
+		rec := obs.NewRecorder(obs.Config{SampleRate: 1})
 		pool, err := serve.NewPool(serve.Config{
 			Workers:         2,
 			SpecTokens:      4,
@@ -54,6 +58,7 @@ func testCluster(t *testing.T, n int) []*clusterNode {
 			DefaultDeadline: 30 * time.Second,
 			Runtime:         core.New(core.Config{Trace: true, TraceCap: 1024}),
 			NewClaim:        cs.newClaim,
+			Recorder:        rec,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -62,7 +67,8 @@ func testCluster(t *testing.T, n int) []*clusterNode {
 		nodes[i] = &clusterNode{
 			state: cs,
 			pool:  pool,
-			http:  httptest.NewServer(newHandler(pool, cs)),
+			http:  httptest.NewServer(newHandler(pool, cs, rec)),
+			rec:   rec,
 		}
 	}
 	t.Cleanup(func() {
@@ -175,12 +181,20 @@ func TestClusterRForkForwarding(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	// Some peer received the image, rebuilt the job, and completed it.
+	// Some peer received the image, rebuilt the job, and completed it —
+	// and its flight recorder carries the origin node's stitch ID, so
+	// the two nodes' timelines join on one key.
 	for time.Now().Before(deadline) {
 		for _, nd := range nodes[1:] {
-			if nd.state.rforksIn.Load() > 0 && nd.pool.Stats().JobsCompleted > 0 {
-				return
+			if nd.state.rforksIn.Load() == 0 || nd.pool.Stats().JobsCompleted == 0 {
+				continue
 			}
+			for _, tl := range nd.rec.Recent() {
+				if strings.HasPrefix(tl.TraceID, "n1-r") {
+					return
+				}
+			}
+			t.Fatalf("forwarded job ran without the origin stitch ID: %+v", nd.rec.Recent())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

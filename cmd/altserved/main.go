@@ -18,14 +18,38 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"altrun/internal/core"
 	"altrun/internal/ids"
+	"altrun/internal/obs"
 	"altrun/internal/serve"
 	"altrun/internal/trace"
 )
+
+// traceWriter returns an OnComplete hook that dumps each sampled
+// block's Chrome trace into dir as block-<id>.trace.json (Perfetto /
+// chrome://tracing loadable). Failures are logged, never fatal — the
+// recorder must not take the daemon down.
+func traceWriter(dir string) func(*obs.Timeline) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("obs: cannot create trace dir %s: %v", dir, err)
+		return nil
+	}
+	return func(tl *obs.Timeline) {
+		raw, err := tl.ChromeTrace()
+		if err != nil {
+			log.Printf("obs: trace for block %d: %v", tl.ID, err)
+			return
+		}
+		path := filepath.Join(dir, fmt.Sprintf("block-%d.trace.json", tl.ID))
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			log.Printf("obs: write %s: %v", path, err)
+		}
+	}
+}
 
 func main() {
 	var (
@@ -39,6 +63,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		node         = flag.Int("node", 0, "this daemon's node id in the peer group (0 = single-node)")
 		peers        = flag.String("peers", "", `peer group as "1=host:port,2=host:port,..." (must include this node)`)
+		obsRate      = flag.Int("obs-rate", obs.DefaultSampleRate, "flight recorder sampling: record 1 in N blocks (0 = off)")
+		obsKeep      = flag.Int("obs-keep", obs.DefaultKeep, "flight recorder retention: recent timelines kept for /debug/blocks")
+		obsDir       = flag.String("obs-dir", "", "write each sampled block's Chrome trace JSON into this directory")
 	)
 	flag.Parse()
 	var cluster *clusterState
@@ -58,6 +85,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var rec *obs.Recorder
+	if *obsRate > 0 {
+		rcfg := obs.Config{SampleRate: *obsRate, Keep: *obsKeep}
+		if *obsDir != "" {
+			rcfg.OnComplete = traceWriter(*obsDir)
+		}
+		rec = obs.NewRecorder(rcfg)
+	}
 	cfg := serve.Config{
 		Workers:         *workers,
 		SpecTokens:      *specTokens,
@@ -65,6 +100,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		DefaultDeadline: *deadline,
 		Runtime:         core.New(core.Config{Trace: true, TraceCap: *traceCap}),
+		Recorder:        rec,
 	}
 	if cluster != nil {
 		cfg.NewClaim = cluster.newClaim
@@ -88,7 +124,7 @@ func run(addr string, cfg serve.Config, cluster *clusterState, drainTimeout time
 	}
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: newHandler(pool, cluster),
+		Handler: newHandler(pool, cluster, cfg.Recorder),
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

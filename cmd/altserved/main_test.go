@@ -11,22 +11,27 @@ import (
 	"time"
 
 	"altrun/internal/core"
+	"altrun/internal/obs"
 	"altrun/internal/serve"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *serve.Pool) {
 	t.Helper()
+	// Rate-1 recorder: every job is sampled, so the /debug/blocks and
+	// /metrics obs assertions are deterministic.
+	rec := obs.NewRecorder(obs.Config{SampleRate: 1})
 	pool, err := serve.NewPool(serve.Config{
 		Workers:         2,
 		SpecTokens:      4,
 		QueueDepth:      8,
 		DefaultDeadline: 30 * time.Second,
 		Runtime:         core.New(core.Config{Trace: true, TraceCap: 1024}),
+		Recorder:        rec,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(pool, nil))
+	ts := httptest.NewServer(newHandler(pool, nil, rec))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

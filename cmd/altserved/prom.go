@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+
+	"altrun/internal/obs"
+)
+
+// writeProm renders the daemon's metrics in Prometheus text format
+// (0.0.4): the same counters the JSON view carries, flattened under the
+// altrun_ prefix, with the flight recorder's histograms merged in. This
+// is the /metrics?format=prom path, so a stock Prometheus scrape sees
+// pool admission, selection, message, page, cluster, and obs series
+// from one endpoint.
+func (s *server) writeProm(w http.ResponseWriter, m metricsView) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	// Pool admission and speculation-budget counters.
+	obs.WriteCounter(bw, "altrun_jobs_submitted_total", "Jobs accepted by the pool.", float64(m.Pool.JobsSubmitted))
+	obs.WriteCounter(bw, "altrun_jobs_rejected_total", "Jobs rejected at admission.", float64(m.Pool.JobsRejected))
+	obs.WriteCounter(bw, "altrun_jobs_completed_total", "Jobs that committed an alternative.", float64(m.Pool.JobsCompleted))
+	obs.WriteCounter(bw, "altrun_jobs_failed_total", "Jobs whose alternatives all failed.", float64(m.Pool.JobsFailed))
+	obs.WriteCounter(bw, "altrun_jobs_timed_out_total", "Jobs that hit their deadline.", float64(m.Pool.JobsTimedOut))
+	obs.WriteCounter(bw, "altrun_jobs_cancelled_total", "Jobs abandoned by their caller.", float64(m.Pool.JobsCancelled))
+	obs.WriteCounter(bw, "altrun_waves_total", "Alternative waves spawned.", float64(m.Pool.Waves))
+	obs.WriteCounter(bw, "altrun_lazy_waves_total", "Waves after the first (budget-deferred alternatives).", float64(m.Pool.LazyWaves))
+	obs.WriteCounter(bw, "altrun_alts_unspawned_total", "Alternatives never spawned because an earlier wave committed.", float64(m.Pool.AltsUnspawned))
+	obs.WriteCounter(bw, "altrun_budget_waits_total", "Waves that blocked waiting for speculation tokens.", float64(m.Pool.TokenWaits))
+	obs.WriteGauge(bw, "altrun_jobs_queued", "Jobs waiting for a worker.", float64(m.Pool.Queued))
+	obs.WriteGauge(bw, "altrun_jobs_running", "Jobs executing now.", float64(m.Pool.Running))
+	obs.WriteGauge(bw, "altrun_spec_tokens_in_use", "Speculation tokens held.", float64(m.Pool.TokensInUse))
+	obs.WriteGauge(bw, "altrun_spec_high_water", "Max concurrent speculative worlds seen.", float64(m.Pool.SpecHighWater))
+
+	// Selection (predicate-propagation) counters — satellite: these and
+	// the trace drop counter were previously JSON-only.
+	obs.WriteCounter(bw, "altrun_sel_resolutions_total", "Selection resolutions processed.", float64(m.Selection.Resolutions))
+	obs.WriteCounter(bw, "altrun_sel_subscribers_visited_total", "Subscriber worlds visited during selection.", float64(m.Selection.SubscribersVisited))
+	obs.WriteCounter(bw, "altrun_sel_eliminations_total", "Worlds eliminated by selection.", float64(m.Selection.Eliminations))
+	obs.WriteCounter(bw, "altrun_sel_shard_contention_total", "Registry shard lock contention events.", float64(m.Selection.ShardContention))
+	obs.WriteCounter(bw, "altrun_sel_alias_fast_path_total", "Alias resolutions served by the fast path.", float64(m.Selection.AliasFastPath))
+	obs.WriteCounter(bw, "altrun_sel_alias_walks_total", "Alias chain walks.", float64(m.Selection.AliasWalks))
+
+	// Message routing.
+	obs.WriteCounter(bw, "altrun_msgs_sent_total", "Messages submitted to the router.", float64(m.Messages.Sent))
+	obs.WriteCounter(bw, "altrun_msgs_accepted_total", "Messages accepted by a receiver.", float64(m.Messages.Accepted))
+	obs.WriteCounter(bw, "altrun_msgs_ignored_total", "Messages ignored (eliminated or absent receiver).", float64(m.Messages.Ignored))
+	obs.WriteCounter(bw, "altrun_msgs_splits_total", "Receiver splits on speculative delivery.", float64(m.Messages.Splits))
+
+	// Memory and tracing.
+	obs.WriteGauge(bw, "altrun_live_worlds", "Worlds alive in the registry.", float64(m.LiveWorlds))
+	obs.WriteCounter(bw, "altrun_page_allocs_total", "Pages allocated.", float64(m.PageAllocs))
+	obs.WriteCounter(bw, "altrun_page_copies_total", "COW page copies.", float64(m.PageCopies))
+	obs.WriteCounter(bw, "altrun_trace_dropped_total", "Trace events dropped by the ring buffer.", float64(m.TraceDropped))
+
+	// Peer group, when clustered.
+	if c := m.Cluster; c != nil {
+		obs.WriteCounter(bw, "altrun_cluster_ballots_total", "Consensus ballots run.", float64(c.Ballots))
+		obs.WriteCounter(bw, "altrun_cluster_commits_total", "Consensus commits won.", float64(c.ConsensusCommits))
+		obs.WriteCounter(bw, "altrun_cluster_rforks_in_total", "Jobs received via rfork.", float64(c.RForksIn))
+		obs.WriteCounter(bw, "altrun_cluster_rforks_out_total", "Jobs shipped via rfork.", float64(c.RForksOut))
+		obs.WriteCounter(bw, "altrun_net_msgs_sent_total", "Transport messages sent.", float64(c.Net.MsgsSent))
+		obs.WriteCounter(bw, "altrun_net_msgs_recv_total", "Transport messages received.", float64(c.Net.MsgsRecv))
+		obs.WriteCounter(bw, "altrun_net_bytes_sent_total", "Transport bytes sent.", float64(c.Net.BytesSent))
+		obs.WriteCounter(bw, "altrun_net_bytes_recv_total", "Transport bytes received.", float64(c.Net.BytesRecv))
+		obs.WriteCounter(bw, "altrun_net_dropped_total", "Transport messages dropped.", float64(c.Net.Dropped))
+		obs.WriteCounter(bw, "altrun_net_retries_total", "Transport reconnect attempts.", float64(c.Net.Retries))
+		obs.WriteCounter(bw, "altrun_net_rtt_dropped_total", "RTT samples discarded for straddling a reconnect.", float64(c.Net.RTTDropped))
+		obs.WriteGauge(bw, "altrun_net_rtt_ewma_ms", "Smoothed consensus round-trip time.", c.Net.RTTEWMAMS)
+		obs.WriteGauge(bw, "altrun_net_rtt_p99_ms", "99th-percentile consensus round-trip time.", c.Net.RTTP99MS)
+	}
+
+	// Flight recorder aggregates and histograms (no-op when disabled).
+	s.rec.WritePrometheus(bw)
+}

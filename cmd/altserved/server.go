@@ -11,6 +11,7 @@ import (
 	approlog "altrun/apps/prolog"
 	apprecovery "altrun/apps/recovery"
 	"altrun/internal/msg"
+	"altrun/internal/obs"
 	"altrun/internal/serve"
 	"altrun/internal/trace"
 )
@@ -32,6 +33,10 @@ type submitRequest struct {
 	// prolog: a program (Prelude is preloaded) and a query.
 	Program string `json:"program,omitempty"`
 	Query   string `json:"query,omitempty"`
+
+	// TraceID stitches this job's flight-recorder timeline across
+	// nodes; rfork stamps one automatically when forwarding.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // jobView is the JSON rendering of a job's state.
@@ -49,19 +54,21 @@ type jobView struct {
 
 // metricsView is the GET /metrics payload.
 type metricsView struct {
-	Pool         serve.PoolStats   `json:"pool"`
-	Selection    trace.SelSnapshot `json:"selection"`
-	Messages     msg.Stats         `json:"messages"`
-	LiveWorlds   int               `json:"live_worlds"`
-	PageAllocs   int64             `json:"page_allocs"`
-	PageCopies   int64             `json:"page_copies"`
-	TraceDropped uint64            `json:"trace_dropped"`
-	Cluster      *clusterView      `json:"cluster,omitempty"`
+	Pool         serve.PoolStats    `json:"pool"`
+	Selection    trace.SelSnapshot  `json:"selection"`
+	Messages     msg.Stats          `json:"messages"`
+	LiveWorlds   int                `json:"live_worlds"`
+	PageAllocs   int64              `json:"page_allocs"`
+	PageCopies   int64              `json:"page_copies"`
+	TraceDropped uint64             `json:"trace_dropped"`
+	Cluster      *clusterView       `json:"cluster,omitempty"`
+	Obs          *obs.RecorderStats `json:"obs,omitempty"`
 }
 
 type server struct {
 	pool    *serve.Pool
 	cluster *clusterState // nil when running single-node
+	rec     *obs.Recorder // nil when the flight recorder is off
 }
 
 // newHandler builds the daemon's HTTP API around a pool:
@@ -71,15 +78,22 @@ type server struct {
 //	                    freeing its speculative subtree)
 //	GET    /jobs/{id}   status/result (?forget=1 drops a terminal job)
 //	DELETE /jobs/{id}   cancel
-//	GET    /metrics     pool + selection + message + page counters
+//	GET    /metrics     pool + selection + message + page + obs counters
+//	                    (?format=prom renders Prometheus text instead)
+//	GET    /debug/blocks            recent flight-recorder timelines
+//	GET    /debug/blocks/{id}       one block's full timeline
+//	GET    /debug/blocks/{id}/trace the block as Chrome trace-event JSON
 //	GET    /healthz     liveness
-func newHandler(pool *serve.Pool, cluster *clusterState) http.Handler {
-	s := &server{pool: pool, cluster: cluster}
+func newHandler(pool *serve.Pool, cluster *clusterState, rec *obs.Recorder) http.Handler {
+	s := &server{pool: pool, cluster: cluster, rec: rec}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/blocks", s.handleBlocks)
+	mux.HandleFunc("GET /debug/blocks/{id}", s.handleBlock)
+	mux.HandleFunc("GET /debug/blocks/{id}/trace", s.handleBlockTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -101,6 +115,17 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // buildJob maps a submit request onto a serve.Job via the apps
 // adapters.
 func buildJob(req submitRequest) (serve.Job, error) {
+	job, err := buildJobKind(req)
+	if err != nil {
+		return job, err
+	}
+	// Carry the cross-node stitch ID whatever the kind: an rforked
+	// job's timeline on this node shares it with the origin node's.
+	job.TraceID = req.TraceID
+	return job, nil
+}
+
+func buildJobKind(req submitRequest) (serve.Job, error) {
 	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
 	switch req.Kind {
 	case "sort":
@@ -232,7 +257,7 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobView{ID: id, Status: tk.Status().String()})
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rt := s.pool.Runtime()
 	m := metricsView{
 		Pool:       s.pool.Stats(),
@@ -248,5 +273,61 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.cluster != nil {
 		m.Cluster = s.cluster.view()
 	}
+	m.Obs = s.rec.Stats()
+	if r.URL.Query().Get("format") == "prom" {
+		s.writeProm(w, m)
+		return
+	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// handleBlocks lists the flight recorder's retained timelines,
+// newest first, plus aggregate recorder stats.
+func (s *server) handleBlocks(w http.ResponseWriter, _ *http.Request) {
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound, errors.New("flight recorder disabled (-obs-rate 0)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stats":  s.rec.Stats(),
+		"blocks": s.rec.Recent(),
+	})
+}
+
+func (s *server) timelineFromPath(w http.ResponseWriter, r *http.Request) (*obs.Timeline, bool) {
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound, errors.New("flight recorder disabled (-obs-rate 0)"))
+		return nil, false
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad block id: %w", err))
+		return nil, false
+	}
+	tl, ok := s.rec.Timeline(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no timeline for block %d (evicted or unsampled)", id))
+		return nil, false
+	}
+	return tl, true
+}
+
+func (s *server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	if tl, ok := s.timelineFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, tl)
+	}
+}
+
+func (s *server) handleBlockTrace(w http.ResponseWriter, r *http.Request) {
+	tl, ok := s.timelineFromPath(w, r)
+	if !ok {
+		return
+	}
+	raw, err := tl.ChromeTrace()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
 }

@@ -267,6 +267,10 @@ func (cl *Claimant) Claim(p transport.Proc, pid ids.PID) Result {
 		ballot := attempt
 		res.Ballots++
 		ballotStart := cl.ep.Now()
+		// Snapshot the transport's reconnect count: a reply whose round
+		// trip straddled a redial measures backoff, not protocol latency,
+		// and must not feed the RTT estimate.
+		retries0 := cl.cfg.Net.RetryCount()
 		for _, m := range cl.members {
 			cl.ep.Send(transport.Addr{Node: m, Port: cl.votePort}, VoteReq{
 				Key: cl.key, Claimant: pid, Ballot: ballot, Reply: replyAddr,
@@ -287,7 +291,7 @@ func (cl *Claimant) Claim(p transport.Proc, pid ids.PID) Result {
 			if !isReply || reply.Key != cl.key || reply.Ballot != ballot {
 				continue // stale
 			}
-			cl.cfg.Net.ObserveRTT(cl.ep.Now().Sub(ballotStart))
+			cl.cfg.Net.ObserveRTTIfStable(cl.ep.Now().Sub(ballotStart), retries0)
 			answered++
 			if reply.Winner.IsValid() {
 				if reply.Winner == pid {

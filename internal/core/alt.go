@@ -34,6 +34,42 @@ type Alt struct {
 // majority-consensus claim (§3.2.1).
 type ClaimFunc func(w *World) bool
 
+// Child outcomes reported to an AltProbe.
+const (
+	// OutcomeWin: the child's guard passed and it claimed the commit.
+	OutcomeWin = "win"
+	// OutcomeGuardFail: the child's body or guard failed.
+	OutcomeGuardFail = "guard-fail"
+	// OutcomeTooLate: the guard passed but a sibling committed first.
+	OutcomeTooLate = "too-late"
+)
+
+// AltProbe observes one RunAlt execution from the inside — the flight
+// recorder (internal/obs) implements it to reconstruct a block's
+// causal span tree. Callbacks fire from both the parent's and the
+// children's goroutines concurrently, so implementations must be safe
+// for concurrent use and cheap; now is the runtime's clock (virtual in
+// simulated mode). A nil Options.Probe costs one pointer test per hook
+// site, keeping unsampled blocks free of observation overhead.
+type AltProbe interface {
+	// ChildSpawned fires for each alternative once its world is built
+	// and registered (setup phase).
+	ChildSpawned(pid ids.PID, name string, now time.Time)
+	// SetupDone fires once every child body has been started — the end
+	// of the paper's §4.3 setup phase.
+	SetupDone(now time.Time, spawned int)
+	// ChildFault fires when a child's write COW-copies pages (§4.3
+	// runtime overhead). pages is the copies this write performed.
+	ChildFault(pid ids.PID, pages int64, now time.Time)
+	// ChildExit fires when a child resolves; outcome is one of
+	// OutcomeWin, OutcomeGuardFail, OutcomeTooLate and copies its total
+	// COW page copies.
+	ChildExit(pid ids.PID, outcome string, now time.Time, copies int64)
+	// Committed fires after the winner's page map was adopted into the
+	// parent (selection phase).
+	Committed(winner ids.PID, now time.Time)
+}
+
 // Options tune an alternative block.
 type Options struct {
 	// Timeout is alt_wait's TIMEOUT: "if TIMEOUT time units have
@@ -59,6 +95,9 @@ type Options struct {
 	PreCheckGuard bool
 	// Claim overrides the commit arbiter.
 	Claim ClaimFunc
+	// Probe, when non-nil, observes the block's execution (spawns,
+	// faults, exits, commit) — see AltProbe.
+	Probe AltProbe
 }
 
 // Result describes a committed block.
@@ -78,6 +117,14 @@ type Result struct {
 	// WinnerCopies is the number of COW page copies the winner
 	// performed (its share of the §4.1 memory-copying overhead).
 	WinnerCopies int64
+	// Setup, Runtime, Selection decompose Elapsed into the paper's
+	// §4.3 overhead phases, measured on the runtime's clock: Setup runs
+	// from block entry until every child body is started, Runtime until
+	// the parent learns the winner, Selection through adoption and
+	// sibling-elimination dispatch. Setup+Runtime+Selection == Elapsed.
+	Setup     time.Duration
+	Runtime   time.Duration
+	Selection time.Duration
 }
 
 // childReport is what an alternative sends to its waiting parent.
@@ -182,10 +229,14 @@ func (w *World) RunAlt(opts Options, alts ...Alt) (Result, error) {
 			preds:      preds,
 			box:        rt.be.newInbox(),
 			ownedSpace: true,
+			probe:      opts.Probe,
 		}
 		rt.registerWorld(cw)
 		children[k] = cw
 		rt.log.Addf(start, trace.KindSpawn, cw.pid, "alt %d of %v", i+1, w.pid)
+		if opts.Probe != nil {
+			opts.Probe.ChildSpawned(cw.pid, cw.name, rt.be.now())
+		}
 	}
 
 	claim := opts.Claim
@@ -216,6 +267,12 @@ func (w *World) RunAlt(opts Options, alts ...Alt) (Result, error) {
 			// against the block mid-spawn): cancel the body immediately.
 			handle.kill()
 		}
+	}
+	// Setup ends here: every execution environment exists and every
+	// body has been started (§4.3 "creating execution environments").
+	setupDone := rt.be.now()
+	if opts.Probe != nil {
+		opts.Probe.SetupDone(setupDone, len(live))
 	}
 
 	// Phase 4: alt_wait — the parent remains blocked while the
@@ -276,6 +333,9 @@ func (w *World) RunAlt(opts Options, alts ...Alt) (Result, error) {
 
 	// Phase 5: commit — absorb the winner's state by atomically
 	// replacing the page map (§3.2), then eliminate the siblings.
+	// Runtime ends when the parent learns the winner; everything from
+	// here on is the §4.3 selection phase.
+	winnerAt := rt.be.now()
 	ww := winner.w
 	winnerCopies := ww.CopiedPages()
 	rt.procs.SetStatus(ww.pid, proc.Completed) //nolint:errcheck // status was Running
@@ -285,6 +345,9 @@ func (w *World) RunAlt(opts Options, alts ...Alt) (Result, error) {
 	w.inheritDeferred(ww)
 	rt.unregisterWorld(ww)
 	rt.log.Addf(rt.be.now(), trace.KindCommit, ww.pid, "absorbed into %v", w.pid)
+	if opts.Probe != nil {
+		opts.Probe.Committed(ww.pid, rt.be.now())
+	}
 
 	// Selection overhead: resolving the winner's fate contradicts every
 	// sibling's "winner can't complete" assumption, which is exactly
@@ -308,14 +371,18 @@ func (w *World) RunAlt(opts Options, alts ...Alt) (Result, error) {
 		})
 	}
 
+	end := rt.be.now()
 	return Result{
 		Index:        winner.idx,
 		Name:         ww.name,
 		Winner:       ww.pid,
-		Elapsed:      rt.be.now().Sub(start),
+		Elapsed:      end.Sub(start),
 		Failures:     failures + preFailures,
 		TooLate:      tooLate,
 		WinnerCopies: winnerCopies,
+		Setup:        setupDone.Sub(start),
+		Runtime:      winnerAt.Sub(setupDone),
+		Selection:    end.Sub(winnerAt),
 	}, nil
 }
 
@@ -332,6 +399,9 @@ func (rt *Runtime) runAlternative(idx int, alt Alt, cw *World, opts Options, cla
 	}
 	if err != nil {
 		rt.log.Addf(rt.be.now(), trace.KindGuardFail, cw.pid, "%v", err)
+		if opts.Probe != nil {
+			opts.Probe.ChildExit(cw.pid, OutcomeGuardFail, rt.be.now(), cw.CopiedPages())
+		}
 		if cw.markTerminated() {
 			rt.procs.SetStatus(cw.pid, proc.Failed) //nolint:errcheck
 			rt.unregisterWorld(cw)
@@ -346,6 +416,9 @@ func (rt *Runtime) runAlternative(idx int, alt Alt, cw *World, opts Options, cla
 		// "It is informed that it is 'too late' for the
 		// synchronization, and it should terminate itself" (§3.2.1).
 		rt.log.Add(rt.be.now(), trace.KindTooLate, cw.pid, alt.Name)
+		if opts.Probe != nil {
+			opts.Probe.ChildExit(cw.pid, OutcomeTooLate, rt.be.now(), cw.CopiedPages())
+		}
 		if cw.markTerminated() {
 			rt.procs.SetStatus(cw.pid, proc.Eliminated) //nolint:errcheck
 			rt.unregisterWorld(cw)
@@ -356,7 +429,11 @@ func (rt *Runtime) runAlternative(idx int, alt Alt, cw *World, opts Options, cla
 		return
 	}
 	// Winner: hand the space to the parent before reporting so the
-	// exit path does not release it.
+	// exit path does not release it. The probe fires before the report
+	// so the win event is ordered before the parent's commit.
+	if opts.Probe != nil {
+		opts.Probe.ChildExit(cw.pid, OutcomeWin, rt.be.now(), cw.CopiedPages())
+	}
 	cw.markTerminated()
 	cw.transferSpace()
 	rep.win = true

@@ -57,6 +57,12 @@ type World struct {
 
 	isServer bool
 	serverFn Handler
+
+	// probe, when non-nil, receives this world's COW fault events;
+	// RunAlt sets it on the children of probed blocks before their
+	// bodies are spawned (so it is read race-free from the body's
+	// goroutine).
+	probe AltProbe
 }
 
 var _ msg.Receiver = (*World)(nil)
@@ -164,8 +170,21 @@ func (w *World) WriteAt(buf []byte, off int64) error {
 	if err := w.space.WriteAt(buf, off); err != nil {
 		return err
 	}
-	w.rt.chargeCopies(w.ctx, w.space.CopiedPages()-before)
+	w.recordCopies(before)
 	return nil
+}
+
+// recordCopies charges COW copies performed since before and reports
+// them to the block probe, if any.
+func (w *World) recordCopies(before int64) {
+	copies := w.space.CopiedPages() - before
+	if copies <= 0 {
+		return
+	}
+	w.rt.chargeCopies(w.ctx, copies)
+	if w.probe != nil {
+		w.probe.ChildFault(w.pid, copies, w.rt.be.now())
+	}
 }
 
 // ReadUint64 reads a big-endian uint64 at off.
@@ -177,7 +196,7 @@ func (w *World) WriteUint64(off int64, v uint64) error {
 	if err := w.space.WriteUint64(off, v); err != nil {
 		return err
 	}
-	w.rt.chargeCopies(w.ctx, w.space.CopiedPages()-before)
+	w.recordCopies(before)
 	return nil
 }
 
@@ -193,7 +212,7 @@ func (w *World) RestoreSnapshot(data []byte) error {
 	if err := w.space.Restore(data); err != nil {
 		return err
 	}
-	w.rt.chargeCopies(w.ctx, w.space.CopiedPages()-before)
+	w.recordCopies(before)
 	return nil
 }
 

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"altrun/internal/ids"
+)
+
+// Chrome trace-event JSON (the Perfetto / chrome://tracing "JSON Array
+// Format"): complete spans (ph "X") for the block, its phases, and each
+// child's spawn→exit lifetime, instant events (ph "i") for COW faults
+// and the commit point, metadata (ph "M") to label tracks. Timestamps
+// are absolute microseconds; tid 0 is the block track and each child
+// gets its PID as its own track.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   uint64         `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usOf(t time.Time) int64      { return t.UnixMicro() }
+func usDur(d time.Duration) int64 { return int64(d / time.Microsecond) }
+func tidOf(pid ids.PID) uint64    { return uint64(pid) }
+func span(d time.Duration) int64  { return max64(usDur(d), 1) }
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ChromeTrace renders the timeline as Chrome trace-event JSON, loadable
+// in Perfetto or chrome://tracing.
+func (t *Timeline) ChromeTrace() ([]byte, error) {
+	proc := t.ID
+	evs := []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: proc,
+			Args: map[string]any{"name": fmt.Sprintf("block %d %s/%s", t.ID, t.Kind, t.Name)}},
+		{Name: "thread_name", Ph: "M", PID: proc, TID: 0,
+			Args: map[string]any{"name": "block"}},
+		{Name: fmt.Sprintf("block %s [%s]", t.Name, t.Status), Cat: "block", Ph: "X",
+			TS: usOf(t.Start), Dur: span(t.Wall), PID: proc, TID: 0,
+			Args: map[string]any{
+				"trace_id":     t.TraceID,
+				"winner":       t.Winner,
+				"waves":        t.Waves,
+				"pi_measured":  t.PIMeasured,
+				"pi_predicted": t.PIPredicted,
+			}},
+	}
+
+	// Phase spans per wave, reconstructed the same way Finish carved
+	// the decomposition.
+	type waveTimes struct{ start, setupDone, winAt, end time.Time }
+	wt := make([]waveTimes, t.Waves)
+	for _, e := range t.Events {
+		if e.Wave >= len(wt) {
+			continue
+		}
+		switch e.Kind {
+		case EvWaveStart:
+			wt[e.Wave].start = e.At
+		case EvSetupDone:
+			wt[e.Wave].setupDone = e.At
+		case EvWin:
+			if wt[e.Wave].winAt.IsZero() {
+				wt[e.Wave].winAt = e.At
+			}
+		case EvWaveEnd:
+			wt[e.Wave].end = e.At
+		}
+	}
+	for i, ws := range wt {
+		if ws.start.IsZero() {
+			continue
+		}
+		if ws.end.IsZero() {
+			ws.end = t.Start.Add(t.Wall)
+		}
+		args := map[string]any{"wave": i}
+		add := func(name string, from, to time.Time) {
+			if to.After(from) {
+				evs = append(evs, chromeEvent{Name: name, Cat: "phase", Ph: "X",
+					TS: usOf(from), Dur: span(to.Sub(from)), PID: proc, TID: 0, Args: args})
+			}
+		}
+		switch {
+		case ws.setupDone.IsZero():
+			add("setup", ws.start, ws.end)
+		case ws.winAt.IsZero():
+			add("setup", ws.start, ws.setupDone)
+			add("runtime", ws.setupDone, ws.end)
+		default:
+			add("setup", ws.start, ws.setupDone)
+			add("runtime", ws.setupDone, ws.winAt)
+			add("selection", ws.winAt, ws.end)
+		}
+	}
+
+	// Child tracks: one span from spawn to exit, faults as instants.
+	spawned := make(map[ids.PID]Event)
+	for _, e := range t.Events {
+		switch e.Kind {
+		case EvSpawn:
+			spawned[e.PID] = e
+			evs = append(evs, chromeEvent{Name: "thread_name", Ph: "M", PID: proc, TID: tidOf(e.PID),
+				Args: map[string]any{"name": fmt.Sprintf("alt %s (pid %d)", e.Name, e.PID)}})
+		case EvFault:
+			evs = append(evs, chromeEvent{Name: "fault", Cat: "mem", Ph: "i", Scope: "t",
+				TS: usOf(e.At), PID: proc, TID: tidOf(e.PID),
+				Args: map[string]any{"pages": e.N}})
+		case EvGuardFail, EvTooLate, EvWin:
+			sp, ok := spawned[e.PID]
+			if !ok {
+				continue
+			}
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("spawn %s", sp.Name), Cat: "alt", Ph: "X",
+				TS: usOf(sp.At), Dur: span(e.At.Sub(sp.At)), PID: proc, TID: tidOf(e.PID),
+				Args: map[string]any{"outcome": e.Name, "copies": e.N, "wave": e.Wave}})
+		case EvCommit:
+			evs = append(evs, chromeEvent{Name: "commit", Cat: "block", Ph: "i", Scope: "p",
+				TS: usOf(e.At), PID: proc, TID: 0,
+				Args: map[string]any{"winner_pid": e.PID}})
+		}
+	}
+
+	return json.MarshalIndent(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"}, "", " ")
+}

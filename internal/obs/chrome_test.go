@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestChromeTrace(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1})
+	tl := driveBlock(r, 42, Outcome{Status: "done", Winner: "fast",
+		PredictedMean: 40 * time.Millisecond, PredictedBest: 10 * time.Millisecond})
+	raw, err := tl.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			TID  uint64 `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	want := map[string]bool{
+		"spawn fast": false, "spawn slow": false, "fault": false,
+		"commit": false, "setup": false, "runtime": false, "selection": false,
+	}
+	var blockDur, phaseSum int64
+	for _, e := range parsed.TraceEvents {
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+		switch e.Name {
+		case "setup", "runtime", "selection":
+			phaseSum += e.Dur
+		}
+		if e.Ph == "X" && e.TID == 0 && e.Dur > blockDur {
+			blockDur = e.Dur
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("trace missing %q event:\n%s", name, raw)
+		}
+	}
+	// The phase spans must reconcile with the block span (no sched
+	// residual in this single-wave synthetic block beyond rounding).
+	if phaseSum == 0 || phaseSum > blockDur+3 {
+		t.Fatalf("phase spans sum to %dµs, block span %dµs", phaseSum, blockDur)
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-scale duration buckets: bucket i
+// holds observations d with d/1µs < 2^i, so the range runs from
+// sub-microsecond to ~36 minutes with the last bucket as +Inf.
+const histBuckets = 32
+
+// Histogram is a fixed-size log-bucketed duration histogram. Observe
+// and Snapshot are safe for concurrent use and Observe is
+// allocation-free (three atomic adds), so aggregate phase histograms
+// can stay on at production rates.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	n      atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns bucket i's exclusive upper bound in seconds
+// (+Inf for the last bucket).
+func bucketUpper(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i)) * 1e-6
+}
+
+// Observe folds one duration into the histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketOf(d)].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistBucket is one cumulative bucket of a snapshot: Count observations
+// at most LE seconds.
+type HistBucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders LE as a string: JSON has no Inf literal, and the
+// last bucket's bound is +Inf. Matches the Prometheus text rendering.
+func (b HistBucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = formatFloat(b.LE)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// UnmarshalJSON is MarshalJSON's inverse ("+Inf" → math.Inf).
+func (b *HistBucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if raw.LE == "+Inf" {
+		b.LE = math.Inf(1)
+		return nil
+	}
+	le, err := strconv.ParseFloat(raw.LE, 64)
+	if err != nil {
+		return fmt.Errorf("obs: bucket le %q: %w", raw.LE, err)
+	}
+	b.LE = le
+	return nil
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	SumMS   float64      `json:"sum_ms"`
+	MeanMS  float64      `json:"mean_ms"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram, trimming trailing empty buckets
+// (the +Inf bucket always closes the list when any count exists).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.n.Load()}
+	sum := time.Duration(h.sum.Load())
+	s.SumMS = float64(sum) / float64(time.Millisecond)
+	if s.Count > 0 {
+		s.MeanMS = s.SumMS / float64(s.Count)
+	}
+	last := -1
+	var raw [histBuckets]int64
+	for i := range raw {
+		raw[i] = h.counts[i].Load()
+		if raw[i] > 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return s
+	}
+	cum := int64(0)
+	for i := 0; i <= last; i++ {
+		cum += raw[i]
+		s.Buckets = append(s.Buckets, HistBucket{LE: bucketUpper(i), Count: cum})
+	}
+	if last < histBuckets-1 {
+		s.Buckets = append(s.Buckets, HistBucket{LE: math.Inf(1), Count: cum})
+	}
+	return s
+}
+
+// Quantile estimates the p-quantile (0..1) from the bucket counts,
+// attributing each bucket's mass to its upper bound — a conservative
+// (over-)estimate matching how Prometheus renders histograms.
+func (s HistSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range s.Buckets {
+		if b.Count >= rank {
+			if math.IsInf(b.LE, 1) {
+				break
+			}
+			return time.Duration(b.LE * float64(time.Second))
+		}
+	}
+	return time.Duration(s.SumMS / float64(s.Count) * float64(time.Millisecond))
+}
+
+// WriteProm renders the histogram in Prometheus text exposition format
+// (cumulative le buckets, _sum in seconds, _count).
+func (h *Histogram) WriteProm(w io.Writer, name, help string) {
+	s := h.Snapshot()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for _, b := range s.Buckets {
+		cum = b.Count
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = formatFloat(b.LE)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count)
+	}
+	if len(s.Buckets) == 0 || !math.IsInf(s.Buckets[len(s.Buckets)-1].LE, 1) {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(s.SumMS/1e3))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}

@@ -1,0 +1,253 @@
+// Package obs is the speculation flight recorder: a sampled, low-
+// overhead observer that turns the runtime's block probes into per-
+// block causal span trees and aggregates the paper's §4.3 overhead
+// decomposition online.
+//
+// For each sampled alternative block it records spawn, COW-fault,
+// guard-fail, too-late, win, and commit events, then reduces them to a
+// Timeline splitting the block's wall time into
+//
+//	setup     fork + page-map inheritance, spawn to last child started
+//	runtime   children executing until the winner reports
+//	selection winner adoption, sibling elimination, commit
+//	sched     residual outside any wave: queue/budget waits, root init
+//
+// so setup + runtime + selection + sched always reconciles with the
+// block's wall time by construction. Against the serve layer's EWMA
+// history it also computes the paper's performance improvement both
+// ways: predicted PI = τ(C_mean)/τ(C_best) from history alone, and
+// measured PI = τ(C_mean)/wall, since the measured wall time is exactly
+// τ(C_best)+τ(overhead).
+//
+// Sampling (default 1 in 64 blocks) keeps the recorder off the hot
+// path: an unsampled block costs two atomic adds and no allocation;
+// sampled blocks draw their event buffers from a pool.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSampleRate records one block in every 64.
+const DefaultSampleRate = 64
+
+// DefaultKeep is how many finished timelines the recorder retains for
+// /debug/blocks.
+const DefaultKeep = 256
+
+// Config tunes a Recorder.
+type Config struct {
+	// SampleRate records 1 in N blocks (default DefaultSampleRate;
+	// 1 records every block). The first block is always sampled so a
+	// freshly started daemon has something to show.
+	SampleRate int
+	// Keep bounds the retained finished timelines (default DefaultKeep).
+	Keep int
+	// OnComplete, when non-nil, is called synchronously with each
+	// finished timeline — the daemon uses it to write Chrome trace
+	// files. The timeline is immutable at that point.
+	OnComplete func(*Timeline)
+}
+
+// Recorder samples alternative blocks into timelines. All methods are
+// nil-safe: a nil *Recorder records nothing, so callers wire it through
+// unconditionally. Create with NewRecorder.
+type Recorder struct {
+	rate       uint64
+	keep       int
+	onComplete func(*Timeline)
+
+	seq     atomic.Uint64
+	started atomic.Int64
+	sampled atomic.Int64
+
+	pool sync.Pool // *Block
+
+	// Aggregate phase histograms over sampled blocks.
+	wall      Histogram
+	setup     Histogram
+	runtime   Histogram
+	selection Histogram
+	sched     Histogram
+	winnerTau Histogram
+
+	mu         sync.Mutex
+	recent     []*Timeline // ring, next points at the oldest slot
+	next       int
+	byID       map[uint64]*Timeline
+	piMeasSum  float64
+	piMeasN    int64
+	piPredSum  float64
+	piPredN    int64
+	spawns     int64
+	faults     int64
+	faultPages int64
+}
+
+// NewRecorder builds a recorder.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = DefaultSampleRate
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = DefaultKeep
+	}
+	r := &Recorder{
+		rate:       uint64(cfg.SampleRate),
+		keep:       cfg.Keep,
+		onComplete: cfg.OnComplete,
+		byID:       make(map[uint64]*Timeline),
+	}
+	r.pool.New = func() any { return &Block{} }
+	return r
+}
+
+// StartBlock begins observing one alternative block. It returns nil —
+// meaning "not sampled", safe to use — for all but 1 in SampleRate
+// calls; the unsampled path performs two atomic adds and allocates
+// nothing. id is the caller's block identifier (the pool's job ID);
+// traceID, when non-empty, stitches spans across nodes for
+// rfork-forwarded jobs.
+func (r *Recorder) StartBlock(kind, name string, id uint64, traceID string) *Block {
+	if r == nil {
+		return nil
+	}
+	r.started.Add(1)
+	if (r.seq.Add(1)-1)%r.rate != 0 {
+		return nil
+	}
+	r.sampled.Add(1)
+	b := r.pool.Get().(*Block)
+	b.rec = r
+	b.id = id
+	b.kind, b.name, b.traceID = kind, name, traceID
+	b.start = time.Now()
+	b.events = b.events[:0]
+	b.waves = b.waves[:0]
+	return b
+}
+
+// retire folds a finished block into the aggregates and the recent
+// ring, then returns its buffers to the pool.
+func (r *Recorder) retire(t *Timeline, b *Block) {
+	r.wall.Observe(t.Wall)
+	r.setup.Observe(t.Setup)
+	r.runtime.Observe(t.Runtime)
+	r.selection.Observe(t.Selection)
+	r.sched.Observe(t.Sched)
+	if t.WinnerTau > 0 {
+		r.winnerTau.Observe(t.WinnerTau)
+	}
+	r.mu.Lock()
+	if t.PIMeasured > 0 {
+		r.piMeasSum += t.PIMeasured
+		r.piMeasN++
+	}
+	if t.PIPredicted > 0 {
+		r.piPredSum += t.PIPredicted
+		r.piPredN++
+	}
+	r.spawns += int64(t.Spawns)
+	r.faults += int64(t.Faults)
+	r.faultPages += t.FaultPages
+	if len(r.recent) < r.keep {
+		r.recent = append(r.recent, t)
+	} else {
+		delete(r.byID, r.recent[r.next].ID)
+		r.recent[r.next] = t
+		r.next = (r.next + 1) % r.keep
+	}
+	r.byID[t.ID] = t
+	r.mu.Unlock()
+	b.rec = nil
+	r.pool.Put(b)
+	if r.onComplete != nil {
+		r.onComplete(t)
+	}
+}
+
+// Recent returns the retained timelines, newest first.
+func (r *Recorder) Recent() []*Timeline {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.recent)
+	out := make([]*Timeline, 0, n)
+	newest := n - 1
+	if n == r.keep {
+		// Full ring: next points at the oldest slot, newest is behind it.
+		newest = (r.next - 1 + n) % n
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.recent[(newest-i+n)%n])
+	}
+	return out
+}
+
+// Timeline returns the retained timeline for a block ID.
+func (r *Recorder) Timeline(id uint64) (*Timeline, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// RecorderStats is the recorder's aggregate view for /metrics.
+type RecorderStats struct {
+	SampleRate    int   `json:"sample_rate"`
+	BlocksStarted int64 `json:"blocks_started"`
+	BlocksSampled int64 `json:"blocks_sampled"`
+	Kept          int   `json:"kept"`
+
+	// Mean measured and predicted performance improvement over sampled
+	// blocks that had history to predict from (0 when none).
+	PIMeasuredMean  float64 `json:"pi_measured_mean"`
+	PIPredictedMean float64 `json:"pi_predicted_mean"`
+
+	Spawns     int64 `json:"spawns"`
+	Faults     int64 `json:"faults"`
+	FaultPages int64 `json:"fault_pages"`
+
+	Wall      HistSnapshot `json:"wall"`
+	Setup     HistSnapshot `json:"setup"`
+	Runtime   HistSnapshot `json:"runtime"`
+	Selection HistSnapshot `json:"selection"`
+	Sched     HistSnapshot `json:"sched"`
+	WinnerTau HistSnapshot `json:"winner_tau"`
+}
+
+// Stats snapshots the recorder. Nil-safe.
+func (r *Recorder) Stats() *RecorderStats {
+	if r == nil {
+		return nil
+	}
+	s := &RecorderStats{
+		SampleRate:    int(r.rate),
+		BlocksStarted: r.started.Load(),
+		BlocksSampled: r.sampled.Load(),
+		Wall:          r.wall.Snapshot(),
+		Setup:         r.setup.Snapshot(),
+		Runtime:       r.runtime.Snapshot(),
+		Selection:     r.selection.Snapshot(),
+		Sched:         r.sched.Snapshot(),
+		WinnerTau:     r.winnerTau.Snapshot(),
+	}
+	r.mu.Lock()
+	s.Kept = len(r.recent)
+	if r.piMeasN > 0 {
+		s.PIMeasuredMean = r.piMeasSum / float64(r.piMeasN)
+	}
+	if r.piPredN > 0 {
+		s.PIPredictedMean = r.piPredSum / float64(r.piPredN)
+	}
+	s.Spawns, s.Faults, s.FaultPages = r.spawns, r.faults, r.faultPages
+	r.mu.Unlock()
+	return s
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"altrun/internal/ids"
+)
+
+// driveBlock records one synthetic two-alternative block with w1
+// winning after some COW faults, then finishes it.
+func driveBlock(r *Recorder, id uint64, out Outcome) *Timeline {
+	b := r.StartBlock("test", "blk", id, "")
+	if b == nil {
+		return nil
+	}
+	w := b.StartWave(2)
+	step := func() time.Time { time.Sleep(time.Millisecond); return time.Now() }
+	w.ChildSpawned(ids.PID(10), "fast", time.Now())
+	w.ChildSpawned(ids.PID(11), "slow", time.Now())
+	w.SetupDone(step(), 2)
+	w.ChildFault(ids.PID(10), 3, step())
+	w.ChildExit(ids.PID(11), "guard-fail", step(), 0)
+	w.ChildExit(ids.PID(10), "win", step(), 3)
+	w.Committed(ids.PID(10), step())
+	w.End(nil)
+	return b.Finish(out)
+}
+
+func TestSamplingRate(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 4})
+	sampled := 0
+	for i := 0; i < 8; i++ {
+		if b := r.StartBlock("k", "n", uint64(i), ""); b != nil {
+			sampled++
+			b.Finish(Outcome{Status: "done"})
+		}
+	}
+	if sampled != 2 {
+		t.Fatalf("sampled %d of 8 at rate 4, want 2", sampled)
+	}
+	s := r.Stats()
+	if s.BlocksStarted != 8 || s.BlocksSampled != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The first block is always sampled so a fresh daemon has data.
+	r2 := NewRecorder(Config{SampleRate: 1000})
+	if r2.StartBlock("k", "n", 1, "") == nil {
+		t.Fatal("first block not sampled")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if b := r.StartBlock("k", "n", 1, ""); b != nil {
+		t.Fatal("nil recorder sampled a block")
+	}
+	if got := r.Recent(); got != nil {
+		t.Fatalf("nil recorder Recent = %v", got)
+	}
+	if _, ok := r.Timeline(1); ok {
+		t.Fatal("nil recorder returned a timeline")
+	}
+	if r.Stats() != nil {
+		t.Fatal("nil recorder Stats != nil")
+	}
+	r.WritePrometheus(&strings.Builder{})
+
+	var b *Block
+	if b.ID() != 0 {
+		t.Fatal("nil block ID")
+	}
+	w := b.StartWave(3)
+	if w != nil {
+		t.Fatal("nil block returned a wave")
+	}
+	// Every probe callback must no-op on the nil wave, and Probe()
+	// must yield a nil interface so core's fast path stays closed.
+	if w.Probe() != nil {
+		t.Fatal("nil wave Probe() != nil interface")
+	}
+	w.ChildSpawned(1, "x", time.Now())
+	w.SetupDone(time.Now(), 1)
+	w.ChildFault(1, 1, time.Now())
+	w.ChildExit(1, "win", time.Now(), 1)
+	w.Committed(1, time.Now())
+	w.End(nil)
+	if tl := b.Finish(Outcome{}); tl != nil {
+		t.Fatal("nil block finished to a timeline")
+	}
+}
+
+func TestUnsampledPathAllocationFree(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1 << 30})
+	r.StartBlock("k", "n", 0, "") // consume the always-sampled first slot
+	allocs := testing.AllocsPerRun(1000, func() {
+		if b := r.StartBlock("k", "n", 1, ""); b != nil {
+			t.Fatal("sampled inside alloc probe")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled StartBlock allocates %v times", allocs)
+	}
+}
+
+func TestTimelineReconciliation(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1})
+	tl := driveBlock(r, 7, Outcome{
+		Status: "done", Winner: "fast",
+		PredictedMean: 40 * time.Millisecond,
+		PredictedBest: 10 * time.Millisecond,
+	})
+	if tl == nil {
+		t.Fatal("block not sampled at rate 1")
+	}
+	if sum := tl.Setup + tl.Runtime + tl.Selection + tl.Sched; sum != tl.Wall {
+		t.Fatalf("setup %v + runtime %v + selection %v + sched %v = %v, wall %v",
+			tl.Setup, tl.Runtime, tl.Selection, tl.Sched, sum, tl.Wall)
+	}
+	if tl.Setup <= 0 || tl.Runtime <= 0 || tl.Selection <= 0 {
+		t.Fatalf("empty phase in %+v", tl)
+	}
+	if tl.Spawns != 2 || tl.Faults != 1 || tl.FaultPages != 3 || tl.GuardFails != 1 {
+		t.Fatalf("counts wrong: %+v", tl)
+	}
+	if tl.WinnerTau <= 0 {
+		t.Fatalf("winner tau = %v", tl.WinnerTau)
+	}
+	if tl.PIPredicted != 4.0 {
+		t.Fatalf("pi predicted = %v, want 4.0", tl.PIPredicted)
+	}
+	if tl.PIMeasured <= 0 {
+		t.Fatalf("pi measured = %v", tl.PIMeasured)
+	}
+	got, ok := r.Timeline(7)
+	if !ok || got != tl {
+		t.Fatal("Timeline(7) lookup failed")
+	}
+}
+
+func TestRecentRingEviction(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1, Keep: 2})
+	for i := 1; i <= 4; i++ {
+		driveBlock(r, uint64(i), Outcome{Status: "done"})
+	}
+	recent := r.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("kept %d, want 2", len(recent))
+	}
+	if recent[0].ID != 4 || recent[1].ID != 3 {
+		t.Fatalf("recent ids = %d,%d want newest-first 4,3", recent[0].ID, recent[1].ID)
+	}
+	if _, ok := r.Timeline(1); ok {
+		t.Fatal("evicted timeline still indexed")
+	}
+	if _, ok := r.Timeline(4); !ok {
+		t.Fatal("retained timeline not indexed")
+	}
+}
+
+// TestStaleWaveDropped: a straggling sibling reporting after Finish
+// must not corrupt the (possibly recycled) block.
+func TestStaleWaveDropped(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1})
+	b := r.StartBlock("k", "n", 1, "")
+	w := b.StartWave(1)
+	w.ChildSpawned(1, "x", time.Now())
+	w.End(nil)
+	b.Finish(Outcome{Status: "done"})
+
+	// The same *Block comes back from the pool for the next block.
+	b2 := r.StartBlock("k", "n", 2, "")
+	w.ChildExit(1, "too-late", time.Now(), 0) // straggler from block 1
+	w.ChildFault(1, 5, time.Now())
+	tl2 := b2.Finish(Outcome{Status: "done"})
+	if len(tl2.Events) != 0 {
+		t.Fatalf("straggler events leaked into the next block: %v", tl2.Events)
+	}
+	tl1, _ := r.Timeline(1)
+	if tl1.TooLate != 0 || tl1.Faults != 0 {
+		t.Fatalf("straggler mutated a finished timeline: %+v", tl1)
+	}
+}
+
+func TestOnCompleteAndCallbackOrder(t *testing.T) {
+	var got []*Timeline
+	r := NewRecorder(Config{SampleRate: 1, OnComplete: func(tl *Timeline) { got = append(got, tl) }})
+	driveBlock(r, 9, Outcome{Status: "done"})
+	if len(got) != 1 || got[0].ID != 9 {
+		t.Fatalf("OnComplete got %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{500 * time.Nanosecond, 3 * time.Microsecond,
+		100 * time.Microsecond, 5 * time.Millisecond, 2 * time.Second} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	last := int64(0)
+	for _, b := range s.Buckets {
+		if b.Count < last {
+			t.Fatalf("non-cumulative buckets: %+v", s.Buckets)
+		}
+		last = b.Count
+	}
+	if last != 5 {
+		t.Fatalf("final cumulative count = %d", last)
+	}
+	if q50, q99 := s.Quantile(0.5), s.Quantile(0.99); q99 < q50 {
+		t.Fatalf("quantiles not monotone: p50 %v p99 %v", q50, q99)
+	}
+
+	var sb strings.Builder
+	h.WriteProm(&sb, "test_seconds", "help text")
+	out := sb.String()
+	for _, want := range []string{"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="+Inf"} 5`, "test_seconds_count 5", "test_seconds_sum"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistSnapshotJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	h.Observe(2 * time.Second)
+	s := h.Snapshot()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal (+Inf bucket must survive JSON): %v", err)
+	}
+	var back HistSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Buckets) != len(s.Buckets) || back.Count != s.Count {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, s)
+	}
+	lastIn, lastOut := s.Buckets[len(s.Buckets)-1], back.Buckets[len(back.Buckets)-1]
+	if !math.IsInf(lastOut.LE, 1) || lastOut.Count != lastIn.Count {
+		t.Fatalf("+Inf bucket mangled: %+v", lastOut)
+	}
+}
+
+func TestRecorderPrometheus(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1})
+	driveBlock(r, 3, Outcome{Status: "done", PredictedMean: 20 * time.Millisecond, PredictedBest: 10 * time.Millisecond})
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"altrun_obs_blocks_started_total 1",
+		"altrun_obs_blocks_sampled_total 1",
+		"altrun_obs_pi_predicted_mean 2",
+		"altrun_obs_setup_seconds_count 1",
+		"altrun_obs_fault_pages_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}

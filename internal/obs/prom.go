@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition helpers (format version 0.0.4). The daemon
+// composes these for every counter family it exports, not just the
+// recorder's, so they live here rather than in cmd/altserved.
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCounter writes one counter sample with HELP/TYPE headers.
+func WriteCounter(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, formatFloat(v))
+}
+
+// WriteGauge writes one gauge sample with HELP/TYPE headers.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+}
+
+// WritePrometheus renders the recorder's aggregates in Prometheus text
+// format under the altrun_obs_ prefix. Nil-safe.
+func (r *Recorder) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	s := r.Stats()
+	WriteCounter(w, "altrun_obs_blocks_started_total", "Alternative blocks seen by the flight recorder.", float64(s.BlocksStarted))
+	WriteCounter(w, "altrun_obs_blocks_sampled_total", "Alternative blocks recorded in full.", float64(s.BlocksSampled))
+	WriteGauge(w, "altrun_obs_sample_rate", "Sampling rate: 1 in N blocks recorded.", float64(s.SampleRate))
+	WriteGauge(w, "altrun_obs_blocks_kept", "Finished timelines retained for /debug/blocks.", float64(s.Kept))
+	WriteGauge(w, "altrun_obs_pi_measured_mean", "Mean measured performance improvement tau(C_mean)/wall over sampled blocks.", s.PIMeasuredMean)
+	WriteGauge(w, "altrun_obs_pi_predicted_mean", "Mean predicted performance improvement tau(C_mean)/tau(C_best) over sampled blocks.", s.PIPredictedMean)
+	WriteCounter(w, "altrun_obs_spawns_total", "Alternative worlds spawned in sampled blocks.", float64(s.Spawns))
+	WriteCounter(w, "altrun_obs_faults_total", "COW fault events in sampled blocks.", float64(s.Faults))
+	WriteCounter(w, "altrun_obs_fault_pages_total", "Pages copied by COW faults in sampled blocks.", float64(s.FaultPages))
+	r.wall.WriteProm(w, "altrun_obs_block_wall_seconds", "Sampled block wall time.")
+	r.setup.WriteProm(w, "altrun_obs_setup_seconds", "Sampled block setup phase (fork + page-map inheritance).")
+	r.runtime.WriteProm(w, "altrun_obs_runtime_seconds", "Sampled block runtime phase (children executing until the winner).")
+	r.selection.WriteProm(w, "altrun_obs_selection_seconds", "Sampled block selection phase (adoption + sibling elimination).")
+	r.sched.WriteProm(w, "altrun_obs_sched_seconds", "Sampled block residual outside waves (queue/budget waits, init).")
+	r.winnerTau.WriteProm(w, "altrun_obs_winner_tau_seconds", "Winning child's spawn-to-win latency in sampled blocks.")
+}

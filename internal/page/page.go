@@ -76,6 +76,20 @@ const (
 	HookCompaction
 )
 
+// String renders the hook kind for traces and metrics.
+func (k HookKind) String() string {
+	switch k {
+	case HookAlloc:
+		return "alloc"
+	case HookCopy:
+		return "cow-copy"
+	case HookCompaction:
+		return "compaction"
+	default:
+		return "unknown"
+	}
+}
+
 // Store is a page allocator with global copy/alloc accounting and a
 // pool of recycled page buffers. It is safe for concurrent use.
 type Store struct {
@@ -85,7 +99,7 @@ type Store struct {
 	clones      atomic.Int64
 	compactions atomic.Int64
 	recycled    atomic.Int64
-	pool        sync.Pool // *pageBuf
+	pool        sync.Pool    // *pageBuf
 	hook        atomic.Value // func(HookKind, int64)
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"altrun/internal/ids"
 )
@@ -315,8 +316,11 @@ func SplitWorlds(receiver, sender *Set, senderPID ids.PID) (assume, deny *Set, e
 // ExclusionTable records groups of mutually exclusive PIDs (the
 // siblings of one alternative block: at most one completes). It lets
 // consistency checking reject sets that require two siblings to both
-// complete — the "logical impossibility" of §3.4.2 fn. 3.
+// complete — the "logical impossibility" of §3.4.2 fn. 3. One table
+// is shared by every block a runtime executes, and a service pool
+// runs blocks concurrently, so the table locks internally.
 type ExclusionTable struct {
+	mu    sync.RWMutex
 	group map[ids.PID]int
 	next  int
 }
@@ -328,16 +332,20 @@ func NewExclusionTable() *ExclusionTable {
 
 // AddGroup records that the given PIDs are mutually exclusive.
 func (t *ExclusionTable) AddGroup(pids []ids.PID) {
+	t.mu.Lock()
 	t.next++
 	for _, p := range pids {
 		t.group[p] = t.next
 	}
+	t.mu.Unlock()
 }
 
 // MutuallyExclusive reports whether a and b are siblings of one block.
 func (t *ExclusionTable) MutuallyExclusive(a, b ids.PID) bool {
+	t.mu.RLock()
 	ga, okA := t.group[a]
 	gb, okB := t.group[b]
+	t.mu.RUnlock()
 	return okA && okB && a != b && ga == gb
 }
 

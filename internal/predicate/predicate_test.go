@@ -3,6 +3,7 @@ package predicate
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -274,6 +275,44 @@ func TestExclusionTable(t *testing.T) {
 	if err := ex.Validate(failAll); err != nil {
 		t.Fatalf("all-fail set must validate: %v", err)
 	}
+}
+
+// TestExclusionTableConcurrent: one table is shared by every block a
+// runtime runs, and a service pool starts blocks from many workers at
+// once — concurrent AddGroup calls (plus Validate readers) must be
+// safe. Regression test for a concurrent-map-write crash under a
+// multi-worker pool.
+func TestExclusionTableConcurrent(t *testing.T) {
+	ex := NewExclusionTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				base := int64(g*1000 + i*3)
+				ex.AddGroup([]ids.PID{pid(base), pid(base + 1), pid(base + 2)})
+				if !ex.MutuallyExclusive(pid(base), pid(base+1)) {
+					t.Errorf("group %d/%d lost", g, i)
+					return
+				}
+				s := New()
+				if err := s.RequireComplete(pid(base)); err != nil {
+					t.Errorf("group %d/%d: %v", g, i, err)
+					return
+				}
+				if err := s.RequireComplete(pid(base + 1)); err != nil {
+					t.Errorf("group %d/%d: %v", g, i, err)
+					return
+				}
+				if err := ex.Validate(s); err == nil {
+					t.Errorf("group %d/%d: sibling pair validated", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestStringRendering(t *testing.T) {

@@ -66,6 +66,35 @@ func (h *History) Estimate(kind, alt string) (time.Duration, bool) {
 	return 0, false
 }
 
+// Predict returns the EWMA mean and minimum winner latency across the
+// named alternatives of kind — the paper's τ(C_mean) and τ(C_best)
+// estimates the flight recorder compares a block's measured wall time
+// against. Alternatives never observed are skipped; ok is false (and
+// both durations zero) when none of them have history.
+func (h *History) Predict(kind string, names []string) (mean, best time.Duration, ok bool) {
+	h.mu.Lock()
+	m := h.ewma[kind]
+	var sum float64
+	n := 0
+	var minV float64
+	for _, name := range names {
+		v, have := m[name]
+		if !have {
+			continue
+		}
+		sum += v
+		if n == 0 || v < minV {
+			minV = v
+		}
+		n++
+	}
+	h.mu.Unlock()
+	if n == 0 {
+		return 0, 0, false
+	}
+	return time.Duration(sum / float64(n)), time.Duration(minV), true
+}
+
 // Order returns a permutation of indices into names, historically
 // fastest first; alternatives never observed keep their declaration
 // order after the observed ones. The sort is stable so equal estimates

@@ -41,6 +41,10 @@ type Job struct {
 	// FullCopy physically copies the root's state into each child
 	// (recovery-block mode, §5.1.2) instead of COW sharing.
 	FullCopy bool
+	// TraceID, when non-empty, tags the job's flight-recorder timeline
+	// so spans recorded on different nodes for the same logical request
+	// (an rfork-forwarded job) can be stitched together.
+	TraceID string
 }
 
 // Status is a job's lifecycle state.
@@ -131,6 +135,13 @@ func (t *task) setStatus(s Status) {
 	t.mu.Lock()
 	t.status = s
 	t.mu.Unlock()
+}
+
+// state returns the task's current status and result under its lock.
+func (t *task) state() (Status, JobResult) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status, t.res
 }
 
 // finish moves the task to a terminal state exactly once.

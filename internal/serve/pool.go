@@ -11,6 +11,7 @@ import (
 
 	"altrun/internal/core"
 	"altrun/internal/ids"
+	"altrun/internal/obs"
 	"altrun/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	// claim keyed per job so a block submitted to one node commits
 	// across the peer group. Nil keeps the local in-process arbiter.
 	NewClaim func(job Job, id uint64) core.ClaimFunc
+	// Recorder, when non-nil, samples jobs into the speculation flight
+	// recorder: each sampled job's block becomes a causal timeline with
+	// the paper's setup/runtime/selection decomposition and measured vs
+	// predicted PI (predictions come from the pool's EWMA history).
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +145,9 @@ func (p *Pool) Runtime() *core.Runtime { return p.rt }
 // History returns the pool's winner-latency history (for priority
 // admission introspection).
 func (p *Pool) History() *History { return p.hist }
+
+// Recorder returns the pool's flight recorder (nil when not recording).
+func (p *Pool) Recorder() *obs.Recorder { return p.cfg.Recorder }
 
 // WorldRegistered implements core.WorldObserver: it meters the live
 // speculative worlds the budget must bound.
@@ -329,6 +338,22 @@ func (p *Pool) runTask(t *task) {
 		return
 	}
 
+	// Flight recorder: nil-safe throughout — br is nil for unsampled
+	// jobs (or without a recorder) and every obs call below no-ops.
+	br := p.cfg.Recorder.StartBlock(j.Kind, j.Name, t.id, j.TraceID)
+	var predMean, predBest time.Duration
+	if br != nil {
+		defer func() {
+			st, res := t.state()
+			br.Finish(obs.Outcome{
+				Status:        st.String(),
+				Winner:        res.Winner,
+				PredictedMean: predMean,
+				PredictedBest: predBest,
+			})
+		}()
+	}
+
 	spaceSize := j.SpaceSize
 	if spaceSize <= 0 {
 		spaceSize = p.cfg.DefaultSpaceSize
@@ -366,6 +391,12 @@ func (p *Pool) runTask(t *task) {
 		}
 	}
 	remaining := p.hist.Order(j.Kind, names)
+	if br != nil {
+		// Read the EWMA estimates before the block runs: this is the
+		// τ(C_mean)/τ(C_best) prediction the measured wall time is
+		// compared against.
+		predMean, predBest, _ = p.hist.Predict(j.Kind, names)
+	}
 
 	maxDegree := p.cfg.MaxDegree
 	if j.MaxDegree > 0 && j.MaxDegree < maxDegree {
@@ -400,12 +431,15 @@ func (p *Pool) runTask(t *task) {
 			p.counters.LazyWaves.Add(1)
 		}
 
+		wr := br.StartWave(got)
 		res, err := root.RunAlt(core.Options{
 			SyncElimination: true, // losers are gone before tokens free
 			FullCopy:        j.FullCopy,
 			Claim:           claim,
+			Probe:           wr.Probe(),
 		}, wave...)
 		p.budget.Release(got)
+		wr.End(err)
 
 		switch {
 		case err == nil:

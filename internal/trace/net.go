@@ -25,6 +25,11 @@ type NetCounters struct {
 	Dropped atomic.Int64
 	// Retries counts reconnect/redial attempts on the real transport.
 	Retries atomic.Int64
+	// RTTDropped counts round-trip samples discarded because a
+	// reconnect happened mid-flight: the elapsed time then includes
+	// dial/backoff latency, not protocol latency, and folding it into
+	// the EWMA would poison the estimate for dozens of samples.
+	RTTDropped atomic.Int64
 
 	// rtt is a bounded reservoir of observed round-trip times (consensus
 	// ballot request → reply). Once full, new samples overwrite the
@@ -33,7 +38,14 @@ type NetCounters struct {
 	rtt      []time.Duration
 	rttNext  int
 	rttCount int64
+	// rttEWMA smooths the same stream (α = rttAlpha); unlike the
+	// quantiles it is O(1) to read, so the flight recorder and
+	// /metrics can poll it per scrape.
+	rttEWMA float64
 }
+
+// rttAlpha is the EWMA smoothing factor for the RTT estimate.
+const rttAlpha = 0.2
 
 // rttReservoirCap bounds the RTT sample memory.
 const rttReservoirCap = 1024
@@ -51,7 +63,40 @@ func (c *NetCounters) ObserveRTT(d time.Duration) {
 		c.rtt[c.rttNext] = d
 		c.rttNext = (c.rttNext + 1) % rttReservoirCap
 	}
+	if c.rttCount == 0 {
+		c.rttEWMA = float64(d)
+	} else {
+		c.rttEWMA = (1-rttAlpha)*c.rttEWMA + rttAlpha*float64(d)
+	}
 	c.rttCount++
+}
+
+// RetryCount returns the current reconnect-attempt count. Callers
+// measuring an RTT snapshot it before sending and pass it to
+// ObserveRTTIfStable on reply. Nil-safe.
+func (c *NetCounters) RetryCount() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Retries.Load()
+}
+
+// ObserveRTTIfStable records d only if no reconnect happened since the
+// caller snapshotted retriesAtStart (via RetryCount): a sample that
+// straddles a redial measures dial latency plus backoff, not the
+// protocol round trip, so it is counted in RTTDropped instead of
+// skewing the EWMA and quantiles. Returns whether the sample was kept.
+// Nil-safe (reports true: there is nothing to skew).
+func (c *NetCounters) ObserveRTTIfStable(d time.Duration, retriesAtStart int64) bool {
+	if c == nil {
+		return true
+	}
+	if c.Retries.Load() != retriesAtStart {
+		c.RTTDropped.Add(1)
+		return false
+	}
+	c.ObserveRTT(d)
+	return true
 }
 
 // NetSnapshot is a point-in-time copy of NetCounters.
@@ -69,6 +114,10 @@ type NetSnapshot struct {
 	RTTP50MS   float64 `json:"rtt_p50_ms"`
 	RTTP95MS   float64 `json:"rtt_p95_ms"`
 	RTTP99MS   float64 `json:"rtt_p99_ms"`
+	// RTTEWMAMS is the smoothed round-trip estimate; RTTDropped counts
+	// samples discarded for straddling a reconnect.
+	RTTEWMAMS  float64 `json:"rtt_ewma_ms"`
+	RTTDropped int64   `json:"rtt_dropped"`
 }
 
 // Snapshot reads all counters. Nil-safe, matching SelCounters.
@@ -77,16 +126,18 @@ func (c *NetCounters) Snapshot() NetSnapshot {
 		return NetSnapshot{}
 	}
 	s := NetSnapshot{
-		MsgsSent:  c.MsgsSent.Load(),
-		MsgsRecv:  c.MsgsRecv.Load(),
-		BytesSent: c.BytesSent.Load(),
-		BytesRecv: c.BytesRecv.Load(),
-		Dropped:   c.Dropped.Load(),
-		Retries:   c.Retries.Load(),
+		MsgsSent:   c.MsgsSent.Load(),
+		MsgsRecv:   c.MsgsRecv.Load(),
+		BytesSent:  c.BytesSent.Load(),
+		BytesRecv:  c.BytesRecv.Load(),
+		Dropped:    c.Dropped.Load(),
+		Retries:    c.Retries.Load(),
+		RTTDropped: c.RTTDropped.Load(),
 	}
 	c.rttMu.Lock()
 	samples := append([]time.Duration(nil), c.rtt...)
 	s.RTTSamples = c.rttCount
+	s.RTTEWMAMS = c.rttEWMA / float64(time.Millisecond)
 	c.rttMu.Unlock()
 	if len(samples) > 0 {
 		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRTTEWMA(t *testing.T) {
+	var nc NetCounters
+	nc.ObserveRTT(10 * time.Millisecond)
+	s := nc.Snapshot()
+	if s.RTTEWMAMS != 10 {
+		t.Fatalf("first sample must seed the EWMA exactly: %v", s.RTTEWMAMS)
+	}
+	nc.ObserveRTT(20 * time.Millisecond)
+	s = nc.Snapshot()
+	// 0.8*10 + 0.2*20 = 12
+	if s.RTTEWMAMS < 11.9 || s.RTTEWMAMS > 12.1 {
+		t.Fatalf("ewma after 10,20 = %v, want ~12", s.RTTEWMAMS)
+	}
+	if s.RTTSamples != 2 || s.RTTDropped != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+// TestObserveRTTIfStableDropsAcrossReconnect is the regression test for
+// RTT accounting across TCP reconnects: a sample whose measurement
+// window saw a retry must be dropped, not folded into the estimate.
+func TestObserveRTTIfStableDropsAcrossReconnect(t *testing.T) {
+	var nc NetCounters
+	r0 := nc.RetryCount()
+	nc.Retries.Add(1) // a reconnect happens mid-flight
+	if nc.ObserveRTTIfStable(5*time.Second, r0) {
+		t.Fatal("sample straddling a reconnect was kept")
+	}
+	s := nc.Snapshot()
+	if s.RTTSamples != 0 || s.RTTEWMAMS != 0 {
+		t.Fatalf("dropped sample leaked into the estimate: %+v", s)
+	}
+	if s.RTTDropped != 1 {
+		t.Fatalf("rtt_dropped = %d, want 1", s.RTTDropped)
+	}
+
+	// A sample measured entirely after the reconnect is kept.
+	r1 := nc.RetryCount()
+	if !nc.ObserveRTTIfStable(2*time.Millisecond, r1) {
+		t.Fatal("stable sample was dropped")
+	}
+	s = nc.Snapshot()
+	if s.RTTSamples != 1 || s.RTTEWMAMS != 2 {
+		t.Fatalf("stable sample not recorded: %+v", s)
+	}
+}
+
+func TestNetCountersRTTNilSafe(t *testing.T) {
+	var nc *NetCounters
+	if nc.RetryCount() != 0 {
+		t.Fatal("nil RetryCount")
+	}
+	nc.ObserveRTT(time.Second)
+	if !nc.ObserveRTTIfStable(time.Second, 0) {
+		t.Fatal("nil ObserveRTTIfStable must report kept")
+	}
+}
+
+// TestNetCountersConcurrent exercises the RTT path under the race
+// detector: observers, reconnects, and snapshot readers all at once.
+func TestNetCountersConcurrent(t *testing.T) {
+	var nc NetCounters
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r0 := nc.RetryCount()
+				nc.ObserveRTTIfStable(time.Duration(i)*time.Microsecond, r0)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				nc.Retries.Add(1)
+				nc.MsgsSent.Add(1)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = nc.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := nc.Snapshot()
+	if s.RTTSamples+s.RTTDropped == 0 {
+		t.Fatal("no samples observed at all")
+	}
+}
