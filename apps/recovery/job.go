@@ -42,13 +42,31 @@ func BlockJob(b *Block, spaceSize int64, deadline time.Duration,
 // submittable job over the given input. The result value is the sorted
 // []int.
 func SortJob(xs []int, perCompare time.Duration, faulty bool, deadline time.Duration) serve.Job {
+	return SortJobSkewed(xs, perCompare, 1, faulty, deadline)
+}
+
+// SortJobSkewed is SortJob with a dominant-alternative skew knob: skew
+// multiplies the simulated per-comparison cost of the secondary and
+// tertiary sorters, so skew > 1 makes the primary the clearly dominant
+// alternative — the PI < 1 regime where the adaptive controller should
+// stop speculating and fall back to sequential execution. skew ≤ 1
+// keeps all versions at the same per-comparison cost; skewed jobs carry
+// their own kind ("recovery:sort-skew") so their history does not
+// contaminate the uniform workload's.
+func SortJobSkewed(xs []int, perCompare time.Duration, skew float64, faulty bool, deadline time.Duration) serve.Job {
 	input := append([]int(nil), xs...)
+	name := "sort"
+	slowCompare := perCompare
+	if skew > 1 {
+		name = "sort-skew"
+		slowCompare = time.Duration(float64(perCompare) * skew)
+	}
 	b := &Block{
-		Name: "sort",
+		Name: name,
 		Alternates: []Alternate{
 			SortVersion("primary-quicksort", workload.NaiveQuicksort, perCompare, faulty),
-			SortVersion("secondary-heapsort", workload.Heapsort, perCompare, false),
-			SortVersion("tertiary-insertion", workload.InsertionSort, perCompare, false),
+			SortVersion("secondary-heapsort", workload.Heapsort, slowCompare, false),
+			SortVersion("tertiary-insertion", workload.InsertionSort, slowCompare, false),
 		},
 		AcceptanceTest: SortedAcceptanceTest(Sum(input)),
 	}

@@ -93,6 +93,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "adaptbench" {
+		if err := runAdaptbench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "altbench adaptbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "distbench" {
 		if err := runDistbench(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "altbench distbench:", err)

@@ -46,6 +46,15 @@ type obsBenchReport struct {
 	AllReconciled    bool    `json:"all_reconciled"`
 	PIMeasuredMean   float64 `json:"pi_measured_mean"`
 	PIPredictedMean  float64 `json:"pi_predicted_mean"`
+
+	// Calibration: the PI prediction folds the measured overhead EWMA
+	// into its denominator; the raw (overhead-blind) prediction is kept
+	// alongside. Calibrated means the folded prediction sits at least
+	// as close to the measured PI as the raw one, block by block.
+	PIGapFoldedMean float64 `json:"pi_gap_folded_mean"`
+	PIGapRawMean    float64 `json:"pi_gap_raw_mean"`
+	PIGapBlocks     int64   `json:"pi_gap_blocks"`
+	Calibrated      bool    `json:"calibrated"`
 }
 
 // runObsLoop drives one closed-loop run of the servebench workload
@@ -152,12 +161,14 @@ func runObsbench(args []string) error {
 
 	fmt.Printf("obsbench — servebench workload, recorder off vs on (rate 1/%d), best of %d\n", *rate, reps)
 	var (
-		base, recd     obsRunResult
-		started, samp  int64
-		piMeas, piPred float64
-		checked        int
-		reconciled     = true
-		traceDumped    bool
+		base, recd           obsRunResult
+		started, samp        int64
+		piMeas, piPred       float64
+		gapFolded, gapRaw    float64
+		gapBlocks, gapWeight int64
+		checked              int
+		reconciled           = true
+		traceDumped          bool
 	)
 	for r := 0; r < reps; r++ {
 		// Interleave A/B within each rep so drift hits both equally.
@@ -180,6 +191,12 @@ func runObsbench(args []string) error {
 		started += st.BlocksStarted
 		samp += st.BlocksSampled
 		piMeas, piPred = st.PIMeasuredMean, st.PIPredictedMean
+		if st.PIGapBlocks > 0 {
+			gapFolded += st.PIGapFoldedMean * float64(st.PIGapBlocks)
+			gapRaw += st.PIGapRawMean * float64(st.PIGapBlocks)
+			gapWeight += st.PIGapBlocks
+			gapBlocks += st.PIGapBlocks
+		}
 		n, ok, bad := checkReconciliation(rec)
 		checked += n
 		if !ok {
@@ -208,6 +225,17 @@ func runObsbench(args []string) error {
 	fmt.Printf("regression %.2f%% (budget 5%%) — %s\n", regression, map[bool]string{true: "PASS", false: "FAIL"}[within])
 	fmt.Printf("reconciliation: %d timelines checked, all exact: %v\n", checked, reconciled)
 
+	// Calibration assertion: folding the measured overhead EWMA into the
+	// predicted PI's denominator must not move the prediction further
+	// from the measured PI than the raw (overhead-blind) one.
+	if gapWeight > 0 {
+		gapFolded /= float64(gapWeight)
+		gapRaw /= float64(gapWeight)
+	}
+	calibrated := gapWeight == 0 || gapFolded <= gapRaw
+	fmt.Printf("calibration: |pred−meas| PI gap folded %.3f vs raw %.3f over %d blocks — %s\n",
+		gapFolded, gapRaw, gapBlocks, map[bool]string{true: "PASS", false: "FAIL"}[calibrated])
+
 	if err := writeReport(*out, obsBenchReport{
 		reportMeta:       newReportMeta(),
 		Concurrency:      clients,
@@ -223,6 +251,10 @@ func runObsbench(args []string) error {
 		AllReconciled:    reconciled,
 		PIMeasuredMean:   piMeas,
 		PIPredictedMean:  piPred,
+		PIGapFoldedMean:  gapFolded,
+		PIGapRawMean:     gapRaw,
+		PIGapBlocks:      gapBlocks,
+		Calibrated:       calibrated,
 	}); err != nil {
 		return err
 	}
@@ -231,6 +263,9 @@ func runObsbench(args []string) error {
 	}
 	if !reconciled {
 		return fmt.Errorf("decomposition failed to reconcile on a sampled timeline")
+	}
+	if !calibrated {
+		return fmt.Errorf("calibration regressed: folded PI gap %.3f > raw gap %.3f", gapFolded, gapRaw)
 	}
 	return nil
 }

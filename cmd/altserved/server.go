@@ -25,10 +25,13 @@ type submitRequest struct {
 	DeadlineMS int64 `json:"deadline_ms"`
 
 	// sort: the input array, optional fault injection into the primary
-	// version, and simulated CPU per comparison.
-	Input        []int `json:"input,omitempty"`
-	Faulty       bool  `json:"faulty,omitempty"`
-	PerCompareNS int64 `json:"per_compare_ns,omitempty"`
+	// version, and simulated CPU per comparison. Skew > 1 multiplies
+	// the secondary/tertiary per-comparison cost, making the primary
+	// the dominant alternative (the controller's sequential regime).
+	Input        []int   `json:"input,omitempty"`
+	Faulty       bool    `json:"faulty,omitempty"`
+	PerCompareNS int64   `json:"per_compare_ns,omitempty"`
+	Skew         float64 `json:"skew,omitempty"`
 
 	// prolog: a program (Prelude is preloaded) and a query.
 	Program string `json:"program,omitempty"`
@@ -55,6 +58,7 @@ type jobView struct {
 // metricsView is the GET /metrics payload.
 type metricsView struct {
 	Pool         serve.PoolStats    `json:"pool"`
+	Policy       serve.PolicyStats  `json:"policy"`
 	Selection    trace.SelSnapshot  `json:"selection"`
 	Messages     msg.Stats          `json:"messages"`
 	LiveWorlds   int                `json:"live_worlds"`
@@ -133,7 +137,7 @@ func buildJobKind(req submitRequest) (serve.Job, error) {
 			return serve.Job{}, errors.New("sort job needs a non-empty input array")
 		}
 		perCompare := time.Duration(req.PerCompareNS) * time.Nanosecond
-		return apprecovery.SortJob(req.Input, perCompare, req.Faulty, deadline), nil
+		return apprecovery.SortJobSkewed(req.Input, perCompare, req.Skew, req.Faulty, deadline), nil
 	case "prolog":
 		if req.Query == "" {
 			return serve.Job{}, errors.New("prolog job needs a query")
@@ -261,6 +265,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rt := s.pool.Runtime()
 	m := metricsView{
 		Pool:       s.pool.Stats(),
+		Policy:     s.pool.PolicyStats(),
 		Selection:  rt.SelStats(),
 		Messages:   rt.MsgStats(),
 		LiveWorlds: rt.LiveWorlds(),

@@ -42,6 +42,10 @@ const (
 	OutcomeGuardFail = "guard-fail"
 	// OutcomeTooLate: the guard passed but a sibling committed first.
 	OutcomeTooLate = "too-late"
+	// OutcomeCancelled: the child's body failed after its world had
+	// already been cancelled — an elimination casualty, not a genuine
+	// guard failure.
+	OutcomeCancelled = "cancelled"
 )
 
 // AltProbe observes one RunAlt execution from the inside — the flight
@@ -62,8 +66,8 @@ type AltProbe interface {
 	// runtime overhead). pages is the copies this write performed.
 	ChildFault(pid ids.PID, pages int64, now time.Time)
 	// ChildExit fires when a child resolves; outcome is one of
-	// OutcomeWin, OutcomeGuardFail, OutcomeTooLate and copies its total
-	// COW page copies.
+	// OutcomeWin, OutcomeGuardFail, OutcomeTooLate, OutcomeCancelled
+	// and copies its total COW page copies.
 	ChildExit(pid ids.PID, outcome string, now time.Time, copies int64)
 	// Committed fires after the winner's page map was adopted into the
 	// parent (selection phase).
@@ -400,7 +404,14 @@ func (rt *Runtime) runAlternative(idx int, alt Alt, cw *World, opts Options, cla
 	if err != nil {
 		rt.log.Addf(rt.be.now(), trace.KindGuardFail, cw.pid, "%v", err)
 		if opts.Probe != nil {
-			opts.Probe.ChildExit(cw.pid, OutcomeGuardFail, rt.be.now(), cw.CopiedPages())
+			// A body that errors after its world was cancelled lost an
+			// elimination race; only report a genuine failure when the
+			// child failed on its own.
+			outcome := OutcomeGuardFail
+			if cw.Cancelled() {
+				outcome = OutcomeCancelled
+			}
+			opts.Probe.ChildExit(cw.pid, outcome, rt.be.now(), cw.CopiedPages())
 		}
 		if cw.markTerminated() {
 			rt.procs.SetStatus(cw.pid, proc.Failed) //nolint:errcheck

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"time"
+
+	"altrun/internal/ids"
+)
+
+// FanoutProbe combines AltProbes into one that forwards every event to
+// each, in order. Nil entries (and typed-nil *obs.Wave probes arriving
+// as non-nil interfaces are the callers' concern — pass the result of
+// their nil-safe accessors) are dropped; with zero live probes it
+// returns nil so RunAlt's "Probe == nil" fast path stays intact, and
+// with exactly one it returns that probe unwrapped.
+//
+// The serve layer uses it to stack its always-on history observer (per-
+// alternative latency, play/win/failure counts) under the flight
+// recorder's sampled wave probe.
+func FanoutProbe(probes ...AltProbe) AltProbe {
+	live := make([]AltProbe, 0, len(probes))
+	for _, p := range probes {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return fanoutProbe(live)
+}
+
+type fanoutProbe []AltProbe
+
+func (f fanoutProbe) ChildSpawned(pid ids.PID, name string, now time.Time) {
+	for _, p := range f {
+		p.ChildSpawned(pid, name, now)
+	}
+}
+
+func (f fanoutProbe) SetupDone(now time.Time, spawned int) {
+	for _, p := range f {
+		p.SetupDone(now, spawned)
+	}
+}
+
+func (f fanoutProbe) ChildFault(pid ids.PID, pages int64, now time.Time) {
+	for _, p := range f {
+		p.ChildFault(pid, pages, now)
+	}
+}
+
+func (f fanoutProbe) ChildExit(pid ids.PID, outcome string, now time.Time, copies int64) {
+	for _, p := range f {
+		p.ChildExit(pid, outcome, now, copies)
+	}
+}
+
+func (f fanoutProbe) Committed(winner ids.PID, now time.Time) {
+	for _, p := range f {
+		p.Committed(winner, now)
+	}
+}

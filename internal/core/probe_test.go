@@ -199,3 +199,96 @@ func TestProbeNilIsFree(t *testing.T) {
 		t.Fatalf("res = %+v, err = %v", res, err)
 	}
 }
+
+// TestFanoutProbeForwardsToAll: every callback reaches every probe, in
+// order, and nils are filtered out.
+func TestFanoutProbeForwardsToAll(t *testing.T) {
+	a, b := newTestProbe(), newTestProbe()
+	p := FanoutProbe(nil, a, nil, b)
+	now := time.Now()
+	p.ChildSpawned(ids.PID(1), "alt", now)
+	p.SetupDone(now, 2)
+	p.ChildFault(ids.PID(1), 3, now)
+	p.ChildExit(ids.PID(1), OutcomeWin, now, 3)
+	p.Committed(ids.PID(1), now)
+	for i, probe := range []*testProbe{a, b} {
+		probe.mu.Lock()
+		if len(probe.spawned) != 1 || probe.setupDone != 1 || probe.faults[1] != 3 ||
+			probe.exits[1] != OutcomeWin || probe.committed != 1 {
+			t.Fatalf("probe %d missed events: %+v", i, probe)
+		}
+		probe.mu.Unlock()
+	}
+}
+
+// TestFanoutProbeDegenerateCases: all-nil collapses to nil (keeping the
+// probe-free fast path) and a single probe is returned unwrapped.
+func TestFanoutProbeDegenerateCases(t *testing.T) {
+	if got := FanoutProbe(); got != nil {
+		t.Fatalf("empty fanout = %v, want nil", got)
+	}
+	if got := FanoutProbe(nil, nil); got != nil {
+		t.Fatalf("all-nil fanout = %v, want nil", got)
+	}
+	p := newTestProbe()
+	if got := FanoutProbe(nil, p); got != AltProbe(p) {
+		t.Fatalf("single-probe fanout = %v, want the probe unwrapped", got)
+	}
+}
+
+// TestChildExitCancelledOutcome: a body that errors because its world
+// was eliminated reports OutcomeCancelled, not OutcomeGuardFail — the
+// distinction the serve layer's failure statistics depend on.
+func TestChildExitCancelledOutcome(t *testing.T) {
+	rt := New(Config{})
+	root, err := rt.NewRootWorld("cancel-outcome-root", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown(root)
+
+	probe := newTestProbe()
+	res, err := root.RunAlt(Options{SyncElimination: true, Probe: probe},
+		Alt{Name: "winner", Body: func(w *World) error {
+			return w.WriteUint64(0, 1)
+		}},
+		Alt{Name: "casualty", Body: func(w *World) error {
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				if w.Cancelled() {
+					return ErrGuardFailed // a cancel-induced error, not a real failure
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			return w.WriteUint64(0, 2)
+		}},
+	)
+	if err != nil || res.Name != "winner" {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		probe.mu.Lock()
+		n := len(probe.exits)
+		probe.mu.Unlock()
+		if n == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	probe.mu.Lock()
+	defer probe.mu.Unlock()
+	wins, cancelled := 0, 0
+	for _, out := range probe.exits {
+		switch out {
+		case OutcomeWin:
+			wins++
+		case OutcomeCancelled:
+			cancelled++
+		}
+	}
+	if wins != 1 || cancelled != 1 {
+		t.Fatalf("exits = %v, want one win and one cancelled", probe.exits)
+	}
+}

@@ -205,7 +205,7 @@ func (w *Wave) ChildExit(pid ids.PID, outcome string, now time.Time, copies int6
 	switch outcome {
 	case core.OutcomeWin:
 		kind = EvWin
-	case core.OutcomeTooLate:
+	case core.OutcomeTooLate, core.OutcomeCancelled:
 		kind = EvTooLate
 	}
 	b := w.locked()
@@ -256,11 +256,19 @@ type Outcome struct {
 	Status string
 	// Winner is the committed alternative's name, if any.
 	Winner string
+	// Decision is how the scheduler chose to run the block
+	// ("static", "sequential", "speculate", "explore"); empty when the
+	// caller has no adaptive controller.
+	Decision string
 	// PredictedMean / PredictedBest are the EWMA τ(C_mean) and
 	// τ(C_best) estimates from history, read before the block ran
 	// (zero when the alternatives have no history yet).
 	PredictedMean time.Duration
 	PredictedBest time.Duration
+	// PredictedOverhead is the history's per-block overhead estimate —
+	// the τ(overhead) term folded into the predicted PI denominator
+	// (zero before any block of the kind was summarized).
+	PredictedOverhead time.Duration
 }
 
 // Timeline is one finished block's immutable record.
@@ -271,6 +279,10 @@ type Timeline struct {
 	TraceID string `json:"trace_id,omitempty"`
 	Status  string `json:"status"`
 	Winner  string `json:"winner,omitempty"`
+
+	// Decision is the scheduler's verdict for this block ("static",
+	// "sequential", "speculate", "explore"); empty without a controller.
+	Decision string `json:"decision,omitempty"`
 
 	Start time.Time     `json:"start"`
 	Wall  time.Duration `json:"wall_ns"`
@@ -287,15 +299,20 @@ type Timeline struct {
 	// τ(C_best) including its share of runtime overhead.
 	WinnerTau time.Duration `json:"winner_tau_ns"`
 
-	PredictedMean time.Duration `json:"predicted_mean_ns,omitempty"`
-	PredictedBest time.Duration `json:"predicted_best_ns,omitempty"`
+	PredictedMean     time.Duration `json:"predicted_mean_ns,omitempty"`
+	PredictedBest     time.Duration `json:"predicted_best_ns,omitempty"`
+	PredictedOverhead time.Duration `json:"predicted_overhead_ns,omitempty"`
 	// PIMeasured = PredictedMean / Wall: the paper's PI with the
 	// denominator τ(C_best)+τ(overhead) measured as the block's actual
-	// wall time. PIPredicted = PredictedMean / PredictedBest: the
-	// overhead-free upper bound history promises. Both 0 without
-	// history.
-	PIMeasured  float64 `json:"pi_measured,omitempty"`
-	PIPredicted float64 `json:"pi_predicted,omitempty"`
+	// wall time. PIPredicted = PredictedMean / (PredictedBest +
+	// PredictedOverhead): the paper's PI formula with every term
+	// estimated from history, directly comparable to PIMeasured.
+	// PIPredictedRaw = PredictedMean / PredictedBest is the old
+	// overhead-blind upper bound, kept so the calibration gain of
+	// folding overhead in stays measurable. All 0 without history.
+	PIMeasured     float64 `json:"pi_measured,omitempty"`
+	PIPredicted    float64 `json:"pi_predicted,omitempty"`
+	PIPredictedRaw float64 `json:"pi_predicted_raw,omitempty"`
 
 	Waves      int   `json:"waves"`
 	Spawns     int   `json:"spawns"`
@@ -317,18 +334,20 @@ func (b *Block) Finish(out Outcome) *Timeline {
 	end := time.Now()
 	b.mu.Lock()
 	t := &Timeline{
-		ID:            b.id,
-		Kind:          b.kind,
-		Name:          b.name,
-		TraceID:       b.traceID,
-		Status:        out.Status,
-		Winner:        out.Winner,
-		Start:         b.start,
-		Wall:          end.Sub(b.start),
-		PredictedMean: out.PredictedMean,
-		PredictedBest: out.PredictedBest,
-		Waves:         len(b.waves),
-		Events:        append([]Event(nil), b.events...),
+		ID:                b.id,
+		Kind:              b.kind,
+		Name:              b.name,
+		TraceID:           b.traceID,
+		Status:            out.Status,
+		Winner:            out.Winner,
+		Decision:          out.Decision,
+		Start:             b.start,
+		Wall:              end.Sub(b.start),
+		PredictedMean:     out.PredictedMean,
+		PredictedBest:     out.PredictedBest,
+		PredictedOverhead: out.PredictedOverhead,
+		Waves:             len(b.waves),
+		Events:            append([]Event(nil), b.events...),
 	}
 	waves := append([]waveSpan(nil), b.waves...)
 	b.gen++ // outstanding Waves (straggling siblings) are now stale
@@ -389,7 +408,12 @@ func (b *Block) Finish(out Outcome) *Timeline {
 			t.PIMeasured = float64(out.PredictedMean) / float64(t.Wall)
 		}
 		if out.PredictedBest > 0 {
-			t.PIPredicted = float64(out.PredictedMean) / float64(out.PredictedBest)
+			t.PIPredictedRaw = float64(out.PredictedMean) / float64(out.PredictedBest)
+			// The paper's denominator is τ(C_best) + τ(overhead): fold
+			// the history's overhead estimate in so the prediction is
+			// comparable to the measured PI instead of an upper bound.
+			t.PIPredicted = float64(out.PredictedMean) /
+				float64(out.PredictedBest+out.PredictedOverhead)
 		}
 	}
 

@@ -63,6 +63,13 @@ type Recorder struct {
 	started atomic.Int64
 	sampled atomic.Int64
 
+	// onOverhead, when set, is called synchronously with each finished
+	// block's kind and measured overhead (setup+selection+sched) — the
+	// serve layer wires it to its History so predictions learn the
+	// τ(overhead) term. Settable after construction (the pool owns the
+	// history but the daemon owns the recorder), hence the atomic.
+	onOverhead atomic.Pointer[func(kind string, overhead time.Duration)]
+
 	pool sync.Pool // *Block
 
 	// Aggregate phase histograms over sampled blocks.
@@ -84,6 +91,13 @@ type Recorder struct {
 	spawns     int64
 	faults     int64
 	faultPages int64
+
+	// Calibration: mean |predicted − measured| PI gap, for the folded
+	// (overhead-aware) prediction and the raw (overhead-blind) one, over
+	// blocks where both a prediction and a measurement existed.
+	gapFoldedSum float64
+	gapRawSum    float64
+	gapN         int64
 }
 
 // NewRecorder builds a recorder.
@@ -102,6 +116,23 @@ func NewRecorder(cfg Config) *Recorder {
 	}
 	r.pool.New = func() any { return &Block{} }
 	return r
+}
+
+// SetOverheadHook installs (or, with nil, removes) the per-block
+// overhead summary callback: it is called synchronously from Finish
+// with each sampled block's kind and measured overhead
+// (setup+selection+sched). The serve pool wires it to its History so
+// PI predictions learn the τ(overhead) term. Nil-safe; safe to call
+// concurrently with recording.
+func (r *Recorder) SetOverheadHook(fn func(kind string, overhead time.Duration)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.onOverhead.Store(nil)
+		return
+	}
+	r.onOverhead.Store(&fn)
 }
 
 // StartBlock begins observing one alternative block. It returns nil —
@@ -149,6 +180,11 @@ func (r *Recorder) retire(t *Timeline, b *Block) {
 		r.piPredSum += t.PIPredicted
 		r.piPredN++
 	}
+	if t.PIMeasured > 0 && t.PIPredicted > 0 {
+		r.gapFoldedSum += absf(t.PIPredicted - t.PIMeasured)
+		r.gapRawSum += absf(t.PIPredictedRaw - t.PIMeasured)
+		r.gapN++
+	}
 	r.spawns += int64(t.Spawns)
 	r.faults += int64(t.Faults)
 	r.faultPages += t.FaultPages
@@ -163,9 +199,20 @@ func (r *Recorder) retire(t *Timeline, b *Block) {
 	r.mu.Unlock()
 	b.rec = nil
 	r.pool.Put(b)
+	if hook := r.onOverhead.Load(); hook != nil {
+		(*hook)(t.Kind, t.Setup+t.Selection+t.Sched)
+	}
 	if r.onComplete != nil {
 		r.onComplete(t)
 	}
+}
+
+// absf is math.Abs without the import.
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // Recent returns the retained timelines, newest first.
@@ -211,6 +258,14 @@ type RecorderStats struct {
 	PIMeasuredMean  float64 `json:"pi_measured_mean"`
 	PIPredictedMean float64 `json:"pi_predicted_mean"`
 
+	// Calibration: mean |predicted − measured| PI gap over blocks with
+	// both, for the overhead-folded prediction and the raw
+	// (overhead-blind) one. Folded ≤ raw means folding the measured
+	// overhead into the denominator improved the prediction.
+	PIGapFoldedMean float64 `json:"pi_gap_folded_mean"`
+	PIGapRawMean    float64 `json:"pi_gap_raw_mean"`
+	PIGapBlocks     int64   `json:"pi_gap_blocks"`
+
 	Spawns     int64 `json:"spawns"`
 	Faults     int64 `json:"faults"`
 	FaultPages int64 `json:"fault_pages"`
@@ -246,6 +301,11 @@ func (r *Recorder) Stats() *RecorderStats {
 	}
 	if r.piPredN > 0 {
 		s.PIPredictedMean = r.piPredSum / float64(r.piPredN)
+	}
+	if r.gapN > 0 {
+		s.PIGapFoldedMean = r.gapFoldedSum / float64(r.gapN)
+		s.PIGapRawMean = r.gapRawSum / float64(r.gapN)
+		s.PIGapBlocks = r.gapN
 	}
 	s.Spawns, s.Faults, s.FaultPages = r.spawns, r.faults, r.faultPages
 	r.mu.Unlock()

@@ -48,6 +48,12 @@ type Config struct {
 	// the paper's setup/runtime/selection decomposition and measured vs
 	// predicted PI (predictions come from the pool's EWMA history).
 	Recorder *obs.Recorder
+	// Adapt configures the adaptive speculation controller (policy.go):
+	// per-job sequential-vs-speculative decisions, degree selection,
+	// bandit spawn ordering, and token-budget resizing. The zero value
+	// keeps the static policy; the controller can also be flipped on at
+	// runtime via Pool.Controller().SetEnabled.
+	Adapt AdaptConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +72,7 @@ func (c Config) withDefaults() Config {
 	if c.DefaultSpaceSize <= 0 {
 		c.DefaultSpaceSize = 64 << 10
 	}
+	c.Adapt = c.Adapt.withDefaults(c.SpecTokens)
 	return c
 }
 
@@ -90,6 +97,7 @@ type Pool struct {
 	rt     *core.Runtime
 	budget *Budget
 	hist   *History
+	ctl    *Controller
 
 	counters trace.PoolCounters
 	running  atomic.Int64
@@ -120,11 +128,17 @@ func NewPool(cfg Config) (*Pool, error) {
 	p := &Pool{
 		cfg:    cfg,
 		rt:     rt,
-		budget: NewBudget(cfg.SpecTokens),
+		budget: NewBudgetWithMax(cfg.SpecTokens, cfg.Adapt.MaxTokens),
 		hist:   NewHistory(),
 		queue:  make(chan *task, cfg.QueueDepth),
 		tasks:  make(map[uint64]*task),
 	}
+	p.ctl = NewController(cfg.Adapt, p.hist)
+	// Close the PI feedback loop: every sampled block's measured
+	// overhead (setup+selection+sched) feeds the history's per-kind
+	// overhead EWMA, which both the controller's decisions and the
+	// folded PI predictions read.
+	cfg.Recorder.SetOverheadHook(p.hist.RecordOverhead)
 	p.baseCtx, p.baseCancel = context.WithCancel(context.Background())
 	rt.SetWorldObserver(p)
 	for i := 0; i < cfg.Workers; i++ {
@@ -149,6 +163,16 @@ func (p *Pool) History() *History { return p.hist }
 // Recorder returns the pool's flight recorder (nil when not recording).
 func (p *Pool) Recorder() *obs.Recorder { return p.cfg.Recorder }
 
+// Controller returns the adaptive speculation controller (never nil;
+// disabled unless Config.Adapt.Enabled or SetEnabled(true)).
+func (p *Pool) Controller() *Controller { return p.ctl }
+
+// Budget returns the pool's speculation token budget.
+func (p *Pool) Budget() *Budget { return p.budget }
+
+// PolicyStats snapshots the adaptive controller's decision counters.
+func (p *Pool) PolicyStats() PolicyStats { return p.ctl.Stats(p.budget) }
+
 // WorldRegistered implements core.WorldObserver: it meters the live
 // speculative worlds the budget must bound.
 func (p *Pool) WorldRegistered(_ ids.PID, speculative bool) {
@@ -169,7 +193,7 @@ func (p *Pool) Stats() PoolStats {
 	return PoolStats{
 		PoolSnapshot:    p.counters.Snapshot(),
 		Workers:         p.cfg.Workers,
-		SpecTokens:      p.cfg.SpecTokens,
+		SpecTokens:      p.budget.Capacity(),
 		MaxDegree:       p.cfg.MaxDegree,
 		QueueDepth:      p.cfg.QueueDepth,
 		Queued:          len(p.queue),
@@ -338,18 +362,25 @@ func (p *Pool) runTask(t *task) {
 		return
 	}
 
+	// Budget resize tick: cheap no-op until the controller's interval
+	// elapses (and always a no-op with the controller disabled).
+	p.ctl.MaybeResize(p.budget, time.Now())
+
 	// Flight recorder: nil-safe throughout — br is nil for unsampled
 	// jobs (or without a recorder) and every obs call below no-ops.
 	br := p.cfg.Recorder.StartBlock(j.Kind, j.Name, t.id, j.TraceID)
-	var predMean, predBest time.Duration
+	var predMean, predBest, predOvh time.Duration
+	decision := "static"
 	if br != nil {
 		defer func() {
 			st, res := t.state()
 			br.Finish(obs.Outcome{
-				Status:        st.String(),
-				Winner:        res.Winner,
-				PredictedMean: predMean,
-				PredictedBest: predBest,
+				Status:            st.String(),
+				Winner:            res.Winner,
+				Decision:          decision,
+				PredictedMean:     predMean,
+				PredictedBest:     predBest,
+				PredictedOverhead: predOvh,
 			})
 		}()
 	}
@@ -382,7 +413,6 @@ func (p *Pool) runTask(t *task) {
 		}
 	}
 
-	// Priority admission: historically-fastest alternatives first.
 	names := make([]string, len(j.Alts))
 	for i := range j.Alts {
 		names[i] = j.Alts[i].Name
@@ -390,17 +420,33 @@ func (p *Pool) runTask(t *task) {
 			names[i] = fmt.Sprintf("alt-%d", i+1)
 		}
 	}
-	remaining := p.hist.Order(j.Kind, names)
-	if br != nil {
-		// Read the EWMA estimates before the block runs: this is the
-		// τ(C_mean)/τ(C_best) prediction the measured wall time is
-		// compared against.
-		predMean, predBest, _ = p.hist.Predict(j.Kind, names)
-	}
 
 	maxDegree := p.cfg.MaxDegree
 	if j.MaxDegree > 0 && j.MaxDegree < maxDegree {
 		maxDegree = j.MaxDegree
+	}
+
+	// Admission plan. Static: priority admission, historically-fastest
+	// alternatives first, full-width waves. Adaptive: the controller
+	// decides whether this job speculates at all (sequential
+	// fall-through when predicted PI is below threshold), how wide, and
+	// in what (bandit-ranked) order.
+	var remaining []int
+	width := maxDegree
+	if p.ctl.Enabled() {
+		dec := p.ctl.Decide(j.Kind, names, maxDegree)
+		remaining = dec.Order
+		width = dec.Degree
+		decision = dec.Kind.String()
+		predMean, predBest, predOvh = dec.PredMean, dec.PredBest, dec.PredOverhead
+	} else {
+		remaining = p.hist.Order(j.Kind, names)
+		if br != nil {
+			// Read the EWMA estimates before the block runs: this is
+			// the PI prediction the measured wall time is compared
+			// against.
+			predMean, predBest, predOvh, _ = p.hist.Predict(j.Kind, names)
+		}
 	}
 
 	// One claim per job, shared across waves: if a wave fails without
@@ -410,9 +456,14 @@ func (p *Pool) runTask(t *task) {
 		claim = p.cfg.NewClaim(j, t.id)
 	}
 
+	// The history observer rides every wave (stacked under the flight
+	// recorder's sampled probe): plays, per-alternative latency, and
+	// failure attribution feed the bandit ranking and the PI model.
+	observer := newAltObserver(p.hist, j.Kind)
+
 	waves := 0
 	for len(remaining) > 0 {
-		want := min(len(remaining), maxDegree)
+		want := min(len(remaining), width)
 		got, err := p.budget.Acquire(t.ctx, want)
 		if err != nil {
 			p.finishTask(t, t.ctxResult())
@@ -436,15 +487,17 @@ func (p *Pool) runTask(t *task) {
 			SyncElimination: true, // losers are gone before tokens free
 			FullCopy:        j.FullCopy,
 			Claim:           claim,
-			Probe:           wr.Probe(),
+			Probe:           core.FanoutProbe(observer, wr.Probe()),
 		}, wave...)
 		p.budget.Release(got)
 		wr.End(err)
 
 		switch {
 		case err == nil:
+			// The winner's latency was already folded into the history
+			// by the wave observer (spawn→win, the same τ the probe
+			// reported to the flight recorder).
 			winIdx := waveIdx[res.Index]
-			p.hist.Record(j.Kind, names[winIdx], res.Elapsed)
 			p.counters.AltsUnspawned.Add(int64(len(remaining)))
 			out := JobResult{
 				Status:        StatusDone,

@@ -20,6 +20,17 @@
 //     the remaining alternatives are never spawned at all, which is
 //     exactly the overhead §4.2 says speculation should avoid.
 //
+// On top of the static throttles sits the adaptive speculation
+// controller (Controller, policy.go), which closes the paper's PI
+// feedback loop per job kind: it predicts the PI of speculating from
+// the probe-fed History (per-alternative τ and failure-rate EWMAs, the
+// kind's realized winner τ, the flight recorder's overhead summaries)
+// and, when sequential fall-through is predicted faster, runs the
+// block one alternative per wave instead of racing; otherwise it
+// bounds the wave width by marginal gain and orders spawns with a UCB
+// bandit. It also resizes the global token budget against observed
+// demand. Enable with Config.Adapt.
+//
 // Per-job deadlines and client cancellation are wired directly into
 // sibling elimination: cancelling a job cancels its root world, which
 // aborts the in-flight block and frees the whole speculative subtree
