@@ -5,12 +5,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"altrun/internal/checkpoint"
 	"altrun/internal/consensus"
 	"altrun/internal/core"
 	"altrun/internal/ids"
+	"altrun/internal/mem"
+	"altrun/internal/page"
 	"altrun/internal/serve"
 	"altrun/internal/stats"
 	"altrun/internal/trace"
@@ -18,20 +23,23 @@ import (
 )
 
 // distbench measures what distributed commit costs: the same closed-
-// loop alternative-block workload is run once with the local in-process
-// arbiter and once with every block's commit decided by a majority-
-// consensus ballot across a real TCP peer group of 1, 3, and 5 nodes
-// (§3.2.1). At 3 and 5 nodes one voter is crashed mid-run: the quorum
-// holds and the remaining blocks keep committing. Rows carry commit
-// latency (p50/p95), committed blocks per second, and the transport's
-// message/byte/RTT accounting.
+// loop alternative-block workload is run with the local in-process
+// arbiter, with every block's commit decided by its own majority-
+// consensus ballot, and with commits coalesced into batched quorum
+// rounds (group commit) across a real TCP peer group of 1, 3, and 5
+// nodes (§3.2.1). At 3 and 5 nodes one voter is crashed mid-run: the
+// quorum holds and the remaining blocks keep committing. Rows carry
+// commit latency (p50/p95), committed blocks per second, and the
+// transport's message/byte/RTT accounting. A final section ships a
+// stream of rfork-style checkpoint images through the delta shipper to
+// measure full-vs-delta bytes per job.
 //
-// Usage: altbench distbench [-quick] [-o BENCH_dist.json]
+// Usage: altbench distbench [-quick] [-levels 1,3,5] [-minratio R] [-o BENCH_dist.json]
 
 // distLevelResult is one (nodes, mode) row.
 type distLevelResult struct {
 	Nodes        int                `json:"nodes"`
-	Mode         string             `json:"mode"` // "local" or "consensus"
+	Mode         string             `json:"mode"` // "local", "consensus", or "consensus-batch"
 	Jobs         int                `json:"jobs"`
 	P50MS        float64            `json:"p50_ms"`
 	P95MS        float64            `json:"p95_ms"`
@@ -41,15 +49,31 @@ type distLevelResult struct {
 	Net          *trace.NetSnapshot `json:"net,omitempty"`
 }
 
+// distShipResult measures rfork delta shipping: a warm lineage's
+// bytes/job against the full-image cost.
+type distShipResult struct {
+	Jobs             int     `json:"jobs"`
+	ArenaBytes       int     `json:"arena_bytes"`
+	PageSize         int     `json:"page_size"`
+	FullShips        int64   `json:"full_ships"`
+	DeltaShips       int64   `json:"delta_ships"`
+	FullShipBytes    int64   `json:"full_ship_bytes"`
+	DeltaShipBytes   int64   `json:"delta_ship_bytes"`
+	FullBytesPerJob  float64 `json:"full_bytes_per_job"`
+	DeltaBytesPerJob float64 `json:"delta_bytes_per_job"`
+	FullToDeltaRatio float64 `json:"full_to_delta_ratio"`
+}
+
 // distBenchReport is the BENCH_dist.json document.
 type distBenchReport struct {
 	reportMeta
 	Clients int               `json:"clients"`
 	Levels  []distLevelResult `json:"levels"`
+	Ship    *distShipResult   `json:"rfork_ship,omitempty"`
 }
 
 const (
-	distbenchClients = 4
+	distbenchClients = 8
 	distbenchSeed    = 7
 )
 
@@ -80,15 +104,21 @@ func distbenchJob(seq int) serve.Job {
 	}
 }
 
-// runDistLevel runs one (nodes, consensusMode) measurement. In
-// consensus mode a voter runs on every fleet member and each job's
-// block claims through a quorum ballot from node 1; crashVoter kills
-// the last member's voter once half the jobs are in.
-func runDistLevel(nodes, jobs int, consensusMode, crashVoter bool) (distLevelResult, error) {
-	res := distLevelResult{Nodes: nodes, Mode: "local"}
-	if consensusMode {
-		res.Mode = "consensus"
-	}
+// Commit-arbiter modes A/B-ed per node count.
+const (
+	distModeLocal = "local"
+	distModeCons  = "consensus"       // one quorum round per claim
+	distModeBatch = "consensus-batch" // group commit: coalesced rounds
+)
+
+// runDistLevel runs one (nodes, mode) measurement. In the consensus
+// modes a voter runs on every fleet member and each job's block claims
+// a quorum from node 1 — per-claim ballots in distModeCons, coalesced
+// group-commit rounds in distModeBatch; crashVoter kills the last
+// member's voter once half the jobs are in.
+func runDistLevel(nodes, jobs int, mode string, crashVoter bool) (distLevelResult, error) {
+	res := distLevelResult{Nodes: nodes, Mode: mode}
+	consensusMode := mode != distModeLocal
 
 	fleet, err := transport.NewTCPFleet(nodes, distbenchSeed)
 	if err != nil {
@@ -116,13 +146,23 @@ func runDistLevel(nodes, jobs int, consensusMode, crashVoter bool) (distLevelRes
 		MaxDegree:  2,
 		QueueDepth: 2 * distbenchClients,
 	}
-	if consensusMode {
-		ccfg := consensus.Config{Net: fleet.Counters()}
+	ccfg := consensus.Config{Net: fleet.Counters()}
+	switch mode {
+	case distModeCons:
 		cfg.NewClaim = func(job serve.Job, id uint64) core.ClaimFunc {
 			key := fmt.Sprintf("bench/%s/%d", job.Name, id)
 			cl := consensus.NewClaimant(key, eps[0], members, "", ccfg)
 			return func(w *core.World) bool {
 				return cl.Claim(transport.Background(), w.PID()).Won
+			}
+		}
+	case distModeBatch:
+		co := consensus.StartCoalescer(eps[0], members, "", ccfg)
+		defer co.Stop()
+		cfg.NewClaim = func(job serve.Job, id uint64) core.ClaimFunc {
+			key := fmt.Sprintf("bench/%s/%d", job.Name, id)
+			return func(w *core.World) bool {
+				return co.Claim(transport.Background(), key, w.PID()).Won
 			}
 		}
 	}
@@ -216,46 +256,196 @@ func runDistLevel(nodes, jobs int, consensusMode, crashVoter bool) (distLevelRes
 	return res, nil
 }
 
+// runDistShip measures rfork delta economics over a two-node TCP pair:
+// the same fixed-size arena altserved uses, a stream of distinct JSON
+// request bodies, one full base then per-job deltas. The interesting
+// number is warm-path bytes/job: full-image cost over mean delta cost.
+func runDistShip(jobs int) (*distShipResult, error) {
+	const (
+		pageSize  = 512
+		arenaSize = 16 << 10
+		lineage   = "rfork/json"
+	)
+	fleet, err := transport.NewTCPFleet(2, distbenchSeed)
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+	eps := fleet.Endpoints()
+	nc := fleet.Counters()
+
+	// Receiver service on node 2: reconstruct each shipped image and
+	// acknowledge it so the sender can pace the stream.
+	recv := checkpoint.NewReceiver(eps[1], nc, 0)
+	inbox := eps[1].Bind(checkpoint.RForkPort)
+	got := make(chan int64, jobs)
+	svc := eps[1].Spawn("distship-recv", func(p transport.Proc) {
+		for {
+			env, ok := inbox.Recv(p)
+			if !ok {
+				return
+			}
+			if img, ok := recv.Handle(env); ok {
+				got <- img.Control["seq"]
+			}
+		}
+	})
+	defer svc.Kill()
+
+	shipper := checkpoint.NewShipper(eps[0], nc)
+	arena := mem.New(page.NewStore(pageSize), arenaSize)
+	prevLen := 0
+	var dirty []int64
+	for i := 0; i < jobs; i++ {
+		body := []byte(fmt.Sprintf(`{"kind":"distbench","name":"block-%d","input":[%d,%d,%d]}`, i, i*7, i*3, i))
+		if err := arena.WriteAt(body, 0); err != nil {
+			return nil, err
+		}
+		if len(body) < prevLen {
+			if err := arena.WriteAt(make([]byte, prevLen-len(body)), int64(len(body))); err != nil {
+				return nil, err
+			}
+		}
+		prevLen = len(body)
+		img, err := checkpoint.Capture(ids.PID(i+1), "rfork-job", arena, map[string]int64{
+			"len": int64(len(body)), "seq": int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		dirty = arena.DirtyPageList(dirty[:0])
+		if _, _, err := shipper.Ship(transport.Background(), eps[1].ID(), lineage, img, dirty); err != nil {
+			return nil, err
+		}
+		select {
+		case <-got:
+		case <-time.After(10 * time.Second):
+			return nil, fmt.Errorf("ship %d: receiver did not reconstruct within 10s", i)
+		}
+	}
+
+	snap := nc.Snapshot()
+	res := &distShipResult{
+		Jobs:           jobs,
+		ArenaBytes:     arenaSize,
+		PageSize:       pageSize,
+		FullShips:      snap.FullShips,
+		DeltaShips:     snap.DeltaShips,
+		FullShipBytes:  snap.FullShipBytes,
+		DeltaShipBytes: snap.DeltaShipBytes,
+	}
+	if res.FullShips > 0 {
+		res.FullBytesPerJob = float64(res.FullShipBytes) / float64(res.FullShips)
+	}
+	if res.DeltaShips > 0 {
+		res.DeltaBytesPerJob = float64(res.DeltaShipBytes) / float64(res.DeltaShips)
+	}
+	if res.DeltaBytesPerJob > 0 {
+		res.FullToDeltaRatio = res.FullBytesPerJob / res.DeltaBytesPerJob
+	}
+	return res, nil
+}
+
+// parseLevels turns "1,3,5" into node counts.
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty levels spec %q", s)
+	}
+	return out, nil
+}
+
 // runDistbench is the `altbench distbench` entry point.
 func runDistbench(args []string) error {
 	fs := flag.NewFlagSet("distbench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_dist.json", "output JSON path ('-' for stdout only)")
 	quick := fs.Bool("quick", false, "CI smoke mode: few jobs per level")
+	levelSpec := fs.String("levels", "1,3,5", "comma-separated peer-group sizes to measure")
+	minRatio := fs.Float64("minratio", 0, "fail unless consensus-batch/local throughput at every multi-node level is at least this (0 = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	jobs := 48
-	if *quick {
-		jobs = 8
+	levels, err := parseLevels(*levelSpec)
+	if err != nil {
+		return err
 	}
 
-	fmt.Println("distbench — local vs majority-consensus commit over real TCP peer groups")
-	fmt.Printf("%-6s %-10s %6s %10s %10s %10s %12s %8s %10s\n",
-		"nodes", "mode", "jobs", "p50 ms", "p95 ms", "mean ms", "blocks/s", "crashed", "msgs")
+	jobs := 96
+	if *quick {
+		jobs = 16
+	}
+
+	fmt.Println("distbench — local vs per-claim vs group-commit consensus over real TCP peer groups")
+	fmt.Printf("%-6s %-16s %6s %10s %10s %10s %12s %8s %10s %8s\n",
+		"nodes", "mode", "jobs", "p50 ms", "p95 ms", "mean ms", "blocks/s", "crashed", "msgs", "rounds")
 	var results []distLevelResult
-	for _, nodes := range []int{1, 3, 5} {
-		for _, mode := range []bool{false, true} {
-			crash := mode && nodes >= 3
+	local := map[int]float64{} // nodes → local-mode throughput
+	for _, nodes := range levels {
+		for _, mode := range []string{distModeLocal, distModeCons, distModeBatch} {
+			crash := mode != distModeLocal && nodes >= 3
 			res, err := runDistLevel(nodes, jobs, mode, crash)
 			if err != nil {
-				return fmt.Errorf("nodes=%d mode=%s: %w", nodes, res.Mode, err)
+				return fmt.Errorf("nodes=%d mode=%s: %w", nodes, mode, err)
 			}
 			results = append(results, res)
-			msgs := int64(0)
-			if res.Net != nil {
-				msgs = res.Net.MsgsSent
+			if mode == distModeLocal {
+				local[nodes] = res.Throughput
 			}
-			fmt.Printf("%-6d %-10s %6d %10.2f %10.2f %10.2f %12.1f %8v %10d\n",
+			var msgs, rounds int64
+			if res.Net != nil {
+				msgs, rounds = res.Net.MsgsSent, res.Net.BallotRounds
+			}
+			fmt.Printf("%-6d %-16s %6d %10.2f %10.2f %10.2f %12.1f %8v %10d %8d\n",
 				res.Nodes, res.Mode, res.Jobs, res.P50MS, res.P95MS, res.MeanMS,
-				res.Throughput, res.VoterCrashed, msgs)
+				res.Throughput, res.VoterCrashed, msgs, rounds)
 		}
 	}
 	fmt.Println("\nconsensus rows include transport accounting; a crashed voter at n≥3 leaves the quorum intact")
 
-	return writeReport(*out, distBenchReport{
+	ship, err := runDistShip(jobs)
+	if err != nil {
+		return fmt.Errorf("rfork ship measurement: %w", err)
+	}
+	fmt.Printf("\nrfork delta shipping (%d jobs, %dB arena, %dB pages): full %d×%.0fB, delta %d×%.0fB — %.1f× fewer bytes/job warm\n",
+		ship.Jobs, ship.ArenaBytes, ship.PageSize,
+		ship.FullShips, ship.FullBytesPerJob, ship.DeltaShips, ship.DeltaBytesPerJob, ship.FullToDeltaRatio)
+
+	if err := writeReport(*out, distBenchReport{
 		reportMeta: newReportMeta(),
 		Clients:    distbenchClients,
 		Levels:     results,
-	})
+		Ship:       ship,
+	}); err != nil {
+		return err
+	}
+
+	if *minRatio > 0 {
+		for _, res := range results {
+			if res.Mode != distModeBatch || res.Nodes < 2 {
+				continue
+			}
+			base := local[res.Nodes]
+			if base <= 0 {
+				continue
+			}
+			if ratio := res.Throughput / base; ratio < *minRatio {
+				return fmt.Errorf("consensus-batch/local throughput at n=%d is %.2f, below the %.2f gate",
+					res.Nodes, ratio, *minRatio)
+			}
+			fmt.Printf("gate: n=%d consensus-batch/local = %.2f (>= %.2f)\n",
+				res.Nodes, res.Throughput/base, *minRatio)
+		}
+	}
+	return nil
 }

@@ -21,6 +21,10 @@ import (
 	"strings"
 
 	"altrun/internal/experiments"
+
+	// distbench crosses the TCP fabric's framing; the central
+	// registration point supplies every protocol message's wire codec.
+	_ "altrun/internal/transport/codec"
 )
 
 type experiment struct {

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,6 +22,9 @@ import (
 	"altrun/internal/serve"
 	"altrun/internal/trace"
 	"altrun/internal/transport"
+
+	// One registration point for every protocol message's wire codec.
+	_ "altrun/internal/transport/codec"
 )
 
 // The daemon's peer group: each altserved node runs a TCP transport
@@ -30,9 +35,15 @@ import (
 // checkpoint image — onto the least-loaded peer.
 
 const (
-	loadPort        = "cluster/load"
-	loadReplyWait   = 300 * time.Millisecond
-	rforkPageSize   = 4096
+	loadPort      = "cluster/load"
+	loadReplyWait = 300 * time.Millisecond
+	// rfork delta shipping writes each forwarded request into a
+	// fixed-size per-peer arena so successive jobs diff page-by-page
+	// against a peer-cached base image; requests that outgrow the arena
+	// fall back to a one-off legacy full ship.
+	rforkPageSize   = 512
+	rforkArenaSize  = 16 << 10
+	rforkLineage    = "rfork/json"
 	rforkJobTimeout = 10 * time.Second
 )
 
@@ -48,6 +59,39 @@ type loadReply struct {
 func init() {
 	gob.Register(loadQuery{})
 	gob.Register(loadReply{})
+	// Application-level binary codecs live in the 200+ tag range,
+	// keeping the load-balancing chatter off the gob fallback path too.
+	transport.RegisterWire(transport.WireCodec{
+		Tag: 200, Type: reflect.TypeOf(loadQuery{}),
+		Append: func(p any, dst []byte) []byte {
+			q := p.(loadQuery)
+			dst = transport.AppendUvarint(dst, uint64(q.Reply.Node))
+			return transport.AppendString(dst, q.Reply.Port)
+		},
+		Decode: func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			q := loadQuery{Reply: transport.Addr{Node: ids.NodeID(r.Uvarint()), Port: r.String()}}
+			return q, r.Err()
+		},
+	})
+	transport.RegisterWire(transport.WireCodec{
+		Tag: 201, Type: reflect.TypeOf(loadReply{}),
+		Append: func(p any, dst []byte) []byte {
+			m := p.(loadReply)
+			dst = transport.AppendUvarint(dst, uint64(m.Node))
+			dst = transport.AppendVarint(dst, int64(m.Running))
+			return transport.AppendVarint(dst, int64(m.Queued))
+		},
+		Decode: func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := loadReply{
+				Node:    ids.NodeID(r.Uvarint()),
+				Running: int(r.Varint()),
+				Queued:  int(r.Varint()),
+			}
+			return m, r.Err()
+		},
+	})
 }
 
 // peerSpec maps node IDs to cluster listen addresses ("1=host:port,...").
@@ -85,6 +129,19 @@ type clusterState struct {
 	ccfg    consensus.Config
 	nc      *trace.NetCounters
 
+	// batch selects the group-commit path: claims route through the
+	// per-node coalescer (pipelined batched ballots) instead of running
+	// one quorum round each. distbench A/Bs the two; production
+	// defaults to batched.
+	batch     bool
+	coalescer *consensus.Coalescer
+
+	// Delta checkpoint shipping for rfork.
+	shipper  *checkpoint.Shipper
+	receiver *checkpoint.Receiver
+	arenaMu  sync.Mutex
+	arenas   map[ids.NodeID]*rforkArena
+
 	pool *serve.Pool // wired by start()
 
 	ballots   atomic.Int64
@@ -96,6 +153,16 @@ type clusterState struct {
 
 	loadSvc  transport.Handle
 	rforkSvc transport.Handle
+	ctlSvc   transport.Handle
+}
+
+// rforkArena is the persistent per-destination capture space: each
+// forwarded request overwrites the previous one, so the space's
+// accumulated dirty-page set bounds the delta diff.
+type rforkArena struct {
+	space   *mem.AddressSpace
+	prevLen int64
+	dirty   []int64 // reused DirtyPageList buffer
 }
 
 // newClusterState brings up the transport endpoint and voter. peers
@@ -124,39 +191,67 @@ func newClusterState(node ids.NodeID, peers peerSpec) (*clusterState, error) {
 // clusterFromTransport wraps an already-meshed transport endpoint (the
 // in-process test path; production goes through newClusterState).
 func clusterFromTransport(tcp *transport.TCP, members []ids.NodeID, nc *trace.NetCounters) *clusterState {
+	ccfg := consensus.Config{Net: nc}
 	return &clusterState{
-		node:    tcp.ID(),
-		tcp:     tcp,
-		voter:   consensus.StartVoter(tcp, ""),
-		members: members,
-		ccfg:    consensus.Config{Net: nc},
-		nc:      nc,
+		node:      tcp.ID(),
+		tcp:       tcp,
+		voter:     consensus.StartVoter(tcp, ""),
+		members:   members,
+		ccfg:      ccfg,
+		nc:        nc,
+		batch:     true,
+		coalescer: consensus.StartCoalescer(tcp, members, "", ccfg),
+		shipper:   checkpoint.NewShipper(tcp, nc),
+		receiver:  checkpoint.NewReceiver(tcp, nc, 0),
+		arenas:    make(map[ids.NodeID]*rforkArena),
 	}
 }
 
-// start wires the pool in and launches the load and rfork services.
+// start wires the pool in and launches the load, rfork, and ship-
+// control services.
 func (c *clusterState) start(pool *serve.Pool) {
 	c.pool = pool
 	c.loadSvc = c.tcp.Spawn("load-svc", c.serveLoad)
 	c.rforkSvc = c.tcp.Spawn("rfork-svc", c.serveRFork)
+	c.ctlSvc = c.tcp.Spawn("rfork-ctl", func(p transport.Proc) {
+		checkpoint.ServeNaks(p, c.tcp.Bind(checkpoint.RForkCtlPort), c.shipper)
+	})
 }
 
 func (c *clusterState) close() {
+	// Tell peers the lineage's base dies with us: a restarted daemon
+	// starts a fresh epoch, and a stale cached base must not satisfy it.
+	c.shipper.InvalidateLineage(rforkLineage)
 	if c.loadSvc != nil {
 		c.loadSvc.Kill()
 	}
 	if c.rforkSvc != nil {
 		c.rforkSvc.Kill()
 	}
+	if c.ctlSvc != nil {
+		c.ctlSvc.Kill()
+	}
+	c.coalescer.Stop()
 	c.voter.Stop()
 	c.tcp.Close()
 }
 
 // newClaim is the pool's commit arbiter: each job gets its own
 // consensus key, so the block commits only once a quorum of the peer
-// group has granted it.
+// group has granted it. Batched mode routes the claim through the
+// node's coalescer — many concurrent jobs share one quorum round.
 func (c *clusterState) newClaim(job serve.Job, id uint64) core.ClaimFunc {
 	key := fmt.Sprintf("job/%d/%d", c.node, id)
+	if c.batch {
+		return func(w *core.World) bool {
+			c.ballots.Add(1)
+			won := c.coalescer.Claim(transport.Background(), key, w.PID()).Won
+			if won {
+				c.commits.Add(1)
+			}
+			return won
+		}
+	}
 	cl := consensus.NewClaimant(key, c.tcp, c.members, "", c.ccfg)
 	return func(w *core.World) bool {
 		c.ballots.Add(1)
@@ -186,9 +281,11 @@ func (c *clusterState) serveLoad(p transport.Proc) {
 }
 
 // serveRFork receives shipped jobs: a checkpoint image whose address
-// space holds the JSON submit request. The image is restored into a
-// fresh space, the request re-read from it, and the job admitted to the
-// local pool under this node's own consensus key.
+// space holds the JSON submit request. Images arrive as legacy full
+// ships ([]byte), delta-shipping full bases, or deltas against a cached
+// base — the Receiver reconstructs all three (NAKing deltas whose base
+// it lacks). The request is re-read from the restored space and the job
+// admitted to the local pool under this node's own consensus key.
 func (c *clusterState) serveRFork(p transport.Proc) {
 	inbox := c.tcp.Bind(checkpoint.RForkPort)
 	for {
@@ -196,12 +293,8 @@ func (c *clusterState) serveRFork(p transport.Proc) {
 		if !ok {
 			return
 		}
-		wire, isBytes := env.Payload.([]byte)
-		if !isBytes {
-			continue
-		}
-		img, err := checkpoint.Decode(wire)
-		if err != nil {
+		img, ok := c.receiver.Handle(env)
+		if !ok {
 			continue
 		}
 		req, err := requestFromImage(img)
@@ -271,16 +364,55 @@ func (c *clusterState) rfork(to ids.NodeID, id uint64, req submitRequest) error 
 	if err != nil {
 		return err
 	}
-	store := page.NewStore(rforkPageSize)
-	space := mem.New(store, int64(len(body)))
-	if err := space.WriteAt(body, 0); err != nil {
+	control := map[string]int64{"len": int64(len(body))}
+	if len(body) > rforkArenaSize {
+		// Oversized request: one-off legacy full ship in a throwaway
+		// space (no lineage, no delta economics to exploit).
+		store := page.NewStore(rforkPageSize)
+		space := mem.New(store, int64(len(body)))
+		if err := space.WriteAt(body, 0); err != nil {
+			return err
+		}
+		img, err := checkpoint.Capture(ids.PID(id+1), "rfork-job", space, control)
+		if err != nil {
+			return err
+		}
+		if _, err := checkpoint.Ship(transport.Background(), c.tcp, to, img); err != nil {
+			return err
+		}
+		c.rforksOut.Add(1)
+		return nil
+	}
+	c.arenaMu.Lock()
+	ar := c.arenas[to]
+	if ar == nil {
+		ar = &rforkArena{space: mem.New(page.NewStore(rforkPageSize), rforkArenaSize)}
+		c.arenas[to] = ar
+	}
+	if err := ar.space.WriteAt(body, 0); err != nil {
+		c.arenaMu.Unlock()
 		return err
 	}
-	img, err := checkpoint.Capture(ids.PID(id+1), "rfork-job", space, map[string]int64{"len": int64(len(body))})
+	// Zero the tail the previous request wrote past this one's length, so
+	// the captured image depends only on the current body.
+	if n := int64(len(body)); n < ar.prevLen {
+		if err := ar.space.WriteAt(make([]byte, ar.prevLen-n), n); err != nil {
+			c.arenaMu.Unlock()
+			return err
+		}
+	}
+	ar.prevLen = int64(len(body))
+	img, err := checkpoint.Capture(ids.PID(id+1), "rfork-job", ar.space, control)
 	if err != nil {
+		c.arenaMu.Unlock()
 		return err
 	}
-	if _, err := checkpoint.Ship(transport.Background(), c.tcp, to, img); err != nil {
+	// The dirty list accumulates over the arena's whole life — exactly
+	// the superset of pages that can differ from any base the peer holds.
+	ar.dirty = ar.space.DirtyPageList(ar.dirty[:0])
+	_, _, err = c.shipper.Ship(transport.Background(), to, rforkLineage, img, ar.dirty)
+	c.arenaMu.Unlock()
+	if err != nil {
 		return err
 	}
 	c.rforksOut.Add(1)
@@ -314,10 +446,12 @@ type clusterView struct {
 	Node             ids.NodeID        `json:"node"`
 	Members          []ids.NodeID      `json:"members"`
 	Quorum           int               `json:"quorum"`
+	GroupCommit      bool              `json:"group_commit"`
 	Ballots          int64             `json:"ballots"`
 	ConsensusCommits int64             `json:"consensus_commits"`
 	RForksIn         int64             `json:"rforks_in"`
 	RForksOut        int64             `json:"rforks_out"`
+	RForkBases       int               `json:"rfork_cached_bases"`
 	Net              trace.NetSnapshot `json:"net"`
 }
 
@@ -326,10 +460,12 @@ func (c *clusterState) view() *clusterView {
 		Node:             c.node,
 		Members:          c.members,
 		Quorum:           len(c.members)/2 + 1,
+		GroupCommit:      c.batch,
 		Ballots:          c.ballots.Load(),
 		ConsensusCommits: c.commits.Load(),
 		RForksIn:         c.rforksIn.Load(),
 		RForksOut:        c.rforksOut.Load(),
+		RForkBases:       c.receiver.CachedBases(),
 		Net:              c.nc.Snapshot(),
 	}
 }

@@ -63,6 +63,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		node         = flag.Int("node", 0, "this daemon's node id in the peer group (0 = single-node)")
 		peers        = flag.String("peers", "", `peer group as "1=host:port,2=host:port,..." (must include this node)`)
+		groupCommit  = flag.Bool("group-commit", true, "coalesce concurrent job commits into batched quorum rounds")
 		obsRate      = flag.Int("obs-rate", obs.DefaultSampleRate, "flight recorder sampling: record 1 in N blocks (0 = off)")
 		obsKeep      = flag.Int("obs-keep", obs.DefaultKeep, "flight recorder retention: recent timelines kept for /debug/blocks")
 		obsDir       = flag.String("obs-dir", "", "write each sampled block's Chrome trace JSON into this directory")
@@ -92,6 +93,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "altserved:", err)
 			os.Exit(1)
 		}
+		cluster.batch = *groupCommit
 	}
 	var rec *obs.Recorder
 	if *obsRate > 0 {

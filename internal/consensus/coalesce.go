@@ -1,0 +1,525 @@
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"altrun/internal/ids"
+	"altrun/internal/transport"
+)
+
+// Group commit. The per-claim protocol in consensus.go costs one full
+// quorum round per block: n VoteReqs, up to n replies, and n commit
+// announces, each a separate frame. Under the serve layer's load many
+// blocks commit concurrently on distinct keys, so those rounds can be
+// coalesced: a Coalescer is a per-node service that accumulates local
+// claims and submits them as ONE pipelined ballot round — a single
+// BallotReq carrying many keys. Voters answer each key independently
+// under the same per-key grant rule, so safety is untouched: the batch
+// is transport-level amortization, not a protocol change.
+//
+// Decisions are per-claim and eager: a claim wins the moment ITS key
+// reaches quorum, not when the round completes, so a dead voter delays
+// nobody who already has a majority. Claims whose key fails a round
+// (vote split or winner elsewhere) release and retry with the same
+// deterministic PID-staggered backoff as the unbatched path.
+//
+// Batching is self-clocking: while fewer than MaxInflight rounds are
+// outstanding, a flush happens as soon as claims are pending (plus an
+// optional BatchLinger wait to grow the batch); once the pipeline is
+// full, claims accumulate until a round completes — exactly the load
+// level where big batches form on their own.
+//
+// The Coalescer is a spawned transport proc with one mailbox; intake
+// (ClaimSubmit) and voter traffic (BallotReply) arrive as messages.
+// Claims block in Coalescer.Claim on a per-claim reply port. Nothing
+// here blocks on a Go channel, so the same code runs on the simulated
+// cluster (cooperative procs) and real TCP.
+
+// Batch message types. BallotClaim doubles as the commit entry
+// (Claimant = winner).
+type (
+	// BallotClaim is one keyed claim inside a batch round.
+	BallotClaim struct {
+		Key      string
+		Claimant ids.PID
+	}
+	// BallotReq asks a voter to vote on every claim in one round.
+	BallotReq struct {
+		Round  int64
+		Reply  transport.Addr
+		Claims []BallotClaim
+	}
+	// BallotVote is a voter's per-key answer inside a BallotReply.
+	BallotVote struct {
+		Key     string
+		Granted bool
+		// Winner is set when the voter knows a commit already happened.
+		Winner ids.PID
+	}
+	// BallotReply answers a BallotReq, one vote per claim.
+	BallotReply struct {
+		Round int64
+		Voter ids.NodeID
+		Votes []BallotVote
+	}
+	// BallotRelease returns votes for failed or too-late claims.
+	BallotRelease struct {
+		Claims []BallotClaim
+	}
+	// BallotCommit locks each key on its winner (Claimant = winner).
+	BallotCommit struct {
+		Commits []BallotClaim
+	}
+	// ClaimSubmit enters a claim into the local coalescer (same-node
+	// message from Coalescer.Claim to the coalescer proc).
+	ClaimSubmit struct {
+		Key      string
+		Claimant ids.PID
+		Reply    transport.Addr
+	}
+	// ClaimDecision is the coalescer's answer to one ClaimSubmit.
+	ClaimDecision struct {
+		Key     string
+		Won     bool
+		TooLate bool
+		Winner  ids.PID
+		Ballots int
+	}
+)
+
+// ballotClaimsSize estimates the wire size of a claim list.
+func ballotClaimsSize(claims []BallotClaim) int {
+	n := 8
+	for _, c := range claims {
+		n += len(c.Key) + 10
+	}
+	return n
+}
+
+// WireSize implements transport.WireSizer for the simulator's byte
+// accounting (batches are the one control message that isn't small and
+// fixed-size).
+func (m BallotReq) WireSize() int {
+	return ballotClaimsSize(m.Claims) + len(m.Reply.Port) + 12
+}
+
+// WireSize implements transport.WireSizer.
+func (m BallotReply) WireSize() int {
+	n := 16
+	for _, v := range m.Votes {
+		n += len(v.Key) + 11
+	}
+	return n
+}
+
+// WireSize implements transport.WireSizer.
+func (m BallotRelease) WireSize() int { return ballotClaimsSize(m.Claims) }
+
+// WireSize implements transport.WireSizer.
+func (m BallotCommit) WireSize() int { return ballotClaimsSize(m.Commits) }
+
+// Defaults for the group-commit knobs.
+const (
+	DefaultMaxInflight = 4
+	DefaultMaxBatch    = 128
+)
+
+// Coalescer is one node's group-commit service. Build one per daemon
+// and route every local claim through Claim; the service batches them
+// into pipelined quorum rounds against the same voters the unbatched
+// Claimant would consult.
+type Coalescer struct {
+	ep       transport.Endpoint
+	members  []ids.NodeID
+	votePort string
+	port     string
+	cfg      Config
+	quorum   int
+	handle   transport.Handle
+}
+
+// CoalescerPort returns the intake port a coalescer binds next to a
+// given vote port.
+func CoalescerPort(votePort string) string {
+	if votePort == "" {
+		votePort = DefaultVotePort
+	}
+	return votePort + "/batch"
+}
+
+// StartCoalescer spawns the group-commit service on ep. votePort ""
+// means DefaultVotePort; members are the voter nodes (usually
+// including ep's own).
+func StartCoalescer(ep transport.Endpoint, members []ids.NodeID, votePort string, cfg Config) *Coalescer {
+	if votePort == "" {
+		votePort = DefaultVotePort
+	}
+	co := &Coalescer{
+		ep:       ep,
+		members:  append([]ids.NodeID(nil), members...),
+		votePort: votePort,
+		port:     CoalescerPort(votePort),
+		cfg:      cfg.withDefaults(),
+		quorum:   len(members)/2 + 1,
+	}
+	inbox := ep.Bind(co.port)
+	co.handle = ep.Spawn(fmt.Sprintf("coalescer-%v", ep.ID()), func(p transport.Proc) {
+		r := &coalRun{co: co}
+		r.run(p, inbox)
+	})
+	return co
+}
+
+// Stop kills the coalescer proc. In-flight claims time out in Claim.
+func (co *Coalescer) Stop() { co.handle.Kill() }
+
+// Quorum returns the majority size.
+func (co *Coalescer) Quorum() int { return co.quorum }
+
+// claimDeadline bounds one claim end to end: every ballot can take a
+// full reply timeout plus its backoff, with slack for queueing behind a
+// full pipeline.
+func (co *Coalescer) claimDeadline() time.Duration {
+	a := time.Duration(co.cfg.MaxAttempts)
+	return a*(co.cfg.ReplyTimeout+co.cfg.BackoffBase*(a+4)) + 2*co.cfg.ReplyTimeout
+}
+
+// Claim routes one keyed claim through the coalescer, blocking the
+// calling process until the batched protocol decides it. Semantics
+// match Claimant.Claim: at most one Claim per key ever returns Won.
+func (co *Coalescer) Claim(p transport.Proc, key string, pid ids.PID) Result {
+	replyPort := fmt.Sprintf("%s/claim/%s/%v", co.port, key, pid)
+	replies := co.ep.Bind(replyPort)
+	defer co.ep.Unbind(replyPort)
+	co.ep.Send(transport.Addr{Node: co.ep.ID(), Port: co.port}, ClaimSubmit{
+		Key:      key,
+		Claimant: pid,
+		Reply:    transport.Addr{Node: co.ep.ID(), Port: replyPort},
+	})
+	deadline := co.ep.Now().Add(co.claimDeadline())
+	for {
+		remain := deadline.Sub(co.ep.Now())
+		if remain < 0 {
+			return Result{}
+		}
+		env, ok := replies.RecvTimeout(p, remain)
+		if !ok {
+			return Result{}
+		}
+		d, isDecision := env.Payload.(ClaimDecision)
+		if !isDecision || d.Key != key {
+			continue
+		}
+		return Result{Won: d.Won, TooLate: d.TooLate, Winner: d.Winner, Ballots: d.Ballots}
+	}
+}
+
+// batchClaim is one claim's life inside the coalescer: pending (ready
+// or backing off), then repeatedly in a round until decided.
+type batchClaim struct {
+	key      string
+	pid      ids.PID
+	reply    transport.Addr
+	attempts int       // rounds participated in
+	retryAt  time.Time // zero = ready now
+	decided  bool
+	grants   int
+	answered int
+}
+
+// batchRound is one in-flight quorum round. byKey holds the claims
+// still owned by this round: a claim that fails the round and re-enters
+// the pending queue is removed, so late replies cannot touch it while a
+// NEWER round carries it.
+type batchRound struct {
+	id       int64
+	deadline time.Time
+	start    time.Time
+	retries0 int64 // transport retry count at send (RTT stability)
+	byKey    map[string]*batchClaim
+	voters   map[ids.NodeID]bool // answered
+	open     int                 // undecided claims still owned
+}
+
+// coalRun is the single-proc state machine; no locks, everything runs
+// on the coalescer proc.
+type coalRun struct {
+	co          *Coalescer
+	pending     []*batchClaim
+	rounds      map[int64]*batchRound
+	nextRound   int64
+	lingerUntil time.Time
+}
+
+func (r *coalRun) run(p transport.Proc, inbox transport.Mailbox) {
+	r.rounds = make(map[int64]*batchRound)
+	r.nextRound = 1
+	for {
+		now := r.co.ep.Now()
+		r.expire(now)
+		r.flush(now)
+		wake, has := r.nextWake()
+		var env transport.Envelope
+		var ok bool
+		if has {
+			d := wake.Sub(r.co.ep.Now())
+			if d < 0 {
+				d = 0
+			}
+			env, ok = inbox.RecvTimeout(p, d)
+		} else {
+			env, ok = inbox.Recv(p)
+		}
+		if !ok {
+			// Recv fails on timeout, kill, or close. With no deadline
+			// armed — or when we woke before the armed deadline — the
+			// mailbox is gone; otherwise it is just the timer firing.
+			if !has || r.co.ep.Now().Before(wake) {
+				return
+			}
+			continue
+		}
+		switch m := env.Payload.(type) {
+		case ClaimSubmit:
+			r.pending = append(r.pending, &batchClaim{
+				key: m.Key, pid: m.Claimant, reply: m.Reply,
+			})
+		case BallotReply:
+			r.onReply(m)
+		}
+	}
+}
+
+// nextWake returns the earliest pending deadline: a round's reply
+// timeout, a backoff retry, or the linger timer. Retries already due
+// are excluded — if they weren't flushed this iteration the pipeline
+// is full, and the wake-up that matters is a round completing.
+func (r *coalRun) nextWake() (time.Time, bool) {
+	var at time.Time
+	min := func(t time.Time) {
+		if !t.IsZero() && (at.IsZero() || t.Before(at)) {
+			at = t
+		}
+	}
+	for _, rd := range r.rounds {
+		min(rd.deadline)
+	}
+	now := r.co.ep.Now()
+	for _, c := range r.pending {
+		if c.retryAt.After(now) {
+			min(c.retryAt)
+		}
+	}
+	min(r.lingerUntil)
+	return at, !at.IsZero()
+}
+
+// expire fails every undecided claim in rounds past their deadline.
+func (r *coalRun) expire(now time.Time) {
+	for id, rd := range r.rounds {
+		if rd.deadline.After(now) {
+			continue
+		}
+		delete(r.rounds, id)
+		var releases []BallotClaim
+		for _, c := range rd.byKey {
+			if c.decided {
+				continue
+			}
+			releases = append(releases, BallotClaim{Key: c.key, Claimant: c.pid})
+			r.failBallot(c, now)
+		}
+		r.broadcastRelease(releases)
+	}
+}
+
+// flush starts rounds while the pipeline has room and claims are ready.
+func (r *coalRun) flush(now time.Time) {
+	for len(r.rounds) < r.co.cfg.MaxInflight {
+		ready := r.takeReady(now)
+		if len(ready) == 0 {
+			r.lingerUntil = time.Time{}
+			return
+		}
+		if r.co.cfg.BatchLinger > 0 && len(ready) < r.co.cfg.MaxBatch {
+			if r.lingerUntil.IsZero() {
+				// First claims of a fresh batch: wait a linger for more.
+				r.lingerUntil = now.Add(r.co.cfg.BatchLinger)
+				r.putBack(ready)
+				return
+			}
+			if now.Before(r.lingerUntil) {
+				r.putBack(ready)
+				return
+			}
+		}
+		r.lingerUntil = time.Time{}
+		r.startRound(now, ready)
+	}
+}
+
+// takeReady removes up to MaxBatch due claims from pending, at most one
+// per key (a round's vote map is keyed; a second local claim on the
+// same key just waits for the next round).
+func (r *coalRun) takeReady(now time.Time) []*batchClaim {
+	var ready []*batchClaim
+	keys := make(map[string]bool)
+	rest := r.pending[:0]
+	for _, c := range r.pending {
+		if len(ready) >= r.co.cfg.MaxBatch || c.retryAt.After(now) || keys[c.key] {
+			rest = append(rest, c)
+			continue
+		}
+		keys[c.key] = true
+		ready = append(ready, c)
+	}
+	r.pending = rest
+	return ready
+}
+
+// putBack returns claims taken by takeReady to the pending list (linger
+// decided to wait).
+func (r *coalRun) putBack(claims []*batchClaim) {
+	r.pending = append(r.pending, claims...)
+}
+
+// startRound sends one batched ballot to every voter.
+func (r *coalRun) startRound(now time.Time, claims []*batchClaim) {
+	rd := &batchRound{
+		id:       r.nextRound,
+		deadline: now.Add(r.co.cfg.ReplyTimeout),
+		start:    now,
+		retries0: r.co.cfg.Net.RetryCount(),
+		byKey:    make(map[string]*batchClaim, len(claims)),
+		voters:   make(map[ids.NodeID]bool, len(r.co.members)),
+		open:     len(claims),
+	}
+	r.nextRound++
+	req := BallotReq{
+		Round: rd.id,
+		Reply: transport.Addr{Node: r.co.ep.ID(), Port: r.co.port},
+	}
+	req.Claims = make([]BallotClaim, len(claims))
+	for i, c := range claims {
+		c.attempts++
+		c.grants = 0
+		c.answered = 0
+		rd.byKey[c.key] = c
+		req.Claims[i] = BallotClaim{Key: c.key, Claimant: c.pid}
+	}
+	r.rounds[rd.id] = rd
+	for _, m := range r.co.members {
+		r.co.ep.Send(transport.Addr{Node: m, Port: r.co.votePort}, req)
+	}
+	if nc := r.co.cfg.Net; nc != nil {
+		nc.BallotRounds.Add(1)
+		nc.BallotsCoalesced.Add(int64(len(claims)))
+	}
+}
+
+// onReply folds one voter's batch answer into its round: eager per-key
+// decisions, then one batched commit/release for whatever was decided.
+func (r *coalRun) onReply(m BallotReply) {
+	rd := r.rounds[m.Round]
+	if rd == nil || rd.voters[m.Voter] {
+		return // stale round or duplicate voter
+	}
+	rd.voters[m.Voter] = true
+	now := r.co.ep.Now()
+	r.co.cfg.Net.ObserveRTTIfStable(now.Sub(rd.start), rd.retries0)
+	var commits, releases []BallotClaim
+	for _, vote := range m.Votes {
+		c := rd.byKey[vote.Key]
+		if c == nil || c.decided {
+			continue
+		}
+		c.answered++
+		switch {
+		case vote.Winner.IsValid() && vote.Winner != c.pid:
+			c.decided = true
+			rd.open--
+			releases = append(releases, BallotClaim{Key: c.key, Claimant: c.pid})
+			r.decide(c, ClaimDecision{
+				Key: c.key, TooLate: true, Winner: vote.Winner, Ballots: c.attempts,
+			})
+		case vote.Winner == c.pid:
+			// A voter already knows us as winner (a replayed commit):
+			// report won without re-announcing.
+			c.decided = true
+			rd.open--
+			r.decide(c, ClaimDecision{Key: c.key, Won: true, Ballots: c.attempts})
+		case vote.Granted:
+			c.grants++
+			if c.grants >= r.co.quorum {
+				c.decided = true
+				rd.open--
+				commits = append(commits, BallotClaim{Key: c.key, Claimant: c.pid})
+				r.decide(c, ClaimDecision{Key: c.key, Won: true, Ballots: c.attempts})
+			}
+		}
+		if !c.decided && c.answered >= len(r.co.members) {
+			// Every voter answered and quorum never formed: vote split.
+			rd.open--
+			delete(rd.byKey, vote.Key)
+			releases = append(releases, BallotClaim{Key: c.key, Claimant: c.pid})
+			r.failBallot(c, now)
+		}
+	}
+	if rd.open <= 0 || len(rd.voters) >= len(r.co.members) {
+		delete(r.rounds, m.Round)
+		// A claim can stay open past the last voter's reply only if that
+		// voter's ballot omitted its key (a malformed reply): fail it
+		// onto the retry path rather than stranding the claimant.
+		for _, c := range rd.byKey {
+			if !c.decided {
+				releases = append(releases, BallotClaim{Key: c.key, Claimant: c.pid})
+				r.failBallot(c, now)
+			}
+		}
+	}
+	r.broadcastCommit(commits)
+	r.broadcastRelease(releases)
+}
+
+// failBallot retries c after backoff, or reports a lost claim once
+// attempts are exhausted. Caller queues the vote release.
+func (r *coalRun) failBallot(c *batchClaim, now time.Time) {
+	if c.attempts >= r.co.cfg.MaxAttempts {
+		r.decide(c, ClaimDecision{Key: c.key, Ballots: c.attempts})
+		return
+	}
+	// Same deterministic stagger as the unbatched Claimant: lower PIDs
+	// retry sooner, breaking symmetric vote splits.
+	backoff := r.co.cfg.BackoffBase * time.Duration(c.attempts)
+	backoff += time.Duration(c.pid%16) * (r.co.cfg.BackoffBase / 4)
+	c.retryAt = now.Add(backoff)
+	c.grants = 0
+	c.answered = 0
+	r.pending = append(r.pending, c)
+}
+
+func (r *coalRun) decide(c *batchClaim, d ClaimDecision) {
+	c.decided = true
+	r.co.ep.Send(c.reply, d)
+}
+
+func (r *coalRun) broadcastCommit(commits []BallotClaim) {
+	if len(commits) == 0 {
+		return
+	}
+	msg := BallotCommit{Commits: commits}
+	for _, m := range r.co.members {
+		r.co.ep.Send(transport.Addr{Node: m, Port: r.co.votePort}, msg)
+	}
+}
+
+func (r *coalRun) broadcastRelease(releases []BallotClaim) {
+	if len(releases) == 0 {
+		return
+	}
+	msg := BallotRelease{Claims: releases}
+	for _, m := range r.co.members {
+		r.co.ep.Send(transport.Addr{Node: m, Port: r.co.votePort}, msg)
+	}
+}

@@ -1,0 +1,266 @@
+package consensus_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"altrun/internal/consensus"
+	"altrun/internal/ids"
+	"altrun/internal/trace"
+	"altrun/internal/transport"
+	"altrun/internal/transport/transporttest"
+)
+
+// The group-commit tests run over both fabrics via transporttest.Each,
+// like the per-claim protocol tests: a voter on every node, coalescers
+// where a test needs them, all on a per-test vote port so suites don't
+// share voter state.
+
+func startVoters(f *transporttest.Fabric, port string) []*consensus.Voter {
+	var vs []*consensus.Voter
+	for _, ep := range f.Eps() {
+		vs = append(vs, consensus.StartVoter(ep, port))
+	}
+	return vs
+}
+
+func memberIDs(f *transporttest.Fabric) []ids.NodeID {
+	var ms []ids.NodeID
+	for _, ep := range f.Eps() {
+		ms = append(ms, ep.ID())
+	}
+	return ms
+}
+
+func stopAll(cos []*consensus.Coalescer, voters []*consensus.Voter) {
+	for _, co := range cos {
+		co.Stop()
+	}
+	for _, v := range voters {
+		v.Stop()
+	}
+}
+
+func TestCoalescerSingleClaimWins(t *testing.T) {
+	transporttest.Each(t, 3, 7, func(t *testing.T, f *transporttest.Fabric) {
+		const port = "consensus/coal-single/vote"
+		voters := startVoters(f, port)
+		co := consensus.StartCoalescer(f.Eps()[0], memberIDs(f), port, consensus.Config{})
+		var res consensus.Result
+		f.Go("claimant", func(p transport.Proc) {
+			res = co.Claim(p, "k", ids.PID(100))
+			stopAll([]*consensus.Coalescer{co}, voters)
+		})
+		f.Run(t)
+		if !res.Won || res.TooLate {
+			t.Fatalf("result = %+v", res)
+		}
+		if res.Ballots != 1 {
+			t.Fatalf("ballots = %d, want 1", res.Ballots)
+		}
+	})
+}
+
+// TestCoalescerBatchesConcurrentKeys is the point of the feature: many
+// concurrent claims on distinct keys must all win while sharing far
+// fewer quorum rounds than claims.
+func TestCoalescerBatchesConcurrentKeys(t *testing.T) {
+	transporttest.Each(t, 3, 7, func(t *testing.T, f *transporttest.Fabric) {
+		const port = "consensus/coal-batch/vote"
+		const claims = 12
+		nc := &trace.NetCounters{}
+		voters := startVoters(f, port)
+		// A linger long enough that all claims land in the first batch.
+		co := consensus.StartCoalescer(f.Eps()[0], memberIDs(f), port, consensus.Config{
+			Net:         nc,
+			BatchLinger: 50 * time.Millisecond,
+		})
+		var mu sync.Mutex
+		won, done := 0, 0
+		for i := 0; i < claims; i++ {
+			i := i
+			f.Go("claimant", func(p transport.Proc) {
+				r := co.Claim(p, fmt.Sprintf("k%d", i), ids.PID(100+int64(i)))
+				mu.Lock()
+				if r.Won {
+					won++
+				}
+				done++
+				last := done == claims
+				mu.Unlock()
+				if last {
+					stopAll([]*consensus.Coalescer{co}, voters)
+				}
+			})
+		}
+		f.Run(t)
+		if won != claims {
+			t.Fatalf("winners = %d, want %d (distinct keys never conflict)", won, claims)
+		}
+		rounds := nc.BallotRounds.Load()
+		if rounds < 1 || rounds >= claims {
+			t.Fatalf("ballot rounds = %d for %d claims, want coalescing (1 <= rounds < claims)", rounds, claims)
+		}
+		if got := nc.BallotsCoalesced.Load(); got < claims {
+			t.Fatalf("ballots coalesced = %d, want >= %d", got, claims)
+		}
+	})
+}
+
+// TestCoalescerAtMostOneWinnerSameKey runs contending claims on ONE key
+// through separate per-node coalescers: quorum intersection must admit
+// exactly one winner, exactly as in the unbatched protocol.
+func TestCoalescerAtMostOneWinnerSameKey(t *testing.T) {
+	transporttest.Each(t, 5, 7, func(t *testing.T, f *transporttest.Fabric) {
+		const port = "consensus/coal-contend/vote"
+		const claimants = 4
+		voters := startVoters(f, port)
+		members := memberIDs(f)
+		var cos []*consensus.Coalescer
+		for i := 0; i < claimants; i++ {
+			cos = append(cos, consensus.StartCoalescer(f.Eps()[i], members, port, consensus.Config{}))
+		}
+		var mu sync.Mutex
+		results := make([]consensus.Result, claimants)
+		done := 0
+		for i := 0; i < claimants; i++ {
+			i := i
+			f.Go("claimant", func(p transport.Proc) {
+				r := cos[i].Claim(p, "shared-key", ids.PID(100+int64(i)))
+				mu.Lock()
+				results[i] = r
+				done++
+				last := done == claimants
+				mu.Unlock()
+				if last {
+					stopAll(cos, voters)
+				}
+			})
+		}
+		f.Run(t)
+		winners := 0
+		for _, r := range results {
+			if r.Won {
+				winners++
+			}
+		}
+		if winners != 1 {
+			t.Fatalf("winners = %d (results %+v), want exactly 1", winners, results)
+		}
+	})
+}
+
+// TestCoalescerInteropWithClaimant mixes the batched and unbatched
+// claim paths on one key: the batch is transport amortization, not a
+// protocol change, so the two must arbitrate correctly against each
+// other.
+func TestCoalescerInteropWithClaimant(t *testing.T) {
+	transporttest.Each(t, 3, 7, func(t *testing.T, f *transporttest.Fabric) {
+		const port = "consensus/coal-interop/vote"
+		voters := startVoters(f, port)
+		members := memberIDs(f)
+		co := consensus.StartCoalescer(f.Eps()[0], members, port, consensus.Config{})
+		cl := consensus.NewClaimant("shared", f.Eps()[1], members, port, consensus.Config{})
+		var mu sync.Mutex
+		var batched, plain consensus.Result
+		done := 0
+		finish := func() {
+			mu.Lock()
+			done++
+			last := done == 2
+			mu.Unlock()
+			if last {
+				stopAll([]*consensus.Coalescer{co}, voters)
+			}
+		}
+		f.Go("batched", func(p transport.Proc) {
+			batched = co.Claim(p, "shared", ids.PID(1))
+			finish()
+		})
+		f.Go("plain", func(p transport.Proc) {
+			plain = cl.Claim(p, ids.PID(2))
+			finish()
+		})
+		f.Run(t)
+		w1, w2 := batched.Won, plain.Won
+		if w1 == w2 {
+			t.Fatalf("want exactly one winner: batched=%+v plain=%+v", batched, plain)
+		}
+	})
+}
+
+// TestCoalescerLateClaimTooLate: a second claim on a committed key
+// learns the winner from the voters' lock.
+func TestCoalescerLateClaimTooLate(t *testing.T) {
+	transporttest.Each(t, 3, 7, func(t *testing.T, f *transporttest.Fabric) {
+		const port = "consensus/coal-late/vote"
+		voters := startVoters(f, port)
+		co := consensus.StartCoalescer(f.Eps()[0], memberIDs(f), port, consensus.Config{})
+		var first, second consensus.Result
+		f.Go("seq", func(p transport.Proc) {
+			first = co.Claim(p, "k", ids.PID(1))
+			p.Sleep(time.Second) // let commits propagate
+			second = co.Claim(p, "k", ids.PID(2))
+			stopAll([]*consensus.Coalescer{co}, voters)
+		})
+		f.Run(t)
+		if !first.Won {
+			t.Fatalf("first = %+v", first)
+		}
+		if second.Won || !second.TooLate || second.Winner != ids.PID(1) {
+			t.Fatalf("second = %+v, want too-late with winner p1", second)
+		}
+	})
+}
+
+// TestCoalescerVoterCrashStillCommits is the voter-crash regression on
+// the batched path: with a minority of voters dead, eager per-key
+// decisions mean the surviving quorum commits without waiting on the
+// round deadline.
+func TestCoalescerVoterCrashStillCommits(t *testing.T) {
+	transporttest.Each(t, 5, 7, func(t *testing.T, f *transporttest.Fabric) {
+		const port = "consensus/coal-crash/vote"
+		voters := startVoters(f, port)
+		co := consensus.StartCoalescer(f.Eps()[0], memberIDs(f), port, consensus.Config{})
+		var res consensus.Result
+		f.Go("claimant", func(p transport.Proc) {
+			voters[3].Stop()
+			voters[4].Stop()
+			p.Sleep(time.Millisecond)
+			res = co.Claim(p, "k", ids.PID(9))
+			stopAll([]*consensus.Coalescer{co}, voters[:3])
+		})
+		f.Run(t)
+		if !res.Won {
+			t.Fatalf("claim with 3/5 voters alive must win: %+v", res)
+		}
+	})
+}
+
+// TestCoalescerMajorityCrashFails: with the majority dead no batched
+// claim can win, and the claim reports a clean loss (not a hang).
+func TestCoalescerMajorityCrashFails(t *testing.T) {
+	transporttest.Each(t, 5, 7, func(t *testing.T, f *transporttest.Fabric) {
+		const port = "consensus/coal-majcrash/vote"
+		voters := startVoters(f, port)
+		co := consensus.StartCoalescer(f.Eps()[0], memberIDs(f), port, consensus.Config{
+			MaxAttempts:  2,
+			ReplyTimeout: 50 * time.Millisecond,
+		})
+		var res consensus.Result
+		f.Go("claimant", func(p transport.Proc) {
+			for i := 1; i < 4; i++ {
+				voters[i].Stop()
+			}
+			p.Sleep(time.Millisecond)
+			res = co.Claim(p, "k", ids.PID(9))
+			stopAll([]*consensus.Coalescer{co}, []*consensus.Voter{voters[0], voters[4]})
+		})
+		f.Run(t)
+		if res.Won || res.TooLate {
+			t.Fatalf("claim with majority dead must fail without winner: %+v", res)
+		}
+	})
+}

@@ -30,7 +30,6 @@
 package consensus
 
 import (
-	"encoding/gob"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -72,13 +71,9 @@ type (
 	}
 )
 
-func init() {
-	// The protocol crosses the real transport's gob framing.
-	gob.Register(VoteReq{})
-	gob.Register(VoteReply{})
-	gob.Register(Release{})
-	gob.Register(CommitAnnounce{})
-}
+// Wire registration for every consensus message type — gob fallback and
+// the hand-rolled binary codec alike — lives in internal/transport/codec
+// so the sim and TCP fabrics share one registration point.
 
 // Config tunes the claim protocol.
 type Config struct {
@@ -88,6 +83,17 @@ type Config struct {
 	BackoffBase time.Duration
 	// MaxAttempts bounds ballots per claim; 0 means DefaultMaxAttempts.
 	MaxAttempts int
+	// MaxInflight bounds a Coalescer's concurrent ballot rounds (the
+	// pipeline depth); 0 means DefaultMaxInflight.
+	MaxInflight int
+	// MaxBatch bounds claims per coalesced round; 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// BatchLinger is how long a Coalescer holds a sub-MaxBatch flush
+	// open for more claims when the pipeline has room. 0 (the default)
+	// flushes immediately: under load the pipeline's backpressure forms
+	// batches on its own.
+	BatchLinger time.Duration
 	// Net, when set, receives one RTT observation per vote reply
 	// (ballot send → reply receipt), feeding /metrics quantiles.
 	Net *trace.NetCounters
@@ -109,6 +115,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
 	}
 	return c
 }
@@ -206,6 +218,47 @@ func (v *Voter) run(p transport.Proc, inbox transport.Mailbox) {
 			st := v.state(m.Key)
 			st.winner = m.Winner
 			st.granted = ids.None
+			v.mu.Unlock()
+		case BallotReq:
+			// Group commit: one message, many keys, the SAME per-key
+			// grant rule as the singleton VoteReq — batching changes the
+			// framing, never the semantics.
+			reply := BallotReply{
+				Round: m.Round,
+				Voter: v.ep.ID(),
+				Votes: make([]BallotVote, 0, len(m.Claims)),
+			}
+			v.mu.Lock()
+			for _, c := range m.Claims {
+				st := v.state(c.Key)
+				vote := BallotVote{Key: c.Key}
+				switch {
+				case st.winner.IsValid():
+					vote.Winner = st.winner
+				case !st.granted.IsValid() || st.granted == c.Claimant:
+					st.granted = c.Claimant
+					vote.Granted = true
+				}
+				reply.Votes = append(reply.Votes, vote)
+			}
+			v.mu.Unlock()
+			v.ep.Send(m.Reply, reply)
+		case BallotRelease:
+			v.mu.Lock()
+			for _, c := range m.Claims {
+				st := v.state(c.Key)
+				if st.granted == c.Claimant {
+					st.granted = ids.None
+				}
+			}
+			v.mu.Unlock()
+		case BallotCommit:
+			v.mu.Lock()
+			for _, c := range m.Commits {
+				st := v.state(c.Key)
+				st.winner = c.Claimant
+				st.granted = ids.None
+			}
 			v.mu.Unlock()
 		}
 	}

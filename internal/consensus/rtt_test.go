@@ -9,6 +9,8 @@ import (
 	"altrun/internal/ids"
 	"altrun/internal/trace"
 	"altrun/internal/transport"
+
+	_ "altrun/internal/transport/codec"
 )
 
 // newTCPNode opens a loopback TCP endpoint for node id with its own

@@ -10,6 +10,9 @@ import (
 	"altrun/internal/consensus"
 	"altrun/internal/ids"
 	"altrun/internal/transport"
+
+	// The fleet's TCP framing needs the protocol messages' wire codecs.
+	_ "altrun/internal/transport/codec"
 )
 
 // TestConsensusCancelWinnerRace races root.Cancel (the abandon-block

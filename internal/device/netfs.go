@@ -1,7 +1,6 @@
 package device
 
 import (
-	"encoding/gob"
 	"fmt"
 	"time"
 
@@ -41,11 +40,9 @@ type (
 	}
 )
 
-func init() {
-	// The protocol crosses the real transport's gob framing.
-	gob.Register(PageRequest{})
-	gob.Register(PageReply{})
-}
+// Wire registration (gob fallback + binary codec) lives in
+// internal/transport/codec, the single registration point shared by
+// every fabric.
 
 // PageServer serves a FileStore's pages on an endpoint.
 type PageServer struct {

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"altrun/internal/page"
 )
@@ -91,6 +92,21 @@ func (a *AddressSpace) FractionWritten() float64 {
 		return 0
 	}
 	return float64(a.dirtyCount) / float64(total)
+}
+
+// DirtyPageList appends the dirty page numbers to dst in ascending
+// order and returns it. Delta checkpoint shipping uses this as the
+// candidate set for a page diff: a page never written since the
+// accounting was reset cannot differ from a base captured before it.
+func (a *AddressSpace) DirtyPageList(dst []int64) []int64 {
+	for w, word := range a.dirty {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, int64(w)*64+int64(b))
+			word &^= 1 << b
+		}
+	}
+	return dst
 }
 
 // ResetDirty clears the dirty-page accounting (e.g., at the start of an

@@ -31,6 +31,28 @@ type NetCounters struct {
 	// the EWMA would poison the estimate for dozens of samples.
 	RTTDropped atomic.Int64
 
+	// Group-commit consensus accounting: BallotRounds counts batched
+	// quorum rounds sent by a coalescer; BallotsCoalesced counts the
+	// per-key claims those rounds carried. Coalesced/Rounds is the
+	// amortization factor the group-commit path buys.
+	BallotRounds     atomic.Int64
+	BallotsCoalesced atomic.Int64
+
+	// Wire-codec accounting: frames encoded with the hand-rolled binary
+	// codec vs frames that fell back to gob (unregistered payload type).
+	CodecFrames    atomic.Int64
+	CodecFallbacks atomic.Int64
+
+	// rfork checkpoint-shipping accounting: full base images vs
+	// dirty-page deltas, their payload bytes, and receiver cache misses
+	// (a delta that arrived without its base and was NAKed back for a
+	// full re-ship).
+	FullShips      atomic.Int64
+	DeltaShips     atomic.Int64
+	FullShipBytes  atomic.Int64
+	DeltaShipBytes atomic.Int64
+	ShipMisses     atomic.Int64
+
 	// rtt is a bounded reservoir of observed round-trip times (consensus
 	// ballot request → reply). Once full, new samples overwrite the
 	// oldest — recent behaviour is what /metrics wants.
@@ -108,6 +130,18 @@ type NetSnapshot struct {
 	Dropped   int64 `json:"dropped"`
 	Retries   int64 `json:"retries"`
 
+	// Group commit, codec, and delta-shipping accounting (zero when the
+	// corresponding mechanism is unused, omitted from JSON then).
+	BallotRounds     int64 `json:"ballot_rounds,omitempty"`
+	BallotsCoalesced int64 `json:"ballots_coalesced,omitempty"`
+	CodecFrames      int64 `json:"codec_frames,omitempty"`
+	CodecFallbacks   int64 `json:"codec_fallbacks,omitempty"`
+	FullShips        int64 `json:"full_ships,omitempty"`
+	DeltaShips       int64 `json:"delta_ships,omitempty"`
+	FullShipBytes    int64 `json:"full_ship_bytes,omitempty"`
+	DeltaShipBytes   int64 `json:"delta_ship_bytes,omitempty"`
+	ShipMisses       int64 `json:"ship_misses,omitempty"`
+
 	// RTT quantiles over the sample reservoir, in milliseconds
 	// (float so sub-millisecond sim latencies survive).
 	RTTSamples int64   `json:"rtt_samples"`
@@ -126,13 +160,22 @@ func (c *NetCounters) Snapshot() NetSnapshot {
 		return NetSnapshot{}
 	}
 	s := NetSnapshot{
-		MsgsSent:   c.MsgsSent.Load(),
-		MsgsRecv:   c.MsgsRecv.Load(),
-		BytesSent:  c.BytesSent.Load(),
-		BytesRecv:  c.BytesRecv.Load(),
-		Dropped:    c.Dropped.Load(),
-		Retries:    c.Retries.Load(),
-		RTTDropped: c.RTTDropped.Load(),
+		MsgsSent:         c.MsgsSent.Load(),
+		MsgsRecv:         c.MsgsRecv.Load(),
+		BytesSent:        c.BytesSent.Load(),
+		BytesRecv:        c.BytesRecv.Load(),
+		Dropped:          c.Dropped.Load(),
+		Retries:          c.Retries.Load(),
+		RTTDropped:       c.RTTDropped.Load(),
+		BallotRounds:     c.BallotRounds.Load(),
+		BallotsCoalesced: c.BallotsCoalesced.Load(),
+		CodecFrames:      c.CodecFrames.Load(),
+		CodecFallbacks:   c.CodecFallbacks.Load(),
+		FullShips:        c.FullShips.Load(),
+		DeltaShips:       c.DeltaShips.Load(),
+		FullShipBytes:    c.FullShipBytes.Load(),
+		DeltaShipBytes:   c.DeltaShipBytes.Load(),
+		ShipMisses:       c.ShipMisses.Load(),
 	}
 	c.rttMu.Lock()
 	samples := append([]time.Duration(nil), c.rtt...)

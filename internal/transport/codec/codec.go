@@ -1,0 +1,466 @@
+// Package codec is the single wire-registration point for every
+// protocol message that crosses the transport fabric: consensus votes
+// and batched ballots, checkpoint ships (full and delta), and the
+// netfs page protocol. Each type is registered twice — with gob, the
+// version-0 fallback framing, and with transport.RegisterWire, the
+// hand-rolled version-1 binary codec used on the hot path.
+//
+// Centralizing the registrations here (instead of init functions
+// scattered across consensus, checkpoint, and device) means the sim
+// and TCP fabrics cannot drift: any binary importing this package —
+// and every daemon, bench, and fabric test does, usually as
+//
+//	import _ "altrun/internal/transport/codec"
+//
+// — speaks the complete protocol vocabulary on both wires. Protocol
+// packages themselves stay registration-free and depend only on
+// transport; this package closes the loop by depending on all of them,
+// which is also why transport itself must never import it.
+//
+// Tag space: 1 is claimed by transport for []byte; 2..99 are protocol
+// messages assigned here; 200..255 are reserved for applications
+// (cmd/altserved claims its cluster-gossip tags there).
+package codec
+
+import (
+	"encoding/gob"
+	"reflect"
+
+	"altrun/internal/checkpoint"
+	"altrun/internal/consensus"
+	"altrun/internal/device"
+	"altrun/internal/ids"
+	"altrun/internal/transport"
+)
+
+// Wire tags for protocol messages (transport.TagBytes = 1).
+const (
+	TagVoteReq        byte = 2
+	TagVoteReply      byte = 3
+	TagRelease        byte = 4
+	TagCommitAnnounce byte = 5
+	TagBallotReq      byte = 6
+	TagBallotReply    byte = 7
+	TagBallotRelease  byte = 8
+	TagBallotCommit   byte = 9
+	TagClaimSubmit    byte = 10
+	TagClaimDecision  byte = 11
+	TagShipFull       byte = 12
+	TagShipDelta      byte = 13
+	TagShipNak        byte = 14
+	TagBaseInvalidate byte = 15
+	TagPageRequest    byte = 16
+	TagPageReply      byte = 17
+)
+
+func init() {
+	// Gob fallback registration (version-0 frames, and any payload
+	// wrapped in a type the binary codec does not know).
+	gob.Register(consensus.VoteReq{})
+	gob.Register(consensus.VoteReply{})
+	gob.Register(consensus.Release{})
+	gob.Register(consensus.CommitAnnounce{})
+	gob.Register(consensus.BallotReq{})
+	gob.Register(consensus.BallotReply{})
+	gob.Register(consensus.BallotRelease{})
+	gob.Register(consensus.BallotCommit{})
+	gob.Register(consensus.ClaimSubmit{})
+	gob.Register(consensus.ClaimDecision{})
+	gob.Register(checkpoint.ShipFull{})
+	gob.Register(checkpoint.ShipDelta{})
+	gob.Register(checkpoint.ShipNak{})
+	gob.Register(checkpoint.BaseInvalidate{})
+	gob.Register(device.PageRequest{})
+	gob.Register(device.PageReply{})
+
+	registerConsensus()
+	registerCheckpoint()
+	registerNetfs()
+}
+
+// reg is a small helper wrapping transport.RegisterWire.
+func reg(tag byte, prototype any, enc func(any, []byte) []byte, dec func([]byte) (any, error)) {
+	transport.RegisterWire(transport.WireCodec{
+		Tag:    tag,
+		Type:   reflect.TypeOf(prototype),
+		Append: enc,
+		Decode: dec,
+	})
+}
+
+// Shared field helpers.
+
+func appendAddr(dst []byte, a transport.Addr) []byte {
+	dst = transport.AppendUvarint(dst, uint64(a.Node))
+	return transport.AppendString(dst, a.Port)
+}
+
+func readAddr(r *transport.WireReader) transport.Addr {
+	return transport.Addr{Node: ids.NodeID(r.Uvarint()), Port: r.String()}
+}
+
+func appendControl(dst []byte, ctl map[string]int64) []byte {
+	dst = transport.AppendUvarint(dst, uint64(len(ctl)))
+	for k, v := range ctl {
+		dst = transport.AppendString(dst, k)
+		dst = transport.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+func readControl(r *transport.WireReader) map[string]int64 {
+	n := r.Uvarint()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		// Each entry takes at least 2 bytes; an absurd count is a
+		// malformed frame, not an allocation request.
+		return nil
+	}
+	ctl := make(map[string]int64, n)
+	for i := uint64(0); i < n; i++ {
+		k := r.String()
+		v := r.Varint()
+		if r.Err() != nil {
+			return nil
+		}
+		ctl[k] = v
+	}
+	return ctl
+}
+
+func registerConsensus() {
+	reg(TagVoteReq, consensus.VoteReq{},
+		func(p any, dst []byte) []byte {
+			m := p.(consensus.VoteReq)
+			dst = transport.AppendString(dst, m.Key)
+			dst = transport.AppendVarint(dst, int64(m.Claimant))
+			dst = transport.AppendVarint(dst, int64(m.Ballot))
+			return appendAddr(dst, m.Reply)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.VoteReq{
+				Key:      r.String(),
+				Claimant: ids.PID(r.Varint()),
+				Ballot:   int(r.Varint()),
+				Reply:    readAddr(r),
+			}
+			return m, r.Err()
+		})
+	reg(TagVoteReply, consensus.VoteReply{},
+		func(p any, dst []byte) []byte {
+			m := p.(consensus.VoteReply)
+			dst = transport.AppendString(dst, m.Key)
+			dst = transport.AppendUvarint(dst, uint64(m.Voter))
+			dst = transport.AppendVarint(dst, int64(m.Ballot))
+			granted := byte(0)
+			if m.Granted {
+				granted = 1
+			}
+			dst = append(dst, granted)
+			return transport.AppendVarint(dst, int64(m.Winner))
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.VoteReply{
+				Key:    r.String(),
+				Voter:  ids.NodeID(r.Uvarint()),
+				Ballot: int(r.Varint()),
+			}
+			m.Granted = r.Uvarint() != 0
+			m.Winner = ids.PID(r.Varint())
+			return m, r.Err()
+		})
+	reg(TagRelease, consensus.Release{},
+		func(p any, dst []byte) []byte {
+			m := p.(consensus.Release)
+			dst = transport.AppendString(dst, m.Key)
+			dst = transport.AppendVarint(dst, int64(m.Claimant))
+			return transport.AppendVarint(dst, int64(m.Ballot))
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.Release{
+				Key:      r.String(),
+				Claimant: ids.PID(r.Varint()),
+				Ballot:   int(r.Varint()),
+			}
+			return m, r.Err()
+		})
+	reg(TagCommitAnnounce, consensus.CommitAnnounce{},
+		func(p any, dst []byte) []byte {
+			m := p.(consensus.CommitAnnounce)
+			dst = transport.AppendString(dst, m.Key)
+			return transport.AppendVarint(dst, int64(m.Winner))
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.CommitAnnounce{
+				Key:    r.String(),
+				Winner: ids.PID(r.Varint()),
+			}
+			return m, r.Err()
+		})
+	reg(TagBallotReq, consensus.BallotReq{},
+		func(p any, dst []byte) []byte {
+			m := p.(consensus.BallotReq)
+			dst = transport.AppendVarint(dst, m.Round)
+			dst = appendAddr(dst, m.Reply)
+			return appendBallotClaims(dst, m.Claims)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.BallotReq{
+				Round: r.Varint(),
+				Reply: readAddr(r),
+			}
+			m.Claims = readBallotClaims(r)
+			return m, r.Err()
+		})
+	reg(TagBallotReply, consensus.BallotReply{},
+		func(p any, dst []byte) []byte {
+			m := p.(consensus.BallotReply)
+			dst = transport.AppendVarint(dst, m.Round)
+			dst = transport.AppendUvarint(dst, uint64(m.Voter))
+			dst = transport.AppendUvarint(dst, uint64(len(m.Votes)))
+			for _, v := range m.Votes {
+				dst = transport.AppendString(dst, v.Key)
+				granted := byte(0)
+				if v.Granted {
+					granted = 1
+				}
+				dst = append(dst, granted)
+				dst = transport.AppendVarint(dst, int64(v.Winner))
+			}
+			return dst
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.BallotReply{
+				Round: r.Varint(),
+				Voter: ids.NodeID(r.Uvarint()),
+			}
+			n := r.Uvarint()
+			if r.Err() == nil && n > 0 && n <= uint64(r.Remaining()) {
+				m.Votes = make([]consensus.BallotVote, 0, n)
+				for i := uint64(0); i < n && r.Err() == nil; i++ {
+					v := consensus.BallotVote{Key: r.String()}
+					v.Granted = r.Uvarint() != 0
+					v.Winner = ids.PID(r.Varint())
+					m.Votes = append(m.Votes, v)
+				}
+			}
+			return m, r.Err()
+		})
+	reg(TagBallotRelease, consensus.BallotRelease{},
+		func(p any, dst []byte) []byte {
+			return appendBallotClaims(dst, p.(consensus.BallotRelease).Claims)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.BallotRelease{Claims: readBallotClaims(r)}
+			return m, r.Err()
+		})
+	reg(TagBallotCommit, consensus.BallotCommit{},
+		func(p any, dst []byte) []byte {
+			return appendBallotClaims(dst, p.(consensus.BallotCommit).Commits)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.BallotCommit{Commits: readBallotClaims(r)}
+			return m, r.Err()
+		})
+	reg(TagClaimSubmit, consensus.ClaimSubmit{},
+		func(p any, dst []byte) []byte {
+			m := p.(consensus.ClaimSubmit)
+			dst = transport.AppendString(dst, m.Key)
+			dst = transport.AppendVarint(dst, int64(m.Claimant))
+			return appendAddr(dst, m.Reply)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.ClaimSubmit{
+				Key:      r.String(),
+				Claimant: ids.PID(r.Varint()),
+				Reply:    readAddr(r),
+			}
+			return m, r.Err()
+		})
+	reg(TagClaimDecision, consensus.ClaimDecision{},
+		func(p any, dst []byte) []byte {
+			m := p.(consensus.ClaimDecision)
+			dst = transport.AppendString(dst, m.Key)
+			flags := byte(0)
+			if m.Won {
+				flags |= 1
+			}
+			if m.TooLate {
+				flags |= 2
+			}
+			dst = append(dst, flags)
+			dst = transport.AppendVarint(dst, int64(m.Winner))
+			return transport.AppendVarint(dst, int64(m.Ballots))
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := consensus.ClaimDecision{Key: r.String()}
+			flags := r.Uvarint()
+			m.Won = flags&1 != 0
+			m.TooLate = flags&2 != 0
+			m.Winner = ids.PID(r.Varint())
+			m.Ballots = int(r.Varint())
+			return m, r.Err()
+		})
+}
+
+func appendBallotClaims(dst []byte, claims []consensus.BallotClaim) []byte {
+	dst = transport.AppendUvarint(dst, uint64(len(claims)))
+	for _, c := range claims {
+		dst = transport.AppendString(dst, c.Key)
+		dst = transport.AppendVarint(dst, int64(c.Claimant))
+	}
+	return dst
+}
+
+func readBallotClaims(r *transport.WireReader) []consensus.BallotClaim {
+	n := r.Uvarint()
+	if r.Err() != nil || n == 0 || n > uint64(r.Remaining()) {
+		return nil
+	}
+	claims := make([]consensus.BallotClaim, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		claims = append(claims, consensus.BallotClaim{
+			Key:      r.String(),
+			Claimant: ids.PID(r.Varint()),
+		})
+	}
+	return claims
+}
+
+func registerCheckpoint() {
+	reg(TagShipFull, checkpoint.ShipFull{},
+		func(p any, dst []byte) []byte {
+			m := p.(checkpoint.ShipFull)
+			dst = transport.AppendString(dst, m.Lineage)
+			dst = transport.AppendVarint(dst, m.Epoch)
+			dst = transport.AppendVarint(dst, int64(m.PID))
+			dst = transport.AppendString(dst, m.Name)
+			dst = transport.AppendVarint(dst, int64(m.PageSize))
+			dst = transport.AppendVarint(dst, m.SpaceSize)
+			dst = transport.AppendBytes(dst, m.Data)
+			return appendControl(dst, m.Control)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := checkpoint.ShipFull{
+				Lineage:   r.String(),
+				Epoch:     r.Varint(),
+				PID:       ids.PID(r.Varint()),
+				Name:      r.String(),
+				PageSize:  int(r.Varint()),
+				SpaceSize: r.Varint(),
+				Data:      r.Bytes(), // aliases the frame: zero-copy receive
+			}
+			m.Control = readControl(r)
+			return m, r.Err()
+		})
+	reg(TagShipDelta, checkpoint.ShipDelta{},
+		func(p any, dst []byte) []byte {
+			m := p.(checkpoint.ShipDelta)
+			dst = transport.AppendString(dst, m.Lineage)
+			dst = transport.AppendVarint(dst, m.BaseEpoch)
+			dst = transport.AppendVarint(dst, int64(m.PID))
+			dst = transport.AppendString(dst, m.Name)
+			dst = appendControl(dst, m.Control)
+			dst = transport.AppendUvarint(dst, uint64(len(m.Pages)))
+			for _, pg := range m.Pages {
+				dst = transport.AppendVarint(dst, pg.Page)
+				dst = transport.AppendBytes(dst, pg.Data)
+			}
+			return dst
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := checkpoint.ShipDelta{
+				Lineage:   r.String(),
+				BaseEpoch: r.Varint(),
+				PID:       ids.PID(r.Varint()),
+				Name:      r.String(),
+			}
+			m.Control = readControl(r)
+			n := r.Uvarint()
+			if r.Err() == nil && n > 0 && n <= uint64(r.Remaining()) {
+				m.Pages = make([]checkpoint.DeltaPage, 0, n)
+				for i := uint64(0); i < n && r.Err() == nil; i++ {
+					m.Pages = append(m.Pages, checkpoint.DeltaPage{
+						Page: r.Varint(),
+						Data: r.Bytes(), // aliases the frame
+					})
+				}
+			}
+			return m, r.Err()
+		})
+	reg(TagShipNak, checkpoint.ShipNak{},
+		func(p any, dst []byte) []byte {
+			m := p.(checkpoint.ShipNak)
+			dst = transport.AppendString(dst, m.Lineage)
+			return transport.AppendVarint(dst, m.Epoch)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := checkpoint.ShipNak{Lineage: r.String(), Epoch: r.Varint()}
+			return m, r.Err()
+		})
+	reg(TagBaseInvalidate, checkpoint.BaseInvalidate{},
+		func(p any, dst []byte) []byte {
+			return transport.AppendString(dst, p.(checkpoint.BaseInvalidate).Lineage)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := checkpoint.BaseInvalidate{Lineage: r.String()}
+			return m, r.Err()
+		})
+}
+
+func registerNetfs() {
+	reg(TagPageRequest, device.PageRequest{},
+		func(p any, dst []byte) []byte {
+			m := p.(device.PageRequest)
+			dst = transport.AppendString(dst, m.File)
+			dst = transport.AppendVarint(dst, m.Page)
+			return appendAddr(dst, m.Reply)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := device.PageRequest{
+				File:  r.String(),
+				Page:  r.Varint(),
+				Reply: readAddr(r),
+			}
+			return m, r.Err()
+		})
+	reg(TagPageReply, device.PageReply{},
+		func(p any, dst []byte) []byte {
+			m := p.(device.PageReply)
+			dst = transport.AppendString(dst, m.File)
+			dst = transport.AppendVarint(dst, m.Page)
+			okb := byte(0)
+			if m.OK {
+				okb = 1
+			}
+			dst = append(dst, okb)
+			return transport.AppendBytes(dst, m.Data)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := device.PageReply{
+				File: r.String(),
+				Page: r.Varint(),
+			}
+			m.OK = r.Uvarint() != 0
+			m.Data = r.Bytes() // aliases the frame: zero-copy receive
+			return m, r.Err()
+		})
+}

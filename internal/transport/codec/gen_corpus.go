@@ -1,0 +1,54 @@
+//go:build ignore
+
+// gen_corpus writes the checked-in seed corpus for FuzzDecodeEnvelope:
+// one file per registered frame shape in the binary encoding, one in
+// the gob fallback encoding, plus a truncated variant of each binary
+// frame. Run from this directory after adding a message type:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"altrun/internal/transport"
+	"altrun/internal/transport/codec"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeEnvelope")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i, env := range codec.SeedEnvelopes() {
+		kind := fmt.Sprintf("%T", env.Payload)
+		body, binary, err := transport.AppendEnvelope(nil, env)
+		if err != nil {
+			log.Fatalf("%s: %v", kind, err)
+		}
+		if !binary {
+			log.Fatalf("%s: no binary codec registered", kind)
+		}
+		write(fmt.Sprintf("seed-%02d-binary", i), body)
+		write(fmt.Sprintf("seed-%02d-truncated", i), body[:len(body)*2/3])
+
+		var buf bytes.Buffer
+		buf.WriteByte(0x00)
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			log.Fatalf("%s: gob: %v", kind, err)
+		}
+		write(fmt.Sprintf("seed-%02d-gob", i), buf.Bytes())
+	}
+	fmt.Printf("wrote corpus for %d envelopes into %s\n", len(codec.SeedEnvelopes()), dir)
+}

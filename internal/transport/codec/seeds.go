@@ -1,0 +1,82 @@
+package codec
+
+import (
+	"altrun/internal/checkpoint"
+	"altrun/internal/consensus"
+	"altrun/internal/device"
+	"altrun/internal/ids"
+	"altrun/internal/transport"
+)
+
+// SeedEnvelopes returns one exemplar envelope per registered frame
+// shape, with strings and byte payloads exercising every
+// length-prefixed field. The fuzz harness seeds from it and
+// gen_corpus.go writes its encodings into testdata/fuzz as the
+// checked-in corpus; add an entry here when registering a new message
+// type.
+func SeedEnvelopes() []transport.Envelope {
+	addr := func(n ids.NodeID, port string) transport.Addr {
+		return transport.Addr{Node: n, Port: port}
+	}
+	return []transport.Envelope{
+		{From: 1, To: addr(2, "inbox"), Payload: []byte("raw bytes payload")},
+		{From: 1, To: addr(2, "consensus/vote"), Payload: consensus.VoteReq{
+			Key: "job/1/7", Claimant: ids.PID(100), Ballot: 2, Reply: addr(1, "consensus/claim/7"),
+		}},
+		{From: 2, To: addr(1, "consensus/claim/7"), Payload: consensus.VoteReply{
+			Key: "job/1/7", Voter: 2, Ballot: 2, Granted: true, Winner: ids.PID(100),
+		}},
+		{From: 1, To: addr(2, "consensus/vote"), Payload: consensus.Release{
+			Key: "job/1/7", Claimant: ids.PID(100), Ballot: 2,
+		}},
+		{From: 1, To: addr(2, "consensus/vote"), Payload: consensus.CommitAnnounce{
+			Key: "job/1/7", Winner: ids.PID(100),
+		}},
+		{From: 3, To: addr(1, "consensus/vote"), Payload: consensus.BallotReq{
+			Round: 9, Reply: addr(3, "consensus/vote/batch"),
+			Claims: []consensus.BallotClaim{
+				{Key: "job/3/1", Claimant: ids.PID(11)},
+				{Key: "job/3/2", Claimant: ids.PID(12)},
+			},
+		}},
+		{From: 1, To: addr(3, "consensus/vote/batch"), Payload: consensus.BallotReply{
+			Round: 9, Voter: 1,
+			Votes: []consensus.BallotVote{
+				{Key: "job/3/1", Granted: true},
+				{Key: "job/3/2", Winner: ids.PID(99)},
+			},
+		}},
+		{From: 3, To: addr(1, "consensus/vote"), Payload: consensus.BallotRelease{
+			Claims: []consensus.BallotClaim{{Key: "job/3/2", Claimant: ids.PID(12)}},
+		}},
+		{From: 3, To: addr(1, "consensus/vote"), Payload: consensus.BallotCommit{
+			Commits: []consensus.BallotClaim{{Key: "job/3/1", Claimant: ids.PID(11)}},
+		}},
+		{From: 3, To: addr(3, "consensus/vote/batch"), Payload: consensus.ClaimSubmit{
+			Key: "job/3/1", Claimant: ids.PID(11), Reply: addr(3, "claim/reply"),
+		}},
+		{From: 3, To: addr(3, "claim/reply"), Payload: consensus.ClaimDecision{
+			Key: "job/3/1", Won: true, Winner: ids.PID(11), Ballots: 1,
+		}},
+		{From: 1, To: addr(2, "rfork"), Payload: checkpoint.ShipFull{
+			Lineage: "rfork/json", Epoch: 1, PID: ids.PID(7), Name: "rfork-job",
+			PageSize: 8, SpaceSize: 16, Data: []byte("0123456789abcdef"),
+			Control: map[string]int64{"len": 12},
+		}},
+		{From: 1, To: addr(2, "rfork"), Payload: checkpoint.ShipDelta{
+			Lineage: "rfork/json", BaseEpoch: 1, PID: ids.PID(8), Name: "rfork-job",
+			Control: map[string]int64{"len": 5},
+			Pages:   []checkpoint.DeltaPage{{Page: 1, Data: []byte("delta pg")}},
+		}},
+		{From: 2, To: addr(1, "rfork/ctl"), Payload: checkpoint.ShipNak{
+			Lineage: "rfork/json", Epoch: 1,
+		}},
+		{From: 1, To: addr(2, "rfork"), Payload: checkpoint.BaseInvalidate{Lineage: "rfork/json"}},
+		{From: 1, To: addr(2, "pagesvc"), Payload: device.PageRequest{
+			File: "data.db", Page: 3, Reply: addr(1, "pagecli/data.db/1"),
+		}},
+		{From: 2, To: addr(1, "pagecli/data.db/1"), Payload: device.PageReply{
+			File: "data.db", Page: 3, OK: true, Data: []byte("page contents"),
+		}},
+	}
+}

@@ -1,9 +1,7 @@
 package transport
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
 	"math/rand"
@@ -16,7 +14,9 @@ import (
 )
 
 // TCP is the real transport: one per process, representing that
-// process's node. Frames are length-prefixed gob; each peer gets a
+// process's node. Frames are length-prefixed, hand-rolled binary for
+// registered hot types with a gob fallback (see wire.go); each peer
+// gets a
 // dedicated writer goroutine with reconnect-and-backoff, so sends
 // never block protocol code and stay FIFO per peer. Fault injection
 // (partition, drop rate) is applied at this node's edges, which is
@@ -221,13 +221,14 @@ func (t *TCP) Send(to Addr, payload any) bool {
 		t.nc.Dropped.Add(1)
 		return false
 	}
-	frame, err := encodeFrame(Envelope{From: t.node, To: to, Payload: payload})
+	frame, err := encodeFrame(Envelope{From: t.node, To: to, Payload: payload}, t.nc)
 	if err != nil {
 		t.nc.Dropped.Add(1)
 		return false
 	}
-	t.nc.BytesSent.Add(int64(len(frame)))
+	t.nc.BytesSent.Add(int64(len(*frame)))
 	if !peer.enqueue(frame) {
+		putFrame(frame)
 		t.nc.Dropped.Add(1)
 		return false
 	}
@@ -420,24 +421,40 @@ func (t *TCP) readConn(conn net.Conn) {
 	}
 }
 
-// encodeFrame renders env as a 4-byte big-endian length + gob body.
-func encodeFrame(env Envelope) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0})
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+// encodeFrame renders env as a 4-byte big-endian length + versioned
+// body (binary codec for registered payload types, gob otherwise) into
+// a pooled buffer. The caller owns the returned buffer and must hand it
+// to putFrame exactly once, after the frame's final disposition (the
+// writer retries frames across reconnects, so "written once" is not
+// "done with"). nc gets the codec-path accounting; nil skips it.
+func encodeFrame(env Envelope, nc *trace.NetCounters) (*[]byte, error) {
+	bp := getFrame()
+	out, binaryPath, err := AppendEnvelope(*bp, env)
+	if err != nil {
+		putFrame(bp)
 		return nil, err
 	}
-	frame := buf.Bytes()
-	body := len(frame) - 4
+	*bp = out
+	body := len(out) - 4
 	if body > maxFrame {
+		putFrame(bp)
 		return nil, fmt.Errorf("transport: frame too large (%d bytes)", body)
 	}
-	binary.BigEndian.PutUint32(frame[:4], uint32(body))
-	return frame, nil
+	binary.BigEndian.PutUint32(out[:4], uint32(body))
+	if nc != nil {
+		if binaryPath {
+			nc.CodecFrames.Add(1)
+		} else {
+			nc.CodecFallbacks.Add(1)
+		}
+	}
+	return bp, nil
 }
 
-// readFrame reads one length-prefixed gob frame. n is the total bytes
-// consumed.
+// readFrame reads one length-prefixed frame. n is the total bytes
+// consumed. The body buffer is freshly allocated and never reused:
+// decoded payloads (checkpoint pages) alias it, which is what makes
+// the receive path zero-copy.
 func readFrame(r io.Reader) (Envelope, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -451,8 +468,8 @@ func readFrame(r io.Reader) (Envelope, int, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return Envelope{}, 0, err
 	}
-	var env Envelope
-	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&env); err != nil {
+	env, err := DecodeEnvelope(buf)
+	if err != nil {
 		return Envelope{}, 0, err
 	}
 	return env, int(body) + 4, nil
@@ -575,7 +592,7 @@ type tcpPeer struct {
 	mu   sync.Mutex
 	addr string
 
-	out     chan []byte
+	out     chan *[]byte
 	stopped chan struct{}
 	once    sync.Once
 }
@@ -585,7 +602,7 @@ func newTCPPeer(t *TCP, id ids.NodeID, addr string) *tcpPeer {
 		t:       t,
 		id:      id,
 		addr:    addr,
-		out:     make(chan []byte, t.opts.QueueDepth),
+		out:     make(chan *[]byte, t.opts.QueueDepth),
 		stopped: make(chan struct{}),
 	}
 	t.wg.Add(1)
@@ -606,8 +623,9 @@ func (p *tcpPeer) dialAddr() string {
 }
 
 // enqueue submits a frame; false means the queue is full (backpressure
-// drop, like a saturated link).
-func (p *tcpPeer) enqueue(frame []byte) bool {
+// drop, like a saturated link). Ownership of the pooled frame transfers
+// to the writer only on true.
+func (p *tcpPeer) enqueue(frame *[]byte) bool {
 	select {
 	case p.out <- frame:
 		return true
@@ -630,7 +648,7 @@ func (p *tcpPeer) writeLoop() {
 	}()
 	backoff := p.t.opts.ReconnectMin
 	for {
-		var frame []byte
+		var frame *[]byte
 		select {
 		case <-p.stopped:
 			return
@@ -656,7 +674,7 @@ func (p *tcpPeer) writeLoop() {
 				backoff = p.t.opts.ReconnectMin
 			}
 			_ = conn.SetWriteDeadline(time.Now().Add(p.t.opts.SendTimeout))
-			if _, err := conn.Write(frame); err != nil {
+			if _, err := conn.Write(*frame); err != nil {
 				conn.Close()
 				conn = nil
 				p.t.nc.Retries.Add(1)
@@ -673,5 +691,7 @@ func (p *tcpPeer) writeLoop() {
 			}
 			break
 		}
+		// Final disposition: written whole on a live connection.
+		putFrame(frame)
 	}
 }

@@ -123,6 +123,13 @@ type Transport interface {
 	Close()
 }
 
+// WireSizer lets variable-size payload types (a batched ballot, a
+// checkpoint delta) report a wire-size estimate to the simulator's byte
+// accounting, which otherwise charges a flat small-struct rate.
+type WireSizer interface {
+	WireSize() int
+}
+
 // PayloadSize estimates a payload's wire size for the simulator's byte
 // accounting (the real transport counts actual frame bytes). Only the
 // shapes the protocols send need to be cheap and sensible here.
@@ -134,6 +141,8 @@ func PayloadSize(payload any) int {
 		return len(v)
 	case string:
 		return len(v)
+	case WireSizer:
+		return v.WireSize()
 	default:
 		// Control messages (vote requests, page requests, ...) are
 		// small fixed-size structs.

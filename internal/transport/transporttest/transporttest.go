@@ -13,6 +13,10 @@ import (
 	"altrun/internal/cluster"
 	"altrun/internal/sim"
 	"altrun/internal/transport"
+
+	// Every protocol suite run through Each crosses the TCP fabric's
+	// framing; the central registration point supplies the codecs.
+	_ "altrun/internal/transport/codec"
 )
 
 // Fabric is one transport under test plus the harness needed to drive
