@@ -4,7 +4,7 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
-	"math"
+	"log"
 	"reflect"
 	"sort"
 	"strconv"
@@ -18,6 +18,7 @@ import (
 	"altrun/internal/core"
 	"altrun/internal/ids"
 	"altrun/internal/mem"
+	"altrun/internal/membership"
 	"altrun/internal/page"
 	"altrun/internal/serve"
 	"altrun/internal/trace"
@@ -28,15 +29,16 @@ import (
 )
 
 // The daemon's peer group: each altserved node runs a TCP transport
-// endpoint, a consensus voter, a load responder, and an rfork receiver.
-// A job submitted to any node commits through a majority of the group's
-// voters (§3.2.1: "the synchronization is set up as a majority
-// consensus decision"), and a busy node can rfork a job — shipped as a
-// checkpoint image — onto the least-loaded peer.
+// endpoint, a consensus voter, a SWIM membership agent, a load
+// responder, and an rfork receiver. A job submitted to any node commits
+// through a majority of the group's voters (§3.2.1: "the
+// synchronization is set up as a majority consensus decision"), and a
+// busy node can rfork a job — shipped as a checkpoint image — onto a
+// peer chosen by consistent-hash placement over the live membership
+// view, biased by the load hints the agents gossip on probe traffic.
 
 const (
-	loadPort      = "cluster/load"
-	loadReplyWait = 300 * time.Millisecond
+	loadPort = "cluster/load"
 	// rfork delta shipping writes each forwarded request into a
 	// fixed-size per-peer arena so successive jobs diff page-by-page
 	// against a peer-cached base image; requests that outgrow the arena
@@ -122,12 +124,33 @@ func parsePeers(s string) (peerSpec, error) {
 
 // clusterState is one daemon's membership in the peer group.
 type clusterState struct {
-	node    ids.NodeID
-	tcp     *transport.TCP
-	voter   *consensus.Voter
-	members []ids.NodeID
-	ccfg    consensus.Config
-	nc      *trace.NetCounters
+	node ids.NodeID
+	tcp  *transport.TCP
+	// membersMu guards members, which tracks the live membership view
+	// once the agent is running (the static spec until then).
+	membersMu sync.Mutex
+	members   []ids.NodeID
+	voter     *consensus.Voter
+	ccfg      consensus.Config
+	nc        *trace.NetCounters
+
+	// SWIM membership: static peers seed the table on the -peers
+	// compatibility path; seeds drive the -join handshake. The agent is
+	// started by start() (its load hint reads the pool).
+	agent          *membership.Agent
+	mc             *membership.Counters
+	staticPeers    []membership.Peer
+	seedPeers      []membership.Peer
+	gossipInterval time.Duration
+	suspicionMult  int
+
+	// Backpressure-aware rfork placement: per-peer inflight window,
+	// reset whenever a fresher gossiped load hint arrives.
+	winMu   sync.Mutex
+	windows map[ids.NodeID]*peerWindow
+
+	loadWarn       sync.Once    // one deprecation log for polled load queries
+	rforkFallbacks atomic.Int64 // rfork requests that ran locally instead
 
 	// batch selects the group-commit path: claims route through the
 	// per-node coalescer (pipelined batched ballots) instead of running
@@ -148,7 +171,6 @@ type clusterState struct {
 	commits   atomic.Int64
 	rforksIn  atomic.Int64
 	rforksOut atomic.Int64
-	replySeq  atomic.Int64
 	rforkSeq  atomic.Int64
 
 	loadSvc  transport.Handle
@@ -165,52 +187,118 @@ type rforkArena struct {
 	dirty   []int64 // reused DirtyPageList buffer
 }
 
-// newClusterState brings up the transport endpoint and voter. peers
-// must include this node's own listen address.
-func newClusterState(node ids.NodeID, peers peerSpec) (*clusterState, error) {
-	listen, ok := peers[node]
-	if !ok {
-		return nil, fmt.Errorf("peer spec has no entry for this node (%d)", node)
+// clusterOptions selects how a daemon finds its peer group: a full
+// static spec (-peers, every member known up front) or a seed list
+// (-join, dynamic admission through the membership gossip).
+type clusterOptions struct {
+	node           ids.NodeID
+	peers          peerSpec // static group; nil on the join path
+	join           peerSpec // seed addresses; nil on the static path
+	listen         string   // cluster listen address (join path; static takes it from peers)
+	gossipInterval time.Duration
+	suspicionMult  int
+}
+
+// newClusterState brings up the transport endpoint and voter. On the
+// static path peers must include this node's own listen address; on the
+// join path only the seeds are dialed and everyone else is admitted
+// dynamically as the gossip reveals them.
+func newClusterState(opts clusterOptions) (*clusterState, error) {
+	node := opts.node
+	listen := opts.listen
+	if opts.peers != nil {
+		l, ok := opts.peers[node]
+		if !ok {
+			return nil, fmt.Errorf("peer spec has no entry for this node (%d)", node)
+		}
+		listen = l
 	}
 	nc := &trace.NetCounters{}
 	tcp, err := transport.NewTCP(transport.TCPOptions{Node: node, Listen: listen, Counters: nc})
 	if err != nil {
 		return nil, fmt.Errorf("cluster listen: %w", err)
 	}
-	members := make([]ids.NodeID, 0, len(peers))
-	for id, addr := range peers {
-		members = append(members, id)
-		if id != node {
+	var members []ids.NodeID
+	var static, seeds []membership.Peer
+	if opts.peers != nil {
+		for id, addr := range opts.peers {
+			members = append(members, id)
+			static = append(static, membership.Peer{ID: id, Addr: addr})
+			if id != node {
+				tcp.AddPeer(id, addr)
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		sort.Slice(static, func(i, j int) bool { return static[i].ID < static[j].ID })
+	} else {
+		// Until the join handshake completes, this node is a group of
+		// one; the first ViewUpdate re-derives the real quorum.
+		members = []ids.NodeID{node}
+		for id, addr := range opts.join {
+			seeds = append(seeds, membership.Peer{ID: id, Addr: addr})
 			tcp.AddPeer(id, addr)
 		}
+		sort.Slice(seeds, func(i, j int) bool { return seeds[i].ID < seeds[j].ID })
 	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	return clusterFromTransport(tcp, members, nc), nil
+	c := clusterFromTransport(tcp, members, nc)
+	c.staticPeers = static
+	c.seedPeers = seeds
+	c.gossipInterval = opts.gossipInterval
+	c.suspicionMult = opts.suspicionMult
+	return c, nil
 }
 
 // clusterFromTransport wraps an already-meshed transport endpoint (the
 // in-process test path; production goes through newClusterState).
 func clusterFromTransport(tcp *transport.TCP, members []ids.NodeID, nc *trace.NetCounters) *clusterState {
 	ccfg := consensus.Config{Net: nc}
+	static := make([]membership.Peer, len(members))
+	for i, id := range members {
+		static[i] = membership.Peer{ID: id}
+	}
 	return &clusterState{
-		node:      tcp.ID(),
-		tcp:       tcp,
-		voter:     consensus.StartVoter(tcp, ""),
-		members:   members,
-		ccfg:      ccfg,
-		nc:        nc,
-		batch:     true,
-		coalescer: consensus.StartCoalescer(tcp, members, "", ccfg),
-		shipper:   checkpoint.NewShipper(tcp, nc),
-		receiver:  checkpoint.NewReceiver(tcp, nc, 0),
-		arenas:    make(map[ids.NodeID]*rforkArena),
+		node:        tcp.ID(),
+		tcp:         tcp,
+		voter:       consensus.StartVoter(tcp, ""),
+		members:     members,
+		ccfg:        ccfg,
+		nc:          nc,
+		mc:          &membership.Counters{},
+		staticPeers: static,
+		windows:     make(map[ids.NodeID]*peerWindow),
+		batch:       true,
+		coalescer:   consensus.StartCoalescer(tcp, members, "", ccfg),
+		shipper:     checkpoint.NewShipper(tcp, nc),
+		receiver:    checkpoint.NewReceiver(tcp, nc, 0),
+		arenas:      make(map[ids.NodeID]*rforkArena),
 	}
 }
 
-// start wires the pool in and launches the load, rfork, and ship-
-// control services.
+// start wires the pool in and launches the membership agent plus the
+// load, rfork, and ship-control services. The agent starts here rather
+// than in the constructor because its gossiped load hint reads the
+// pool.
 func (c *clusterState) start(pool *serve.Pool) {
 	c.pool = pool
+	c.agent = membership.Start(c.tcp, membership.Config{
+		SelfAddr:      c.tcp.Addr(),
+		Static:        c.staticPeers,
+		Join:          c.seedPeers,
+		ProbeInterval: c.gossipInterval,
+		SuspicionMult: c.suspicionMult,
+		Load: func() int32 {
+			st := pool.Stats()
+			return int32(st.Running + st.Queued)
+		},
+		OnView: c.onView,
+		OnPeer: func(id ids.NodeID, addr string) {
+			if id != c.node && addr != "" {
+				c.tcp.AddPeer(id, addr)
+			}
+		},
+		Counters: c.mc,
+		Logf:     log.Printf,
+	})
 	c.loadSvc = c.tcp.Spawn("load-svc", c.serveLoad)
 	c.rforkSvc = c.tcp.Spawn("rfork-svc", c.serveRFork)
 	c.ctlSvc = c.tcp.Spawn("rfork-ctl", func(p transport.Proc) {
@@ -218,10 +306,57 @@ func (c *clusterState) start(pool *serve.Pool) {
 	})
 }
 
+// onView is the epoch-fenced reconfiguration hook, called from the
+// membership agent whenever the view changes: fence the voter, hand the
+// coalescer its new quorum, and tear down shipping state toward peers
+// that left the view (their cached bases and sessions are dead weight —
+// a rejoin restarts each lineage with a fresh full base).
+func (c *clusterState) onView(v membership.View) {
+	c.voter.SetEpoch(v.Epoch)
+	c.coalescer.SetView(v.Epoch, v.Members)
+	inView := make(map[ids.NodeID]bool, len(v.Members))
+	for _, id := range v.Members {
+		inView[id] = true
+	}
+	c.membersMu.Lock()
+	old := c.members
+	c.members = append([]ids.NodeID(nil), v.Members...)
+	sort.Slice(c.members, func(i, j int) bool { return c.members[i] < c.members[j] })
+	c.membersMu.Unlock()
+	for _, id := range old {
+		if inView[id] || id == c.node {
+			continue
+		}
+		if n := c.shipper.DropPeer(id); n > 0 {
+			log.Printf("cluster: dropped %d rfork session(s) toward departed node %d", n, id)
+		}
+		c.receiver.InvalidateNode(id)
+		c.arenaMu.Lock()
+		delete(c.arenas, id)
+		c.arenaMu.Unlock()
+		c.winMu.Lock()
+		delete(c.windows, id)
+		c.winMu.Unlock()
+	}
+}
+
+// membersSnapshot returns the current view's member list.
+func (c *clusterState) membersSnapshot() []ids.NodeID {
+	c.membersMu.Lock()
+	defer c.membersMu.Unlock()
+	return append([]ids.NodeID(nil), c.members...)
+}
+
 func (c *clusterState) close() {
 	// Tell peers the lineage's base dies with us: a restarted daemon
 	// starts a fresh epoch, and a stale cached base must not satisfy it.
 	c.shipper.InvalidateLineage(rforkLineage)
+	if c.agent != nil {
+		// Voluntary departure: peers drop us on the Left update instead
+		// of waiting out a suspicion timeout.
+		c.agent.Leave()
+		c.agent.Stop()
+	}
 	if c.loadSvc != nil {
 		c.loadSvc.Kill()
 	}
@@ -252,7 +387,7 @@ func (c *clusterState) newClaim(job serve.Job, id uint64) core.ClaimFunc {
 			return won
 		}
 	}
-	cl := consensus.NewClaimant(key, c.tcp, c.members, "", c.ccfg)
+	cl := consensus.NewClaimant(key, c.tcp, c.membersSnapshot(), "", c.ccfg)
 	return func(w *core.World) bool {
 		c.ballots.Add(1)
 		won := cl.Claim(transport.Background(), w.PID()).Won
@@ -263,7 +398,11 @@ func (c *clusterState) newClaim(job serve.Job, id uint64) core.ClaimFunc {
 	}
 }
 
-// serveLoad answers peers' occupancy queries.
+// serveLoad answers peers' occupancy queries. Deprecated as of the
+// membership release: occupancy now rides the gossip as a load hint,
+// so nothing in this tree polls it any more. It keeps answering for
+// one release so mixed-version groups still balance, with a one-time
+// log when an old peer shows up.
 func (c *clusterState) serveLoad(p transport.Proc) {
 	inbox := c.tcp.Bind(loadPort)
 	for {
@@ -275,6 +414,9 @@ func (c *clusterState) serveLoad(p transport.Proc) {
 		if !isQ {
 			continue
 		}
+		c.loadWarn.Do(func() {
+			log.Printf("cluster: node %d polled the deprecated load-query port; occupancy is gossiped with membership now (answering for compatibility)", env.From)
+		})
 		st := c.pool.Stats()
 		c.tcp.Send(q.Reply, loadReply{Node: c.node, Running: st.Running, Queued: st.Queued})
 	}
@@ -311,43 +453,60 @@ func (c *clusterState) serveRFork(p transport.Proc) {
 	}
 }
 
-// leastLoaded polls every peer and returns the one with the smallest
-// occupancy, provided it is strictly less loaded than this node.
-func (c *clusterState) leastLoaded() (ids.NodeID, bool) {
-	replyPort := fmt.Sprintf("cluster/load/reply/%d", c.replySeq.Add(1))
-	mb := c.tcp.Bind(replyPort)
-	defer c.tcp.Unbind(replyPort)
-	asked := 0
-	for _, m := range c.members {
-		if m == c.node {
-			continue
-		}
-		if c.tcp.Send(transport.Addr{Node: m, Port: loadPort}, loadQuery{Reply: transport.Addr{Node: c.node, Port: replyPort}}) {
-			asked++
-		}
-	}
-	best, bestLoad := ids.NodeID(0), math.MaxInt
-	deadline := time.Now().Add(loadReplyWait)
-	for got := 0; got < asked; got++ {
-		left := time.Until(deadline)
-		if left <= 0 {
-			break
-		}
-		env, ok := mb.RecvTimeout(transport.Background(), left)
-		if !ok {
-			break
-		}
-		if rep, isRep := env.Payload.(loadReply); isRep {
-			if load := rep.Running + rep.Queued; load < bestLoad {
-				best, bestLoad = rep.Node, load
-			}
-		}
-	}
-	st := c.pool.Stats()
-	if best == 0 || bestLoad >= st.Running+st.Queued {
+// peerWindow is the backpressure state for one rfork destination: sent
+// counts jobs shipped since the peer's last load hint, so placement
+// stops piling onto a peer whose gossiped occupancy is going stale.
+type peerWindow struct {
+	seq  int64 // gossip seq of the load hint the window was reset at
+	sent int   // rforks shipped since that hint
+}
+
+// ringTarget picks an rfork destination by consistent-hashing the job
+// lineage onto the membership ring — O(1) against gossiped state,
+// where the old leastLoaded ran a query round-trip to every peer for
+// every rfork. Keying by kind gives each lineage a stable home, which
+// is exactly the affinity the delta shipper's cached bases want.
+// Saturated or suspected owners are skipped in ring order; no
+// admissible peer means run locally.
+func (c *clusterState) ringTarget(kind string) (ids.NodeID, bool) {
+	if c.agent == nil {
 		return 0, false
 	}
-	return best, true
+	st := c.pool.Stats()
+	capacity := st.Workers + st.QueueDepth
+	to, ok := c.agent.Pick("rfork/"+kind, func(m membership.Member) bool {
+		if m.Node == c.node {
+			return false
+		}
+		return c.admitWindow(m, capacity)
+	})
+	if !ok {
+		c.rforkFallbacks.Add(1)
+	}
+	return to, ok
+}
+
+// admitWindow charges one rfork against the peer's inflight window:
+// its gossiped load plus everything we shipped since that hint must
+// stay under capacity. A fresher hint (higher gossip seq) resets the
+// locally-charged count — the hint already covers what arrived.
+func (c *clusterState) admitWindow(m membership.Member, capacity int) bool {
+	c.winMu.Lock()
+	defer c.winMu.Unlock()
+	w := c.windows[m.Node]
+	if w == nil {
+		w = &peerWindow{}
+		c.windows[m.Node] = w
+	}
+	if m.Seq > w.seq {
+		w.seq = m.Seq
+		w.sent = 0
+	}
+	if int(m.Load)+w.sent >= capacity {
+		return false
+	}
+	w.sent++
+	return true
 }
 
 // rfork ships a submit request to a peer as a checkpoint image: the
@@ -443,29 +602,50 @@ func requestFromImage(img *checkpoint.Image) (submitRequest, error) {
 
 // clusterView is the /metrics rendering of the peer group.
 type clusterView struct {
-	Node             ids.NodeID        `json:"node"`
-	Members          []ids.NodeID      `json:"members"`
-	Quorum           int               `json:"quorum"`
-	GroupCommit      bool              `json:"group_commit"`
-	Ballots          int64             `json:"ballots"`
-	ConsensusCommits int64             `json:"consensus_commits"`
-	RForksIn         int64             `json:"rforks_in"`
-	RForksOut        int64             `json:"rforks_out"`
-	RForkBases       int               `json:"rfork_cached_bases"`
-	Net              trace.NetSnapshot `json:"net"`
+	Node             ids.NodeID   `json:"node"`
+	Members          []ids.NodeID `json:"members"`
+	Quorum           int          `json:"quorum"`
+	GroupCommit      bool         `json:"group_commit"`
+	Ballots          int64        `json:"ballots"`
+	ConsensusCommits int64        `json:"consensus_commits"`
+	RForksIn         int64        `json:"rforks_in"`
+	RForksOut        int64        `json:"rforks_out"`
+	RForkFallbacks   int64        `json:"rfork_fallbacks"`
+	RForkBases       int          `json:"rfork_cached_bases"`
+
+	// Live membership: the epoch-fenced view the quorum derives from,
+	// plus the failure detector's state counts and gossip accounting.
+	Epoch          int64                       `json:"epoch"`
+	MembersAlive   int                         `json:"members_alive"`
+	MembersSuspect int                         `json:"members_suspect"`
+	MembersDead    int                         `json:"members_dead"`
+	RingNodes      int                         `json:"ring_nodes"`
+	Gossip         membership.CountersSnapshot `json:"gossip"`
+
+	Net trace.NetSnapshot `json:"net"`
 }
 
 func (c *clusterState) view() *clusterView {
-	return &clusterView{
+	members := c.membersSnapshot()
+	v := &clusterView{
 		Node:             c.node,
-		Members:          c.members,
-		Quorum:           len(c.members)/2 + 1,
+		Members:          members,
+		Quorum:           len(members)/2 + 1,
 		GroupCommit:      c.batch,
 		Ballots:          c.ballots.Load(),
 		ConsensusCommits: c.commits.Load(),
 		RForksIn:         c.rforksIn.Load(),
 		RForksOut:        c.rforksOut.Load(),
+		RForkFallbacks:   c.rforkFallbacks.Load(),
 		RForkBases:       c.receiver.CachedBases(),
+		Gossip:           c.mc.Snapshot(),
 		Net:              c.nc.Snapshot(),
 	}
+	if c.agent != nil {
+		v.Epoch = c.agent.Epoch()
+		v.MembersAlive, v.MembersSuspect, v.MembersDead = c.agent.StatusCounts()
+		v.RingNodes = c.agent.RingNodes()
+		v.Quorum = c.coalescer.Quorum()
+	}
+	return v
 }

@@ -85,6 +85,47 @@ func testCluster(t *testing.T, n int) []*clusterNode {
 	return nodes
 }
 
+// startDaemon brings up one daemon through the production constructor
+// (the same path `altserved -peers ...` / `altserved -join ...` takes),
+// rather than testCluster's pre-meshed transport shortcut.
+func startDaemon(t *testing.T, opts clusterOptions) *clusterNode {
+	t.Helper()
+	cs, err := newClusterState(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(obs.Config{SampleRate: 1})
+	pool, err := serve.NewPool(serve.Config{
+		Workers:         2,
+		SpecTokens:      4,
+		QueueDepth:      8,
+		DefaultDeadline: 30 * time.Second,
+		Runtime:         core.New(core.Config{Trace: true, TraceCap: 1024}),
+		NewClaim:        cs.newClaim,
+		Recorder:        rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.start(pool)
+	nd := &clusterNode{
+		state: cs,
+		pool:  pool,
+		http:  httptest.NewServer(newHandler(pool, cs, rec)),
+		rec:   rec,
+	}
+	t.Cleanup(func() {
+		nd.http.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := nd.pool.Close(ctx); err != nil {
+			t.Errorf("pool close: %v", err)
+		}
+		cancel()
+		nd.state.close()
+	})
+	return nd
+}
+
 func getMetrics(t *testing.T, url string) metricsView {
 	t.Helper()
 	resp, err := http.Get(url + "/metrics")
@@ -97,6 +138,91 @@ func getMetrics(t *testing.T, url string) metricsView {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// TestClusterDynamicJoin: a singleton seed started with -peers and two
+// joiners started with -join converge to one 3-member view with quorum
+// 2, and a job submitted to the last joiner commits through the
+// dynamically-formed group. This is the production newClusterState path
+// end to end: real TCP listeners on ephemeral ports, addresses learned
+// through the gossip, no pre-meshing.
+func TestClusterDynamicJoin(t *testing.T) {
+	seed := startDaemon(t, clusterOptions{
+		node:           1,
+		peers:          peerSpec{1: "127.0.0.1:0"},
+		gossipInterval: 25 * time.Millisecond,
+		suspicionMult:  5,
+	})
+	nodes := []*clusterNode{seed}
+	for _, id := range []ids.NodeID{2, 3} {
+		nodes = append(nodes, startDaemon(t, clusterOptions{
+			node:           id,
+			join:           peerSpec{1: seed.state.tcp.Addr()},
+			listen:         "127.0.0.1:0",
+			gossipInterval: 25 * time.Millisecond,
+			suspicionMult:  5,
+		}))
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for _, nd := range nodes {
+		for {
+			m := getMetrics(t, nd.http.URL)
+			if c := m.Cluster; c != nil && c.MembersAlive == 3 && c.Quorum == 2 && len(c.Members) == 3 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never converged to the 3-member view: %+v",
+					nd.state.node, getMetrics(t, nd.http.URL).Cluster)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// The joiner commits through the grown quorum, not its group-of-one
+	// bootstrap view.
+	input := make([]int, 200)
+	for i := range input {
+		input[i] = len(input) - i
+	}
+	resp, v := postJSON(t, nodes[2].http.URL+"/jobs?wait=1", submitRequest{
+		Kind:  "sort",
+		Input: input,
+	})
+	if resp.StatusCode != http.StatusOK || v.Status != "done" {
+		t.Fatalf("joiner job: status=%d %q (error %q)", resp.StatusCode, v.Status, v.Error)
+	}
+	m := getMetrics(t, nodes[2].http.URL)
+	if m.Cluster.ConsensusCommits != 1 {
+		t.Fatalf("consensus_commits = %d, want 1", m.Cluster.ConsensusCommits)
+	}
+	if m.Cluster.Epoch < 2 {
+		t.Fatalf("epoch = %d after two joins, want ≥ 2", m.Cluster.Epoch)
+	}
+
+	// The operator debug endpoint reflects the converged view.
+	hr, err := http.Get(nodes[0].http.URL + "/debug/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var dbg struct {
+		Epoch     int64 `json:"epoch"`
+		RingNodes int   `json:"ring_nodes"`
+		Members   []struct {
+			Node ids.NodeID `json:"node"`
+		} `json:"members"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[ids.NodeID]bool{}
+	for _, mm := range dbg.Members {
+		seen[mm.Node] = true
+	}
+	if hr.StatusCode != http.StatusOK || dbg.RingNodes != 3 || len(seen) != 3 {
+		t.Fatalf("/debug/members: status=%d %+v", hr.StatusCode, dbg)
+	}
 }
 
 // TestClusterConsensusCommit: a job submitted to one node of a 3-node

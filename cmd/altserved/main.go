@@ -62,7 +62,11 @@ func main() {
 		traceCap     = flag.Int("trace-cap", trace.DefaultLogCap, "trace ring-buffer capacity (events)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		node         = flag.Int("node", 0, "this daemon's node id in the peer group (0 = single-node)")
-		peers        = flag.String("peers", "", `peer group as "1=host:port,2=host:port,..." (must include this node)`)
+		peers        = flag.String("peers", "", `static peer group as "1=host:port,2=host:port,..." (must include this node)`)
+		join         = flag.String("join", "", `membership seeds as "1=host:port,..." — join the group dynamically instead of listing every peer`)
+		clusterAddr  = flag.String("cluster-addr", "127.0.0.1:0", "cluster transport listen address (used with -join; -peers carries its own)")
+		gossipIval   = flag.Duration("gossip-interval", 250*time.Millisecond, "membership probe/gossip period")
+		suspMult     = flag.Int("suspicion-mult", 5, "suspicion timeout, as a multiple of the gossip interval")
 		groupCommit  = flag.Bool("group-commit", true, "coalesce concurrent job commits into batched quorum rounds")
 		obsRate      = flag.Int("obs-rate", obs.DefaultSampleRate, "flight recorder sampling: record 1 in N blocks (0 = off)")
 		obsKeep      = flag.Int("obs-keep", obs.DefaultKeep, "flight recorder retention: recent timelines kept for /debug/blocks")
@@ -78,17 +82,38 @@ func main() {
 	)
 	flag.Parse()
 	var cluster *clusterState
-	if *peers != "" {
+	if *peers != "" && *join != "" {
+		fmt.Fprintln(os.Stderr, "altserved: -peers and -join are mutually exclusive (static group vs dynamic admission)")
+		os.Exit(1)
+	}
+	if *peers != "" || *join != "" {
 		if *node <= 0 {
-			fmt.Fprintln(os.Stderr, "altserved: -peers requires -node")
+			fmt.Fprintln(os.Stderr, "altserved: -peers/-join require -node")
 			os.Exit(1)
 		}
-		spec, err := parsePeers(*peers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "altserved:", err)
-			os.Exit(1)
+		opts := clusterOptions{
+			node:           ids.NodeID(*node),
+			listen:         *clusterAddr,
+			gossipInterval: *gossipIval,
+			suspicionMult:  *suspMult,
 		}
-		cluster, err = newClusterState(ids.NodeID(*node), spec)
+		var err error
+		if *peers != "" {
+			if opts.peers, err = parsePeers(*peers); err != nil {
+				fmt.Fprintln(os.Stderr, "altserved:", err)
+				os.Exit(1)
+			}
+		} else {
+			if opts.join, err = parsePeers(*join); err != nil {
+				fmt.Fprintln(os.Stderr, "altserved:", err)
+				os.Exit(1)
+			}
+			if _, self := opts.join[opts.node]; self {
+				fmt.Fprintln(os.Stderr, "altserved: -join seeds must not include this node")
+				os.Exit(1)
+			}
+		}
+		cluster, err = newClusterState(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "altserved:", err)
 			os.Exit(1)

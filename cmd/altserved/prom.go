@@ -102,6 +102,25 @@ func (s *server) writeProm(w http.ResponseWriter, m metricsView) {
 		obs.WriteCounter(bw, "altrun_rfork_delta_ship_bytes_total", "Bytes shipped as deltas.", float64(c.Net.DeltaShipBytes))
 		obs.WriteCounter(bw, "altrun_rfork_ship_misses_total", "Deltas NAKed for a missing or stale base.", float64(c.Net.ShipMisses))
 		obs.WriteGauge(bw, "altrun_rfork_cached_bases", "Delta-ship base images cached on this node.", float64(c.RForkBases))
+		obs.WriteCounter(bw, "altrun_rfork_fallbacks_total", "RForks run locally because no ring peer had window.", float64(c.RForkFallbacks))
+
+		// SWIM membership: view composition, ring, and gossip traffic.
+		obs.WriteGauge(bw, "altrun_member_epoch", "Membership view epoch.", float64(c.Epoch))
+		obs.WriteGauge(bw, "altrun_members_alive", "Members alive in the local view.", float64(c.MembersAlive))
+		obs.WriteGauge(bw, "altrun_members_suspect", "Members under suspicion in the local view.", float64(c.MembersSuspect))
+		obs.WriteGauge(bw, "altrun_members_dead", "Members declared dead in the local view.", float64(c.MembersDead))
+		obs.WriteGauge(bw, "altrun_ring_nodes", "Nodes on the consistent-hash placement ring.", float64(c.RingNodes))
+		obs.WriteCounter(bw, "altrun_gossip_probes_sent_total", "Direct membership pings originated.", float64(c.Gossip.ProbesSent))
+		obs.WriteCounter(bw, "altrun_gossip_acks_received_total", "Acks matching an outstanding probe.", float64(c.Gossip.AcksReceived))
+		obs.WriteCounter(bw, "altrun_gossip_indirect_probes_total", "Ping-req fan-outs after a direct miss.", float64(c.Gossip.IndirectProbes))
+		obs.WriteCounter(bw, "altrun_gossip_suspicions_total", "Members marked suspect locally.", float64(c.Gossip.Suspicions))
+		obs.WriteCounter(bw, "altrun_gossip_refutations_total", "Own-suspicion refutations (incarnation bumps).", float64(c.Gossip.Refutations))
+		obs.WriteCounter(bw, "altrun_gossip_deaths_total", "Suspicion timeouts declared dead.", float64(c.Gossip.Deaths))
+		obs.WriteCounter(bw, "altrun_gossip_joins_total", "New members admitted to the view.", float64(c.Gossip.Joins))
+		obs.WriteCounter(bw, "altrun_gossip_leaves_total", "Graceful departures observed.", float64(c.Gossip.Leaves))
+		obs.WriteCounter(bw, "altrun_gossip_epoch_changes_total", "View epoch bumps (local and adopted).", float64(c.Gossip.EpochChanges))
+		obs.WriteCounter(bw, "altrun_gossip_msgs_total", "Membership messages sent.", float64(c.Gossip.GossipMsgs))
+		obs.WriteCounter(bw, "altrun_gossip_bytes_total", "Estimated wire bytes of membership traffic.", float64(c.Gossip.GossipBytes))
 	}
 
 	// Flight recorder aggregates and histograms (no-op when disabled).

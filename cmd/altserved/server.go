@@ -87,6 +87,7 @@ type server struct {
 //	GET    /debug/blocks            recent flight-recorder timelines
 //	GET    /debug/blocks/{id}       one block's full timeline
 //	GET    /debug/blocks/{id}/trace the block as Chrome trace-event JSON
+//	GET    /debug/members           live membership table (clustered only)
 //	GET    /healthz     liveness
 func newHandler(pool *serve.Pool, cluster *clusterState, rec *obs.Recorder) http.Handler {
 	s := &server{pool: pool, cluster: cluster, rec: rec}
@@ -98,6 +99,7 @@ func newHandler(pool *serve.Pool, cluster *clusterState, rec *obs.Recorder) http
 	mux.HandleFunc("GET /debug/blocks", s.handleBlocks)
 	mux.HandleFunc("GET /debug/blocks/{id}", s.handleBlock)
 	mux.HandleFunc("GET /debug/blocks/{id}/trace", s.handleBlockTrace)
+	mux.HandleFunc("GET /debug/members", s.handleMembers)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -184,11 +186,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// In a peer group, ?rfork=1 forwards the job to the least-loaded
-	// peer up front; a full local queue triggers the same forwarding as
-	// a fallback before the submission is rejected.
+	// In a peer group, ?rfork=1 forwards the job to its lineage's ring
+	// owner up front; a full local queue triggers the same forwarding as
+	// a fallback before the submission is rejected. A saturated or
+	// suspected ring means the job runs locally instead.
 	if s.cluster != nil && r.URL.Query().Get("rfork") != "" {
-		if to, ok := s.cluster.leastLoaded(); ok {
+		if to, ok := s.cluster.ringTarget(req.Kind); ok {
 			if ferr := s.cluster.rfork(to, 0, req); ferr == nil {
 				writeJSON(w, http.StatusAccepted, map[string]any{"rforked_to": to})
 				return
@@ -199,7 +202,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrDraining):
 		if s.cluster != nil && errors.Is(err, serve.ErrQueueFull) {
-			if to, ok := s.cluster.leastLoaded(); ok {
+			if to, ok := s.cluster.ringTarget(req.Kind); ok {
 				if ferr := s.cluster.rfork(to, 0, req); ferr == nil {
 					writeJSON(w, http.StatusAccepted, map[string]any{"rforked_to": to})
 					return
@@ -315,6 +318,26 @@ func (s *server) timelineFromPath(w http.ResponseWriter, r *http.Request) (*obs.
 		return nil, false
 	}
 	return tl, true
+}
+
+// handleMembers dumps the membership agent's full table — tombstones
+// included — plus the epoch and suspicion timeout, for operators
+// debugging churn.
+func (s *server) handleMembers(w http.ResponseWriter, _ *http.Request) {
+	if s.cluster == nil || s.cluster.agent == nil {
+		writeError(w, http.StatusNotFound, errors.New("not clustered (no -peers/-join)"))
+		return
+	}
+	a := s.cluster.agent
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":              s.cluster.node,
+		"epoch":             a.Epoch(),
+		"view":              a.View(),
+		"members":           a.Members(),
+		"ring_nodes":        a.RingNodes(),
+		"suspicion_timeout": a.SuspicionTimeout().String(),
+		"gossip":            s.cluster.mc.Snapshot(),
+	})
 }
 
 func (s *server) handleBlock(w http.ResponseWriter, r *http.Request) {

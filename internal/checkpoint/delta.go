@@ -243,6 +243,24 @@ func (s *Shipper) InvalidateLineage(lineage string) {
 	}
 }
 
+// DropPeer discards every sender-side session toward a departed peer
+// and returns how many were dropped. Unlike InvalidateLineage it sends
+// nothing — the peer is gone (the membership view declared it dead or
+// left), so there is no receiver to tell. If the node later rejoins,
+// the first Ship toward it starts a fresh stream with a full base.
+func (s *Shipper) DropPeer(to ids.NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for key := range s.sessions {
+		if key.to == to {
+			delete(s.sessions, key)
+			n++
+		}
+	}
+	return n
+}
+
 // diffPages returns the pages of cur that differ from base (equal
 // lengths assumed; the caller re-bases on size change). dirty, when
 // non-nil, is the only candidate set examined.
@@ -392,6 +410,24 @@ func (r *Receiver) InvalidateFrom(from ids.NodeID, lineage string) {
 	if b := r.cache[recvKey{from: from, lineage: lineage}]; b != nil {
 		r.remove(b)
 	}
+}
+
+// InvalidateNode drops every cached base shipped by a departed peer,
+// whatever its lineage, and returns how many were evicted. A restarted
+// shipper knows nothing of its predecessor's sessions; purging the
+// stale bases up front means its first delta (if any arrives out of
+// order) NAKs instead of overlaying the wrong snapshot.
+func (r *Receiver) InvalidateNode(from ids.NodeID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for key, b := range r.cache {
+		if key.from == from {
+			r.remove(b)
+			n++
+		}
+	}
+	return n
 }
 
 // CachedBases returns the number of cached bases (tests, /metrics).

@@ -283,3 +283,62 @@ func TestDeltaDirtyHintBoundsDiff(t *testing.T) {
 		f.Run(t)
 	})
 }
+
+// TestDropPeerResetsStreams: when the membership view declares a peer
+// dead, the shipper forgets every session toward it (DropPeer) and the
+// receiver purges that peer's cached bases (InvalidateNode), so a
+// rejoin restarts each lineage with a fresh full base instead of a
+// delta against state the other side no longer holds.
+func TestDropPeerResetsStreams(t *testing.T) {
+	transporttest.Each(t, 2, 5, func(t *testing.T, f *transporttest.Fabric) {
+		shipper, receiver, nc, stop := startDeltaPair(f, 0)
+		echo := f.Eps()[0].Bind(deltaEchoPort)
+		to := f.Eps()[1].ID()
+		from := f.Eps()[0].ID()
+		f.Go("driver", func(p transport.Proc) {
+			defer stop()
+			space := mem.New(page.NewStore(256), 2048)
+			ship := func(lineage string, body []byte, prev int, wantDelta bool) {
+				t.Helper()
+				img := captureBody(t, space, body, prev)
+				_, delta, err := shipper.Ship(p, to, lineage, img, nil)
+				if err != nil || delta != wantDelta {
+					t.Errorf("ship %s: delta=%v err=%v, want delta=%v", lineage, delta, err, wantDelta)
+					return
+				}
+				if !bytes.Equal(awaitEcho(t, f, p, echo), img.Data) {
+					t.Errorf("ship %s: reconstruction differs", lineage)
+				}
+			}
+			// Warm two lineages, prove L1's stream went incremental.
+			ship("L1", []byte("lineage one body"), 0, false)
+			ship("L2", []byte("lineage two body"), 16, false)
+			ship("L1", []byte("lineage one BODY"), 16, true)
+
+			// The view drops the peer: both sender sessions must go.
+			if n := shipper.DropPeer(to); n != 2 {
+				t.Errorf("DropPeer dropped %d sessions, want 2", n)
+			}
+			if n := shipper.DropPeer(to); n != 0 {
+				t.Errorf("second DropPeer dropped %d sessions, want 0", n)
+			}
+			// Rejoin: the first ship per lineage is a full base again.
+			ship("L1", []byte("lineage one body"), 16, false)
+
+			// Receiver side of a departed sender: purge its bases.
+			if got := receiver.CachedBases(); got != 2 {
+				t.Errorf("receiver caches %d bases, want 2", got)
+			}
+			if n := receiver.InvalidateNode(from); n != 2 {
+				t.Errorf("InvalidateNode evicted %d bases, want 2", n)
+			}
+			if got := receiver.CachedBases(); got != 0 {
+				t.Errorf("receiver caches %d bases after purge, want 0", got)
+			}
+		})
+		f.Run(t)
+		if full := nc.FullShips.Load(); full != 3 {
+			t.Fatalf("full ships = %d, want 3 (two warmups + one post-drop restart)", full)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"altrun/internal/ids"
@@ -45,8 +46,11 @@ type (
 		Claimant ids.PID
 	}
 	// BallotReq asks a voter to vote on every claim in one round.
+	// Epoch stamps the membership view the round was built under; a
+	// voter whose view is newer answers Stale instead of voting.
 	BallotReq struct {
 		Round  int64
+		Epoch  int64
 		Reply  transport.Addr
 		Claims []BallotClaim
 	}
@@ -57,10 +61,15 @@ type (
 		// Winner is set when the voter knows a commit already happened.
 		Winner ids.PID
 	}
-	// BallotReply answers a BallotReq, one vote per claim.
+	// BallotReply answers a BallotReq, one vote per claim. Stale means
+	// the voter rejected the whole round as epoch-fenced: its Epoch is
+	// newer than the request's, no votes were granted, and the
+	// coalescer should retry the claims once its own view catches up.
 	BallotReply struct {
 		Round int64
 		Voter ids.NodeID
+		Epoch int64
+		Stale bool
 		Votes []BallotVote
 	}
 	// BallotRelease returns votes for failed or too-late claims.
@@ -85,6 +94,15 @@ type (
 		TooLate bool
 		Winner  ids.PID
 		Ballots int
+	}
+	// ViewUpdate reconfigures the coalescer's voter set (same-node
+	// message from Coalescer.SetView to the coalescer proc; never
+	// crosses the wire, so it needs no codec registration). Rounds
+	// started under an older epoch are abandoned and their claims
+	// retried under the new quorum.
+	ViewUpdate struct {
+		Epoch   int64
+		Members []ids.NodeID
 	}
 )
 
@@ -131,11 +149,12 @@ const (
 // Claimant would consult.
 type Coalescer struct {
 	ep       transport.Endpoint
-	members  []ids.NodeID
+	members  []ids.NodeID // initial view; the live set is the proc's
 	votePort string
 	port     string
 	cfg      Config
-	quorum   int
+	quorum   atomic.Int32 // live quorum size, mirrored from the proc
+	epoch    atomic.Int64 // live membership epoch, mirrored likewise
 	handle   transport.Handle
 }
 
@@ -161,8 +180,8 @@ func StartCoalescer(ep transport.Endpoint, members []ids.NodeID, votePort string
 		votePort: votePort,
 		port:     CoalescerPort(votePort),
 		cfg:      cfg.withDefaults(),
-		quorum:   len(members)/2 + 1,
 	}
+	co.quorum.Store(int32(len(members)/2 + 1))
 	inbox := ep.Bind(co.port)
 	co.handle = ep.Spawn(fmt.Sprintf("coalescer-%v", ep.ID()), func(p transport.Proc) {
 		r := &coalRun{co: co}
@@ -174,8 +193,22 @@ func StartCoalescer(ep transport.Endpoint, members []ids.NodeID, votePort string
 // Stop kills the coalescer proc. In-flight claims time out in Claim.
 func (co *Coalescer) Stop() { co.handle.Kill() }
 
-// Quorum returns the majority size.
-func (co *Coalescer) Quorum() int { return co.quorum }
+// Quorum returns the majority size of the current voter view.
+func (co *Coalescer) Quorum() int { return int(co.quorum.Load()) }
+
+// Epoch returns the membership epoch the coalescer is operating under.
+func (co *Coalescer) Epoch() int64 { return co.epoch.Load() }
+
+// SetView reconfigures the voter set to the given membership view.
+// Safe from any goroutine: the view travels to the coalescer proc as a
+// same-node message, so reconfiguration serializes with round
+// processing. Lower (stale) epochs are ignored there.
+func (co *Coalescer) SetView(epoch int64, members []ids.NodeID) {
+	co.ep.Send(transport.Addr{Node: co.ep.ID(), Port: co.port}, ViewUpdate{
+		Epoch:   epoch,
+		Members: append([]ids.NodeID(nil), members...),
+	})
+}
 
 // claimDeadline bounds one claim end to end: every ballot can take a
 // full reply timeout plus its backoff, with slack for queueing behind a
@@ -234,6 +267,7 @@ type batchClaim struct {
 // NEWER round carries it.
 type batchRound struct {
 	id       int64
+	epoch    int64 // membership epoch the round was built under
 	deadline time.Time
 	start    time.Time
 	retries0 int64 // transport retry count at send (RTT stability)
@@ -243,9 +277,16 @@ type batchRound struct {
 }
 
 // coalRun is the single-proc state machine; no locks, everything runs
-// on the coalescer proc.
+// on the coalescer proc. members/quorum/epoch are the LIVE view —
+// they start from the Coalescer's construction arguments and move
+// only via ViewUpdate, so every round is built against exactly one
+// view and concurrent rounds never mix quorum definitions (two
+// majorities only intersect when drawn from the same member list).
 type coalRun struct {
 	co          *Coalescer
+	members     []ids.NodeID
+	quorum      int
+	epoch       int64
 	pending     []*batchClaim
 	rounds      map[int64]*batchRound
 	nextRound   int64
@@ -255,6 +296,8 @@ type coalRun struct {
 func (r *coalRun) run(p transport.Proc, inbox transport.Mailbox) {
 	r.rounds = make(map[int64]*batchRound)
 	r.nextRound = 1
+	r.members = append([]ids.NodeID(nil), r.co.members...)
+	r.quorum = len(r.members)/2 + 1
 	for {
 		now := r.co.ep.Now()
 		r.expire(now)
@@ -287,6 +330,8 @@ func (r *coalRun) run(p transport.Proc, inbox transport.Mailbox) {
 			})
 		case BallotReply:
 			r.onReply(m)
+		case ViewUpdate:
+			r.setView(m)
 		}
 	}
 }
@@ -388,16 +433,18 @@ func (r *coalRun) putBack(claims []*batchClaim) {
 func (r *coalRun) startRound(now time.Time, claims []*batchClaim) {
 	rd := &batchRound{
 		id:       r.nextRound,
+		epoch:    r.epoch,
 		deadline: now.Add(r.co.cfg.ReplyTimeout),
 		start:    now,
 		retries0: r.co.cfg.Net.RetryCount(),
 		byKey:    make(map[string]*batchClaim, len(claims)),
-		voters:   make(map[ids.NodeID]bool, len(r.co.members)),
+		voters:   make(map[ids.NodeID]bool, len(r.members)),
 		open:     len(claims),
 	}
 	r.nextRound++
 	req := BallotReq{
 		Round: rd.id,
+		Epoch: rd.epoch,
 		Reply: transport.Addr{Node: r.co.ep.ID(), Port: r.co.port},
 	}
 	req.Claims = make([]BallotClaim, len(claims))
@@ -409,7 +456,7 @@ func (r *coalRun) startRound(now time.Time, claims []*batchClaim) {
 		req.Claims[i] = BallotClaim{Key: c.key, Claimant: c.pid}
 	}
 	r.rounds[rd.id] = rd
-	for _, m := range r.co.members {
+	for _, m := range r.members {
 		r.co.ep.Send(transport.Addr{Node: m, Port: r.co.votePort}, req)
 	}
 	if nc := r.co.cfg.Net; nc != nil {
@@ -424,6 +471,17 @@ func (r *coalRun) onReply(m BallotReply) {
 	rd := r.rounds[m.Round]
 	if rd == nil || rd.voters[m.Voter] {
 		return // stale round or duplicate voter
+	}
+	if m.Stale {
+		// The voter's membership view outran the one this round was
+		// built under: its quorum size may no longer be a majority, so
+		// no decision from this round can be trusted. Abandon it —
+		// release whatever other voters granted and push the undecided
+		// claims back through the retry path; by the time they re-ship,
+		// the local agent's ViewUpdate has normally arrived.
+		delete(r.rounds, m.Round)
+		r.abandonRound(rd)
+		return
 	}
 	rd.voters[m.Voter] = true
 	now := r.co.ep.Now()
@@ -451,14 +509,14 @@ func (r *coalRun) onReply(m BallotReply) {
 			r.decide(c, ClaimDecision{Key: c.key, Won: true, Ballots: c.attempts})
 		case vote.Granted:
 			c.grants++
-			if c.grants >= r.co.quorum {
+			if c.grants >= r.quorum {
 				c.decided = true
 				rd.open--
 				commits = append(commits, BallotClaim{Key: c.key, Claimant: c.pid})
 				r.decide(c, ClaimDecision{Key: c.key, Won: true, Ballots: c.attempts})
 			}
 		}
-		if !c.decided && c.answered >= len(r.co.members) {
+		if !c.decided && c.answered >= len(r.members) {
 			// Every voter answered and quorum never formed: vote split.
 			rd.open--
 			delete(rd.byKey, vote.Key)
@@ -466,7 +524,7 @@ func (r *coalRun) onReply(m BallotReply) {
 			r.failBallot(c, now)
 		}
 	}
-	if rd.open <= 0 || len(rd.voters) >= len(r.co.members) {
+	if rd.open <= 0 || len(rd.voters) >= len(r.members) {
 		delete(r.rounds, m.Round)
 		// A claim can stay open past the last voter's reply only if that
 		// voter's ballot omitted its key (a malformed reply): fail it
@@ -509,7 +567,7 @@ func (r *coalRun) broadcastCommit(commits []BallotClaim) {
 		return
 	}
 	msg := BallotCommit{Commits: commits}
-	for _, m := range r.co.members {
+	for _, m := range r.members {
 		r.co.ep.Send(transport.Addr{Node: m, Port: r.co.votePort}, msg)
 	}
 }
@@ -519,7 +577,43 @@ func (r *coalRun) broadcastRelease(releases []BallotClaim) {
 		return
 	}
 	msg := BallotRelease{Claims: releases}
-	for _, m := range r.co.members {
+	for _, m := range r.members {
 		r.co.ep.Send(transport.Addr{Node: m, Port: r.co.votePort}, msg)
+	}
+}
+
+// abandonRound fails every undecided claim of an epoch-fenced round
+// onto the retry path and releases their votes.
+func (r *coalRun) abandonRound(rd *batchRound) {
+	now := r.co.ep.Now()
+	var releases []BallotClaim
+	for _, c := range rd.byKey {
+		if c.decided {
+			continue
+		}
+		releases = append(releases, BallotClaim{Key: c.key, Claimant: c.pid})
+		r.failBallot(c, now)
+	}
+	r.broadcastRelease(releases)
+}
+
+// setView adopts a newer membership view: swap the voter set, derive
+// the new quorum, and abandon every round built under an older epoch
+// so no decision ever mixes two views' majorities. Stale or duplicate
+// epochs are ignored (the membership agent's epochs are monotonic).
+func (r *coalRun) setView(m ViewUpdate) {
+	if m.Epoch <= r.epoch || len(m.Members) == 0 {
+		return
+	}
+	r.epoch = m.Epoch
+	r.members = append(r.members[:0], m.Members...)
+	r.quorum = len(r.members)/2 + 1
+	r.co.epoch.Store(r.epoch)
+	r.co.quorum.Store(int32(r.quorum))
+	for id, rd := range r.rounds {
+		if rd.epoch < r.epoch {
+			delete(r.rounds, id)
+			r.abandonRound(rd)
+		}
 	}
 }

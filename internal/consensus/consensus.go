@@ -143,9 +143,31 @@ type Voter struct {
 	port   string
 	handle transport.Handle
 
+	// epoch fences batched ballots during membership reconfiguration:
+	// a BallotReq stamped with an older epoch is answered Stale so the
+	// coalescer retries it under the current view's quorum size. The
+	// per-key grant rule itself is epoch-independent (safety never
+	// depended on the view), so singleton VoteReqs are left unfenced
+	// for compatibility with pre-membership peers.
+	epoch atomic.Int64
+
 	mu   sync.Mutex
 	keys map[string]*keyState
 }
+
+// SetEpoch raises the voter's membership epoch (monotonic: lower
+// values are ignored). Called from the membership agent's OnView.
+func (v *Voter) SetEpoch(e int64) {
+	for {
+		cur := v.epoch.Load()
+		if e <= cur || v.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch returns the voter's current membership epoch.
+func (v *Voter) Epoch() int64 { return v.epoch.Load() }
 
 // StartVoter binds port on ep and spawns the voter process. port ""
 // means DefaultVotePort.
@@ -223,9 +245,19 @@ func (v *Voter) run(p transport.Proc, inbox transport.Mailbox) {
 			// Group commit: one message, many keys, the SAME per-key
 			// grant rule as the singleton VoteReq — batching changes the
 			// framing, never the semantics.
+			if e := v.epoch.Load(); m.Epoch < e {
+				// Epoch fence: this round predates the current
+				// membership view. Grant nothing — the coalescer fails
+				// the round and retries under the new quorum.
+				v.ep.Send(m.Reply, BallotReply{
+					Round: m.Round, Voter: v.ep.ID(), Epoch: e, Stale: true,
+				})
+				continue
+			}
 			reply := BallotReply{
 				Round: m.Round,
 				Voter: v.ep.ID(),
+				Epoch: m.Epoch,
 				Votes: make([]BallotVote, 0, len(m.Claims)),
 			}
 			v.mu.Lock()

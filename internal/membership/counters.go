@@ -1,0 +1,67 @@
+package membership
+
+import "sync/atomic"
+
+// Counters accumulates gossip and failure-detector accounting, in the
+// style of trace.NetCounters: lock-free atomics bumped on the hot
+// path, snapshotted for /metrics and the Prometheus exporter. All
+// methods tolerate a nil receiver.
+type Counters struct {
+	ProbesSent     atomic.Int64 // direct pings originated
+	AcksReceived   atomic.Int64 // acks matching an outstanding probe
+	IndirectProbes atomic.Int64 // ping-req fan-outs after a direct miss
+	PingReqRelays  atomic.Int64 // pings forwarded on another's behalf
+	Suspicions     atomic.Int64 // members marked suspect locally
+	Refutations    atomic.Int64 // own-suspicion refutations (inc bumps)
+	Deaths         atomic.Int64 // suspicion timeouts → declared dead
+	Joins          atomic.Int64 // new members admitted to the view
+	Leaves         atomic.Int64 // graceful departures observed
+	EpochChanges   atomic.Int64 // local bumps + higher epochs adopted
+	GossipMsgs     atomic.Int64 // membership messages sent
+	GossipBytes    atomic.Int64 // estimated wire bytes of those messages
+}
+
+// CountersSnapshot is the JSON form of Counters.
+type CountersSnapshot struct {
+	ProbesSent     int64 `json:"probes_sent"`
+	AcksReceived   int64 `json:"acks_received"`
+	IndirectProbes int64 `json:"indirect_probes"`
+	PingReqRelays  int64 `json:"pingreq_relays"`
+	Suspicions     int64 `json:"suspicions"`
+	Refutations    int64 `json:"refutations"`
+	Deaths         int64 `json:"deaths"`
+	Joins          int64 `json:"joins"`
+	Leaves         int64 `json:"leaves"`
+	EpochChanges   int64 `json:"epoch_changes"`
+	GossipMsgs     int64 `json:"gossip_msgs"`
+	GossipBytes    int64 `json:"gossip_bytes"`
+}
+
+// Snapshot captures the current values (zero value when c is nil).
+func (c *Counters) Snapshot() CountersSnapshot {
+	if c == nil {
+		return CountersSnapshot{}
+	}
+	return CountersSnapshot{
+		ProbesSent:     c.ProbesSent.Load(),
+		AcksReceived:   c.AcksReceived.Load(),
+		IndirectProbes: c.IndirectProbes.Load(),
+		PingReqRelays:  c.PingReqRelays.Load(),
+		Suspicions:     c.Suspicions.Load(),
+		Refutations:    c.Refutations.Load(),
+		Deaths:         c.Deaths.Load(),
+		Joins:          c.Joins.Load(),
+		Leaves:         c.Leaves.Load(),
+		EpochChanges:   c.EpochChanges.Load(),
+		GossipMsgs:     c.GossipMsgs.Load(),
+		GossipBytes:    c.GossipBytes.Load(),
+	}
+}
+
+// sent books one outgoing membership message. The agent substitutes a
+// private Counters when the config leaves it nil, so internal callers
+// never see a nil receiver.
+func (c *Counters) sent(size int) {
+	c.GossipMsgs.Add(1)
+	c.GossipBytes.Add(int64(size))
+}

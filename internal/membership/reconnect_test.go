@@ -1,0 +1,151 @@
+package membership_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"altrun/internal/consensus"
+	"altrun/internal/ids"
+	"altrun/internal/membership"
+	"altrun/internal/trace"
+	"altrun/internal/transport"
+	"altrun/internal/transport/transporttest"
+)
+
+// TestReconnectUnderChurn runs on BOTH fabrics: 16 membership agents,
+// a background 3% message-drop rate, and an isolate/heal cycle on node
+// 16, while a static 3-voter consensus group (deliberately not wired to
+// the 16-member view — this test is about the transport, not
+// reconfiguration) decides a stream of claims. It proves that the
+// fault-injection hooks compose with the suspicion machinery — the
+// partition produces suspicion, the heal produces refutation, and the
+// view converges back — and that the RTT estimator survives the
+// retry-heavy reconnect window without a poisoned EWMA.
+func TestReconnectUnderChurn(t *testing.T) {
+	transporttest.Each(t, 16, 11, func(t *testing.T, f *transporttest.Fabric) {
+		const (
+			n     = 16
+			port  = "consensus/reconnect/vote"
+			keys  = 20
+			churn = ids.NodeID(16)
+		)
+		eps := f.Eps()
+		nc := &trace.NetCounters{}
+		voters := make([]*consensus.Voter, 3)
+		for i := range voters {
+			voters[i] = consensus.StartVoter(eps[i], port)
+		}
+		co := consensus.StartCoalescer(eps[0], []ids.NodeID{1, 2, 3}, port, consensus.Config{Net: nc})
+
+		counters := make([]*membership.Counters, n)
+		agents := make([]*membership.Agent, n)
+		for i, ep := range eps {
+			counters[i] = &membership.Counters{}
+			agents[i] = membership.Start(ep, membership.Config{
+				Static:         allPeers(n),
+				ProbeInterval:  50 * time.Millisecond,
+				SuspicionMult:  6,
+				RetransmitMult: 8,
+				Counters:       counters[i],
+			})
+		}
+		f.T.SetDropRate(0.03)
+
+		var mu sync.Mutex
+		won, claimsDone := 0, false
+		f.Go("claimant", func(p transport.Proc) {
+			for k := 0; k < keys; k++ {
+				res := co.Claim(p, fmt.Sprintf("reconnect/k%d", k), ids.PID(100+int64(k)))
+				mu.Lock()
+				if res.Won {
+					won++
+				}
+				mu.Unlock()
+				p.Sleep(25 * time.Millisecond)
+			}
+			mu.Lock()
+			claimsDone = true
+			mu.Unlock()
+		})
+
+		f.Go("churn", func(p transport.Proc) {
+			ep := eps[0]
+			await := func(what string, cond func() bool) bool {
+				start := ep.Now()
+				for !cond() {
+					if ep.Now().Sub(start) > 10*time.Second {
+						t.Errorf("timed out waiting for %s", what)
+						return false
+					}
+					p.Sleep(20 * time.Millisecond)
+				}
+				return true
+			}
+			aliveAt := func(i int, want int) func() bool {
+				return func() bool {
+					alive, _, _ := agents[i].StatusCounts()
+					return alive == want
+				}
+			}
+			ok := await("initial convergence", aliveAt(0, n))
+			if ok {
+				f.T.Isolate(churn)
+				// The partition hook must flow into suspicion: node 16
+				// drops out of the fully-alive state at node 1.
+				ok = await("suspicion of isolated node", func() bool {
+					alive, _, _ := agents[0].StatusCounts()
+					return alive < n
+				})
+			}
+			if ok {
+				for j := ids.NodeID(1); j <= n; j++ {
+					f.T.Heal(churn, j)
+				}
+				// Reconnect: refutations must restore the full view on
+				// both sides of the healed partition.
+				ok = await("view recovery after heal", aliveAt(0, n)) &&
+					await("isolated node's own recovery", aliveAt(n-1, n))
+			}
+			await("claim stream to finish", func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return claimsDone
+			})
+			for _, a := range agents {
+				a.Stop()
+			}
+			for _, v := range voters {
+				v.Stop()
+			}
+			co.Stop()
+		})
+
+		f.Run(t)
+
+		if won != keys {
+			t.Errorf("won %d of %d distinct-key claims; drops and churn must be retried, not lost", won, keys)
+		}
+		refuted := counters[n-1].Snapshot().Refutations
+		suspected := int64(0)
+		for _, c := range counters[:n-1] {
+			suspected += c.Snapshot().Suspicions
+		}
+		if suspected == 0 {
+			t.Error("isolation never produced a suspicion")
+		}
+		if refuted == 0 {
+			t.Error("healed node never refuted its suspicion")
+		}
+		snap := nc.Snapshot()
+		if snap.RTTEWMAMS <= 0 {
+			t.Error("no RTT estimate accumulated across the claim stream")
+		}
+		if snap.RTTEWMAMS > 5000 {
+			t.Errorf("RTT EWMA %.1fms — reconnect retries poisoned the estimate", snap.RTTEWMAMS)
+		}
+		t.Logf("won=%d suspicions=%d refutations=%d rtt_ewma=%.2fms rtt_dropped=%d",
+			won, suspected, refuted, snap.RTTEWMAMS, snap.RTTDropped)
+	})
+}

@@ -1,0 +1,259 @@
+package membership_test
+
+import (
+	"testing"
+	"time"
+
+	"altrun/internal/cluster"
+	"altrun/internal/ids"
+	"altrun/internal/membership"
+	"altrun/internal/sim"
+)
+
+// startSim builds a simulated cluster of n nodes. All membership tests
+// run on the sim fabric: the protocol is message-driven over
+// transport.Proc, so the deterministic engine exercises the same code
+// the TCP daemon runs.
+func startSim(n int, seed int64) (*sim.Engine, *cluster.Cluster) {
+	e := sim.New(0)
+	cl := cluster.New(e, seed)
+	for i := 0; i < n; i++ {
+		cl.AddNode(sim.ProfileHP9000())
+	}
+	return e, cl
+}
+
+func allPeers(n int) []membership.Peer {
+	out := make([]membership.Peer, n)
+	for i := range out {
+		out[i] = membership.Peer{ID: ids.NodeID(i + 1)}
+	}
+	return out
+}
+
+func TestAgentStaticConverge(t *testing.T) {
+	e, cl := startSim(8, 1)
+	eps := cl.Endpoints()
+	agents := make([]*membership.Agent, len(eps))
+	for i, ep := range eps {
+		load := int32(10 * (i + 1))
+		agents[i] = membership.Start(ep, membership.Config{
+			Static:        allPeers(8),
+			ProbeInterval: 100 * time.Millisecond,
+			Load:          func() int32 { return load },
+		})
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(3 * time.Second)
+		for i, a := range agents {
+			alive, suspect, dead := a.StatusCounts()
+			if alive != 8 || suspect != 0 || dead != 0 {
+				t.Errorf("agent %d: alive=%d suspect=%d dead=%d, want 8/0/0", i+1, alive, suspect, dead)
+			}
+			if ep := a.Epoch(); ep != 1 {
+				t.Errorf("agent %d: epoch %d, want 1 (stable static view)", i+1, ep)
+			}
+			if rn := a.RingNodes(); rn != 8 {
+				t.Errorf("agent %d: ring has %d nodes, want 8", i+1, rn)
+			}
+		}
+		// Load hints disseminate on probe traffic: agent 1 should hold a
+		// fresh occupancy figure for every peer.
+		for i := 2; i <= 8; i++ {
+			m, ok := agents[0].Member(ids.NodeID(i))
+			if !ok {
+				t.Fatalf("agent 1 missing member %d", i)
+			}
+			if m.Seq == 0 {
+				t.Errorf("agent 1 never heard a heartbeat from node %d", i)
+			}
+			if want := int32(10 * i); m.Load != want {
+				t.Errorf("agent 1 sees node %d load %d, want %d", i, m.Load, want)
+			}
+		}
+		for _, a := range agents {
+			a.Stop()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentJoinPropagates(t *testing.T) {
+	e, cl := startSim(5, 2)
+	eps := cl.Endpoints()
+	agents := make([]*membership.Agent, 5)
+	for i := 0; i < 4; i++ {
+		agents[i] = membership.Start(eps[i], membership.Config{
+			Static:        allPeers(4),
+			ProbeInterval: 100 * time.Millisecond,
+		})
+	}
+	// Node 5 knows nothing but one seed; it must announce itself, learn
+	// the member table, and be admitted by every static node.
+	joiners := &membership.Counters{}
+	agents[4] = membership.Start(eps[4], membership.Config{
+		Join:          []membership.Peer{{ID: 1}},
+		ProbeInterval: 100 * time.Millisecond,
+		Counters:      joiners,
+	})
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(3 * time.Second)
+		for i, a := range agents {
+			v := a.View()
+			if len(v.Members) != 5 {
+				t.Errorf("agent %d: view has %d members, want 5: %v", i+1, len(v.Members), v.Members)
+			}
+			if v.Epoch < 2 {
+				t.Errorf("agent %d: epoch %d, want ≥ 2 after admission", i+1, v.Epoch)
+			}
+		}
+		if j := joiners.Snapshot().Joins; j < 4 {
+			t.Errorf("joining node admitted %d members, want 4", j)
+		}
+		for _, a := range agents {
+			a.Stop()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A transient partition must produce suspicion, then refutation via
+// incarnation bump — never a death — and leave the epoch untouched.
+func TestAgentSuspectRefute(t *testing.T) {
+	e, cl := startSim(3, 3)
+	eps := cl.Endpoints()
+	counters := make([]*membership.Counters, 3)
+	agents := make([]*membership.Agent, 3)
+	for i, ep := range eps {
+		counters[i] = &membership.Counters{}
+		agents[i] = membership.Start(ep, membership.Config{
+			Static:         allPeers(3),
+			ProbeInterval:  100 * time.Millisecond,
+			ProbeTimeout:   25 * time.Millisecond,
+			SuspicionMult:  10,
+			RetransmitMult: 8,
+			Counters:       counters[i],
+		})
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(200 * time.Millisecond)
+		cl.Isolate(3)
+		p.Sleep(400 * time.Millisecond)
+		cl.Heal(3, 1)
+		cl.Heal(3, 2)
+		p.Sleep(2400 * time.Millisecond)
+		for i, a := range agents {
+			alive, suspect, dead := a.StatusCounts()
+			if alive != 3 || suspect != 0 || dead != 0 {
+				t.Errorf("agent %d: alive=%d suspect=%d dead=%d, want 3/0/0", i+1, alive, suspect, dead)
+			}
+			if ep := a.Epoch(); ep != 1 {
+				t.Errorf("agent %d: epoch %d, want 1 (suspect↔alive is not a view change)", i+1, ep)
+			}
+		}
+		if s := counters[0].Snapshot().Suspicions + counters[1].Snapshot().Suspicions; s == 0 {
+			t.Error("no suspicion was ever raised during the partition")
+		}
+		if r := counters[2].Snapshot().Refutations; r == 0 {
+			t.Error("isolated node never refuted its suspicion")
+		}
+		for _, a := range agents {
+			a.Stop()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentDeath(t *testing.T) {
+	e, cl := startSim(3, 4)
+	eps := cl.Endpoints()
+	counters := make([]*membership.Counters, 3)
+	agents := make([]*membership.Agent, 3)
+	for i, ep := range eps {
+		counters[i] = &membership.Counters{}
+		agents[i] = membership.Start(ep, membership.Config{
+			Static:        allPeers(3),
+			ProbeInterval: 50 * time.Millisecond,
+			SuspicionMult: 4,
+			Counters:      counters[i],
+		})
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(300 * time.Millisecond)
+		agents[2].Stop()
+		cl.Isolate(3)
+		p.Sleep(1700 * time.Millisecond)
+		for i := 0; i < 2; i++ {
+			alive, suspect, dead := agents[i].StatusCounts()
+			if alive != 2 || suspect != 0 || dead != 1 {
+				t.Errorf("agent %d: alive=%d suspect=%d dead=%d, want 2/0/1", i+1, alive, suspect, dead)
+			}
+			if ep := agents[i].Epoch(); ep < 2 {
+				t.Errorf("agent %d: epoch %d, want ≥ 2 after a death", i+1, ep)
+			}
+			if rn := agents[i].RingNodes(); rn != 2 {
+				t.Errorf("agent %d: ring has %d nodes, want 2 after death", i+1, rn)
+			}
+		}
+		if d := counters[0].Snapshot().Deaths + counters[1].Snapshot().Deaths; d == 0 {
+			t.Error("no death was recorded")
+		}
+		agents[0].Stop()
+		agents[1].Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Voluntary leave propagates immediately — well before the suspicion
+// machinery would have noticed anything.
+func TestAgentLeave(t *testing.T) {
+	e, cl := startSim(3, 5)
+	eps := cl.Endpoints()
+	counters := make([]*membership.Counters, 3)
+	agents := make([]*membership.Agent, 3)
+	for i, ep := range eps {
+		counters[i] = &membership.Counters{}
+		agents[i] = membership.Start(ep, membership.Config{
+			Static:        allPeers(3),
+			ProbeInterval: 100 * time.Millisecond,
+			SuspicionMult: 10,
+			Counters:      counters[i],
+		})
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(500 * time.Millisecond)
+		agents[2].Leave()
+		agents[2].Stop()
+		left := e.Now()
+		for len(agents[0].View().Members) != 2 || len(agents[1].View().Members) != 2 {
+			if e.Since(left) > 2*time.Second {
+				t.Fatal("leave never propagated")
+			}
+			p.Sleep(20 * time.Millisecond)
+		}
+		if d := e.Since(left); d > 500*time.Millisecond {
+			t.Errorf("leave took %v to propagate, want < 500ms (no suspicion wait)", d)
+		}
+		if l := counters[0].Snapshot().Leaves; l == 0 {
+			t.Error("no leave was recorded at node 1")
+		}
+		for i := 0; i < 2; i++ {
+			if ep := agents[i].Epoch(); ep < 2 {
+				t.Errorf("agent %d: epoch %d, want ≥ 2 after leave", i+1, ep)
+			}
+		}
+		agents[0].Stop()
+		agents[1].Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"altrun/internal/consensus"
 	"altrun/internal/device"
 	"altrun/internal/ids"
+	"altrun/internal/membership"
 	"altrun/internal/transport"
 )
 
@@ -51,6 +52,11 @@ const (
 	TagBaseInvalidate byte = 15
 	TagPageRequest    byte = 16
 	TagPageReply      byte = 17
+	TagMemberPing     byte = 18
+	TagMemberPingReq  byte = 19
+	TagMemberAck      byte = 20
+	TagMemberGossip   byte = 21
+	TagMemberEpoch    byte = 22
 )
 
 func init() {
@@ -72,10 +78,16 @@ func init() {
 	gob.Register(checkpoint.BaseInvalidate{})
 	gob.Register(device.PageRequest{})
 	gob.Register(device.PageReply{})
+	gob.Register(membership.Ping{})
+	gob.Register(membership.PingReq{})
+	gob.Register(membership.Ack{})
+	gob.Register(membership.Gossip{})
+	gob.Register(membership.EpochChange{})
 
 	registerConsensus()
 	registerCheckpoint()
 	registerNetfs()
+	registerMembership()
 }
 
 // reg is a small helper wrapping transport.RegisterWire.
@@ -207,6 +219,7 @@ func registerConsensus() {
 		func(p any, dst []byte) []byte {
 			m := p.(consensus.BallotReq)
 			dst = transport.AppendVarint(dst, m.Round)
+			dst = transport.AppendVarint(dst, m.Epoch)
 			dst = appendAddr(dst, m.Reply)
 			return appendBallotClaims(dst, m.Claims)
 		},
@@ -214,6 +227,7 @@ func registerConsensus() {
 			r := transport.NewWireReader(data)
 			m := consensus.BallotReq{
 				Round: r.Varint(),
+				Epoch: r.Varint(),
 				Reply: readAddr(r),
 			}
 			m.Claims = readBallotClaims(r)
@@ -224,6 +238,12 @@ func registerConsensus() {
 			m := p.(consensus.BallotReply)
 			dst = transport.AppendVarint(dst, m.Round)
 			dst = transport.AppendUvarint(dst, uint64(m.Voter))
+			dst = transport.AppendVarint(dst, m.Epoch)
+			stale := byte(0)
+			if m.Stale {
+				stale = 1
+			}
+			dst = append(dst, stale)
 			dst = transport.AppendUvarint(dst, uint64(len(m.Votes)))
 			for _, v := range m.Votes {
 				dst = transport.AppendString(dst, v.Key)
@@ -241,7 +261,9 @@ func registerConsensus() {
 			m := consensus.BallotReply{
 				Round: r.Varint(),
 				Voter: ids.NodeID(r.Uvarint()),
+				Epoch: r.Varint(),
 			}
+			m.Stale = r.Uvarint() != 0
 			n := r.Uvarint()
 			if r.Err() == nil && n > 0 && n <= uint64(r.Remaining()) {
 				m.Votes = make([]consensus.BallotVote, 0, n)
@@ -461,6 +483,128 @@ func registerNetfs() {
 			}
 			m.OK = r.Uvarint() != 0
 			m.Data = r.Bytes() // aliases the frame: zero-copy receive
+			return m, r.Err()
+		})
+}
+
+// Membership update lists: the shared field group of every gossip
+// message.
+func appendUpdates(dst []byte, us []membership.Update) []byte {
+	dst = transport.AppendUvarint(dst, uint64(len(us)))
+	for _, u := range us {
+		dst = transport.AppendUvarint(dst, uint64(u.Node))
+		dst = transport.AppendString(dst, u.Addr)
+		dst = transport.AppendVarint(dst, u.Incarnation)
+		dst = append(dst, byte(u.Status))
+		dst = transport.AppendVarint(dst, u.Seq)
+		dst = transport.AppendVarint(dst, int64(u.Load))
+	}
+	return dst
+}
+
+func readUpdates(r *transport.WireReader) []membership.Update {
+	n := r.Uvarint()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		// Each update takes several bytes; an absurd count is a
+		// malformed frame, not an allocation request.
+		return nil
+	}
+	us := make([]membership.Update, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		u := membership.Update{
+			Node:        ids.NodeID(r.Uvarint()),
+			Addr:        r.String(),
+			Incarnation: r.Varint(),
+		}
+		u.Status = membership.Status(r.Uvarint())
+		u.Seq = r.Varint()
+		u.Load = int32(r.Varint())
+		us = append(us, u)
+	}
+	return us
+}
+
+func registerMembership() {
+	reg(TagMemberPing, membership.Ping{},
+		func(p any, dst []byte) []byte {
+			m := p.(membership.Ping)
+			dst = transport.AppendVarint(dst, m.Seq)
+			dst = appendAddr(dst, m.Reply)
+			return appendUpdates(dst, m.Updates)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := membership.Ping{
+				Seq:   r.Varint(),
+				Reply: readAddr(r),
+			}
+			m.Updates = readUpdates(r)
+			return m, r.Err()
+		})
+	reg(TagMemberPingReq, membership.PingReq{},
+		func(p any, dst []byte) []byte {
+			m := p.(membership.PingReq)
+			dst = transport.AppendVarint(dst, m.Seq)
+			dst = transport.AppendUvarint(dst, uint64(m.Target))
+			dst = appendAddr(dst, m.Reply)
+			return appendUpdates(dst, m.Updates)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := membership.PingReq{
+				Seq:    r.Varint(),
+				Target: ids.NodeID(r.Uvarint()),
+				Reply:  readAddr(r),
+			}
+			m.Updates = readUpdates(r)
+			return m, r.Err()
+		})
+	reg(TagMemberAck, membership.Ack{},
+		func(p any, dst []byte) []byte {
+			m := p.(membership.Ack)
+			dst = transport.AppendVarint(dst, m.Seq)
+			dst = transport.AppendUvarint(dst, uint64(m.Node))
+			return appendUpdates(dst, m.Updates)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := membership.Ack{
+				Seq:  r.Varint(),
+				Node: ids.NodeID(r.Uvarint()),
+			}
+			m.Updates = readUpdates(r)
+			return m, r.Err()
+		})
+	reg(TagMemberGossip, membership.Gossip{},
+		func(p any, dst []byte) []byte {
+			m := p.(membership.Gossip)
+			join := byte(0)
+			if m.Join {
+				join = 1
+			}
+			dst = append(dst, join)
+			return appendUpdates(dst, m.Updates)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := membership.Gossip{}
+			m.Join = r.Uvarint() != 0
+			m.Updates = readUpdates(r)
+			return m, r.Err()
+		})
+	reg(TagMemberEpoch, membership.EpochChange{},
+		func(p any, dst []byte) []byte {
+			m := p.(membership.EpochChange)
+			dst = transport.AppendVarint(dst, m.Epoch)
+			return appendUpdates(dst, m.Updates)
+		},
+		func(data []byte) (any, error) {
+			r := transport.NewWireReader(data)
+			m := membership.EpochChange{Epoch: r.Varint()}
+			m.Updates = readUpdates(r)
 			return m, r.Err()
 		})
 }

@@ -5,6 +5,7 @@ import (
 	"altrun/internal/consensus"
 	"altrun/internal/device"
 	"altrun/internal/ids"
+	"altrun/internal/membership"
 	"altrun/internal/transport"
 )
 
@@ -33,18 +34,21 @@ func SeedEnvelopes() []transport.Envelope {
 			Key: "job/1/7", Winner: ids.PID(100),
 		}},
 		{From: 3, To: addr(1, "consensus/vote"), Payload: consensus.BallotReq{
-			Round: 9, Reply: addr(3, "consensus/vote/batch"),
+			Round: 9, Epoch: 4, Reply: addr(3, "consensus/vote/batch"),
 			Claims: []consensus.BallotClaim{
 				{Key: "job/3/1", Claimant: ids.PID(11)},
 				{Key: "job/3/2", Claimant: ids.PID(12)},
 			},
 		}},
 		{From: 1, To: addr(3, "consensus/vote/batch"), Payload: consensus.BallotReply{
-			Round: 9, Voter: 1,
+			Round: 9, Voter: 1, Epoch: 4,
 			Votes: []consensus.BallotVote{
 				{Key: "job/3/1", Granted: true},
 				{Key: "job/3/2", Winner: ids.PID(99)},
 			},
+		}},
+		{From: 2, To: addr(3, "consensus/vote/batch"), Payload: consensus.BallotReply{
+			Round: 9, Voter: 2, Epoch: 5, Stale: true,
 		}},
 		{From: 3, To: addr(1, "consensus/vote"), Payload: consensus.BallotRelease{
 			Claims: []consensus.BallotClaim{{Key: "job/3/2", Claimant: ids.PID(12)}},
@@ -77,6 +81,38 @@ func SeedEnvelopes() []transport.Envelope {
 		}},
 		{From: 2, To: addr(1, "pagecli/data.db/1"), Payload: device.PageReply{
 			File: "data.db", Page: 3, OK: true, Data: []byte("page contents"),
+		}},
+		{From: 1, To: addr(2, membership.Port), Payload: membership.Ping{
+			Seq: 17, Reply: addr(1, membership.Port),
+			Updates: []membership.Update{
+				{Node: 1, Addr: "127.0.0.1:7101", Incarnation: 2, Status: membership.StatusAlive, Seq: 40, Load: 3},
+				{Node: 4, Incarnation: 1, Status: membership.StatusSuspect, Seq: 9},
+			},
+		}},
+		{From: 1, To: addr(3, membership.Port), Payload: membership.PingReq{
+			Seq: 18, Target: 4, Reply: addr(1, membership.Port),
+			Updates: []membership.Update{
+				{Node: 1, Addr: "127.0.0.1:7101", Incarnation: 2, Status: membership.StatusAlive, Seq: 41, Load: 2},
+			},
+		}},
+		{From: 4, To: addr(1, membership.Port), Payload: membership.Ack{
+			Seq: 18, Node: 4,
+			Updates: []membership.Update{
+				{Node: 4, Addr: "127.0.0.1:7104", Incarnation: 3, Status: membership.StatusAlive, Seq: 12, Load: 0},
+			},
+		}},
+		{From: 5, To: addr(1, membership.Port), Payload: membership.Gossip{
+			Join: true,
+			Updates: []membership.Update{
+				{Node: 5, Addr: "127.0.0.1:7105", Incarnation: 0, Status: membership.StatusAlive, Seq: 1},
+			},
+		}},
+		{From: 1, To: addr(2, membership.Port), Payload: membership.EpochChange{
+			Epoch: 6,
+			Updates: []membership.Update{
+				{Node: 4, Incarnation: 3, Status: membership.StatusDead, Seq: 12},
+				{Node: 6, Incarnation: 0, Status: membership.StatusLeft},
+			},
 		}},
 	}
 }
