@@ -17,6 +17,7 @@ import (
 type reportMeta struct {
 	Generated string `json:"generated"`
 	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
 }
 
 // newReportMeta stamps a header for a report generated now.
@@ -24,6 +25,7 @@ func newReportMeta() reportMeta {
 	return reportMeta{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
 	}
 }
 

@@ -3,6 +3,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -34,12 +38,30 @@ type selBenchResult struct {
 	EliminationsPerSec float64 `json:"eliminations_per_sec,omitempty"`
 }
 
+// selContendedResult is one arm of the locked-vs-lock-free A/B at
+// 64-way commit contention.
+type selContendedResult struct {
+	Impl         string  `json:"impl"` // "lockfree" or "locked"
+	LiveWorlds   int     `json:"live_worlds"`
+	P50Ns        float64 `json:"p50_ns"`
+	P99Ns        float64 `json:"p99_ns"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+}
+
 // selBenchReport is the BENCH_sel.json document.
 type selBenchReport struct {
 	reportMeta
 	BaselineCommit string           `json:"baseline_commit"`
 	Baseline       []selBenchResult `json:"baseline"`
 	Results        []selBenchResult `json:"results"`
+	// Contended is the 64-way commit-contention A/B: the same workload
+	// on the lock-free registry (default) and the RWMutex baseline
+	// (core.Config.LockedRegistry).
+	Contended []selContendedResult `json:"contended_64way,omitempty"`
+	// MutexProfileReadPath is "clean" when a full mutex profile of the
+	// contended lock-free run contains no registry/alias/epoch/proc/
+	// router read-path frame — the zero-mutex-acquisition check.
+	MutexProfileReadPath string `json:"mutex_profile_read_path,omitempty"`
 	// SubscribersPerResolution is the mean affected-set size observed
 	// across the run — the quantity commit cost now scales with.
 	SubscribersPerResolution float64 `json:"subscribers_per_resolution"`
@@ -147,6 +169,176 @@ func benchEliminationThroughput(live int) (testing.BenchmarkResult, error) {
 	return res, benchErr
 }
 
+// selContendWidth is the number of concurrently-committing goroutines
+// in the contention benchmark — the acceptance point of the lock-free
+// refactor ("p50 commit latency under 64-way contention").
+const selContendWidth = 64
+
+// benchContendedCommit runs selContendWidth goroutines, each owning a
+// root world and committing two-alternative blocks back to back, with
+// `live` unrelated bystander worlds registered. Commit latency is
+// measured from the winner's body completing to the block resolving
+// (claim, commit, synchronous sibling elimination) — not whole-block
+// wall time, which on a small machine is dominated by scheduling the
+// 64-way goroutine fan-out rather than the selection path under test.
+// blocks/s is aggregate over the whole run.
+func benchContendedCommit(live, blocksPerWorker int, locked bool) (selContendedResult, error) {
+	impl := "lockfree"
+	if locked {
+		impl = "locked"
+	}
+	rt := core.New(core.Config{LockedRegistry: locked})
+	if err := populateBystanders(rt, live); err != nil {
+		return selContendedResult{}, err
+	}
+	roots := make([]*core.World, selContendWidth)
+	for i := range roots {
+		r, err := rt.NewRootWorld("contender", 64*1024)
+		if err != nil {
+			return selContendedResult{}, err
+		}
+		roots[i] = r
+	}
+	lat := make([][]time.Duration, selContendWidth)
+	errs := make([]error, selContendWidth)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range roots {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			root := roots[i]
+			samples := make([]time.Duration, 0, blocksPerWorker)
+			for n := 0; n < blocksPerWorker; n++ {
+				var won time.Time
+				_, err := root.RunAlt(core.Options{SyncElimination: true},
+					core.Alt{Name: "fast", Body: func(w *core.World) error {
+						if err := w.WriteUint64(0, uint64(n)); err != nil {
+							return err
+						}
+						won = time.Now()
+						return nil
+					}},
+					core.Alt{Name: "slow", Body: func(w *core.World) error {
+						w.Sleep(time.Second)
+						return nil
+					}},
+				)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				samples = append(samples, time.Since(won))
+			}
+			lat[i] = samples
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return selContendedResult{}, err
+		}
+	}
+	var all []time.Duration
+	for _, s := range lat {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx].Nanoseconds())
+	}
+	return selContendedResult{
+		Impl:         impl,
+		LiveWorlds:   live,
+		P50Ns:        pct(0.50),
+		P99Ns:        pct(0.99),
+		BlocksPerSec: float64(len(all)) / elapsed.Seconds(),
+	}, nil
+}
+
+// readPathSites are the lock-free read-path functions that must never
+// be a mutex-contention *site* (the function that held the contended
+// lock): the commit path's alias resolution, registry lookup,
+// subscriber snapshot, process status, and router lookup take zero
+// mutexes by construction. Writer-side functions (epoch.Map Set/Update/
+// Delete, addWorld, Register, Mailbox.Put) legitimately hold mutexes
+// and are not in this list.
+var readPathSites = []string{
+	"epoch.(*Domain).Pin",
+	"epoch.Guard.Unpin",
+	").Get", // epoch.(*Map[...]).Get — scoped by the epoch package check below
+	"lfRegistry).world",
+	"lfRegistry).appendSubscribers",
+	"lfRegistry).hasAlias",
+	"lfRegistry).aliasFor",
+	"lfRegistry).appendAliasTargets",
+	"proc.(*Table).Status",
+	"proc.(*Table).AppendChildren",
+	"proc.(*Table).lookup",
+	"msg.(*Router).lookup",
+}
+
+// isReadPathSite reports whether name is one of the functions that by
+// contract acquire no mutex.
+func isReadPathSite(name string) bool {
+	for _, rp := range readPathSites {
+		if !strings.Contains(name, rp) {
+			continue
+		}
+		if rp == ").Get" && !strings.Contains(name, "internal/epoch.") {
+			continue // only the epoch map's Get is in scope
+		}
+		return true
+	}
+	return false
+}
+
+// assertLockFreeReadPath runs a contended workload on the lock-free
+// runtime with full mutex profiling and fails if any contended-mutex
+// event was held by a read-path function. The contention site is the
+// innermost non-sync/non-runtime frame of each profile record.
+func assertLockFreeReadPath() (string, error) {
+	old := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(old)
+	if _, err := benchContendedCommit(100, 50, false); err != nil {
+		return "", err
+	}
+	var records []runtime.BlockProfileRecord
+	n, _ := runtime.MutexProfile(nil)
+	for {
+		records = make([]runtime.BlockProfileRecord, n+64)
+		var ok bool
+		n, ok = runtime.MutexProfile(records)
+		if ok {
+			records = records[:n]
+			break
+		}
+	}
+	for _, rec := range records {
+		for _, pc := range rec.Stack() {
+			f := runtime.FuncForPC(pc)
+			if f == nil {
+				continue
+			}
+			name := f.Name()
+			if strings.HasPrefix(name, "sync.") || strings.HasPrefix(name, "runtime.") {
+				continue
+			}
+			// name is the contention site (lock holder).
+			if isReadPathSite(name) {
+				return "", fmt.Errorf("mutex contention held by read-path function %s (%d events)", name, rec.Count)
+			}
+			break
+		}
+	}
+	return "clean", nil
+}
+
 func toSelResult(name string, live int, r testing.BenchmarkResult) selBenchResult {
 	return selBenchResult{
 		Name:        name,
@@ -162,13 +354,18 @@ func runSelbench(args []string) error {
 	fs := flag.NewFlagSet("selbench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_sel.json", "output JSON path ('-' for stdout only)")
 	quick := fs.Bool("quick", false, "CI smoke mode: small world counts, one iteration")
+	abGate := fs.Float64("abgate", 0, "fail unless lock-free contended p50 <= gate × locked p50 (0 = report only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	counts := []int{10, 100, 1000, 10000}
+	contendedCounts := []int{10, 10000}
+	blocksPerWorker := 200
 	if *quick {
 		counts = []int{10, 100}
+		contendedCounts = []int{10}
+		blocksPerWorker = 30
 	}
 
 	var results []selBenchResult
@@ -197,6 +394,50 @@ func runSelbench(args []string) error {
 			fmt.Sprintf("EliminationThroughput/live=%d", live), res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.EliminationsPerSec)
 	}
 
+	// 64-way contention A/B: the same commit workload on the lock-free
+	// registry and the RWMutex baseline.
+	var contended []selContendedResult
+	fmt.Printf("\n%d-way contended commit (A/B: lock-free vs locked registry)\n", selContendWidth)
+	fmt.Printf("%-10s %12s %14s %14s %14s\n", "impl", "live", "p50 µs", "p99 µs", "blocks/s")
+	for _, live := range contendedCounts {
+		for _, locked := range []bool{false, true} {
+			r, err := benchContendedCommit(live, blocksPerWorker, locked)
+			if err != nil {
+				return fmt.Errorf("contended live=%d locked=%v: %w", live, locked, err)
+			}
+			contended = append(contended, r)
+			fmt.Printf("%-10s %12d %14.1f %14.1f %14.0f\n",
+				r.Impl, r.LiveWorlds, r.P50Ns/1e3, r.P99Ns/1e3, r.BlocksPerSec)
+		}
+	}
+	if *abGate > 0 {
+		for _, live := range contendedCounts {
+			var lf, lk float64
+			for _, r := range contended {
+				if r.LiveWorlds != live {
+					continue
+				}
+				if r.Impl == "lockfree" {
+					lf = r.P50Ns
+				} else {
+					lk = r.P50Ns
+				}
+			}
+			if lk > 0 && lf > *abGate*lk {
+				return fmt.Errorf("A/B gate failed at live=%d: lock-free p50 %.0fns > %.2f × locked p50 %.0fns",
+					live, lf, *abGate, lk)
+			}
+		}
+		fmt.Printf("A/B gate passed: lock-free p50 <= %.2f × locked p50 at every point\n", *abGate)
+	}
+
+	// The zero-mutex-acquisition check on the lock-free read path.
+	mutexVerdict, err := assertLockFreeReadPath()
+	if err != nil {
+		return fmt.Errorf("lock-free read-path mutex assertion: %w", err)
+	}
+	fmt.Printf("mutex-profile read-path check: %s\n", mutexVerdict)
+
 	// Selection counters from a dedicated traced run: the affected-set
 	// size per resolution is the quantity commit cost scales with.
 	subsPerRes, contention, err := measureSelCounters()
@@ -223,6 +464,8 @@ func runSelbench(args []string) error {
 		BaselineCommit:           selBaselineCommit,
 		Baseline:                 selBaseline(),
 		Results:                  results,
+		Contended:                contended,
+		MutexProfileReadPath:     mutexVerdict,
 		SubscribersPerResolution: subsPerRes,
 		ShardContention:          contention,
 	})

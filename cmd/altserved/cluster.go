@@ -1,11 +1,9 @@
 package main
 
 import (
-	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"log"
-	"reflect"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,16 +27,19 @@ import (
 )
 
 // The daemon's peer group: each altserved node runs a TCP transport
-// endpoint, a consensus voter, a SWIM membership agent, a load
-// responder, and an rfork receiver. A job submitted to any node commits
-// through a majority of the group's voters (§3.2.1: "the
-// synchronization is set up as a majority consensus decision"), and a
-// busy node can rfork a job — shipped as a checkpoint image — onto a
-// peer chosen by consistent-hash placement over the live membership
-// view, biased by the load hints the agents gossip on probe traffic.
+// endpoint, a consensus voter, a SWIM membership agent, and an rfork
+// receiver. A job submitted to any node commits through a majority of
+// the group's voters (§3.2.1: "the synchronization is set up as a
+// majority consensus decision"), and a busy node can rfork a job —
+// shipped as a checkpoint image — onto a peer chosen by
+// consistent-hash placement over the live membership view, biased by
+// the load hints the agents gossip on probe traffic.
+//
+// Wire-codec tags 200/201 were the polled load-query protocol, retired
+// now that occupancy rides the membership gossip; they stay reserved so
+// a future message type can't collide with old peers on the wire.
 
 const (
-	loadPort = "cluster/load"
 	// rfork delta shipping writes each forwarded request into a
 	// fixed-size per-peer arena so successive jobs diff page-by-page
 	// against a peer-cached base image; requests that outgrow the arena
@@ -48,53 +49,6 @@ const (
 	rforkLineage    = "rfork/json"
 	rforkJobTimeout = 10 * time.Second
 )
-
-// loadQuery asks a peer for its pool occupancy; loadReply answers.
-type loadQuery struct{ Reply transport.Addr }
-
-type loadReply struct {
-	Node    ids.NodeID
-	Running int
-	Queued  int
-}
-
-func init() {
-	gob.Register(loadQuery{})
-	gob.Register(loadReply{})
-	// Application-level binary codecs live in the 200+ tag range,
-	// keeping the load-balancing chatter off the gob fallback path too.
-	transport.RegisterWire(transport.WireCodec{
-		Tag: 200, Type: reflect.TypeOf(loadQuery{}),
-		Append: func(p any, dst []byte) []byte {
-			q := p.(loadQuery)
-			dst = transport.AppendUvarint(dst, uint64(q.Reply.Node))
-			return transport.AppendString(dst, q.Reply.Port)
-		},
-		Decode: func(data []byte) (any, error) {
-			r := transport.NewWireReader(data)
-			q := loadQuery{Reply: transport.Addr{Node: ids.NodeID(r.Uvarint()), Port: r.String()}}
-			return q, r.Err()
-		},
-	})
-	transport.RegisterWire(transport.WireCodec{
-		Tag: 201, Type: reflect.TypeOf(loadReply{}),
-		Append: func(p any, dst []byte) []byte {
-			m := p.(loadReply)
-			dst = transport.AppendUvarint(dst, uint64(m.Node))
-			dst = transport.AppendVarint(dst, int64(m.Running))
-			return transport.AppendVarint(dst, int64(m.Queued))
-		},
-		Decode: func(data []byte) (any, error) {
-			r := transport.NewWireReader(data)
-			m := loadReply{
-				Node:    ids.NodeID(r.Uvarint()),
-				Running: int(r.Varint()),
-				Queued:  int(r.Varint()),
-			}
-			return m, r.Err()
-		},
-	})
-}
 
 // peerSpec maps node IDs to cluster listen addresses ("1=host:port,...").
 type peerSpec map[ids.NodeID]string
@@ -149,7 +103,6 @@ type clusterState struct {
 	winMu   sync.Mutex
 	windows map[ids.NodeID]*peerWindow
 
-	loadWarn       sync.Once    // one deprecation log for polled load queries
 	rforkFallbacks atomic.Int64 // rfork requests that ran locally instead
 
 	// batch selects the group-commit path: claims route through the
@@ -173,7 +126,6 @@ type clusterState struct {
 	rforksOut atomic.Int64
 	rforkSeq  atomic.Int64
 
-	loadSvc  transport.Handle
 	rforkSvc transport.Handle
 	ctlSvc   transport.Handle
 }
@@ -299,7 +251,6 @@ func (c *clusterState) start(pool *serve.Pool) {
 		Counters: c.mc,
 		Logf:     log.Printf,
 	})
-	c.loadSvc = c.tcp.Spawn("load-svc", c.serveLoad)
 	c.rforkSvc = c.tcp.Spawn("rfork-svc", c.serveRFork)
 	c.ctlSvc = c.tcp.Spawn("rfork-ctl", func(p transport.Proc) {
 		checkpoint.ServeNaks(p, c.tcp.Bind(checkpoint.RForkCtlPort), c.shipper)
@@ -357,9 +308,6 @@ func (c *clusterState) close() {
 		c.agent.Leave()
 		c.agent.Stop()
 	}
-	if c.loadSvc != nil {
-		c.loadSvc.Kill()
-	}
 	if c.rforkSvc != nil {
 		c.rforkSvc.Kill()
 	}
@@ -395,30 +343,6 @@ func (c *clusterState) newClaim(job serve.Job, id uint64) core.ClaimFunc {
 			c.commits.Add(1)
 		}
 		return won
-	}
-}
-
-// serveLoad answers peers' occupancy queries. Deprecated as of the
-// membership release: occupancy now rides the gossip as a load hint,
-// so nothing in this tree polls it any more. It keeps answering for
-// one release so mixed-version groups still balance, with a one-time
-// log when an old peer shows up.
-func (c *clusterState) serveLoad(p transport.Proc) {
-	inbox := c.tcp.Bind(loadPort)
-	for {
-		env, ok := inbox.Recv(p)
-		if !ok {
-			return
-		}
-		q, isQ := env.Payload.(loadQuery)
-		if !isQ {
-			continue
-		}
-		c.loadWarn.Do(func() {
-			log.Printf("cluster: node %d polled the deprecated load-query port; occupancy is gossiped with membership now (answering for compatibility)", env.From)
-		})
-		st := c.pool.Stats()
-		c.tcp.Send(q.Reply, loadReply{Node: c.node, Running: st.Running, Queued: st.Queued})
 	}
 }
 

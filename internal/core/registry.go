@@ -1,9 +1,6 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"altrun/internal/ids"
 	"altrun/internal/trace"
 )
@@ -14,8 +11,7 @@ import (
 // sibling elimination, predicate resolution (§3.2.1, §3.4.2) — scale
 // with the affected set instead of the live set:
 //
-//   - a sharded PID→World map (lock-striped; reads take one shard
-//     RLock, so unrelated commits don't serialize on one mutex);
+//   - a sharded PID→World map;
 //   - a predicate-subscription index: assumed PID → the worlds whose
 //     predicate sets mention it. A resolution event visits exactly its
 //     subscribers; worlds with no stake in the resolved process are
@@ -26,211 +22,103 @@ import (
 //   - a copy-on-write alias table for split receivers (§3.4.2): the
 //     reader path is a single atomic load, and a destination that
 //     never split pays nothing for the split machinery.
+//
+// Two implementations exist behind the worldRegistry interface:
+//
+//   - lfRegistry (default): every read path — world lookup, subscriber
+//     snapshot, alias walk — is lock-free. World and subscription maps
+//     are epoch-reclaimed open-addressed tables (internal/epoch);
+//     subscription buckets are immutable copy-on-write slices; the
+//     alias table is a generation-stamped snapshot swapped by CAS. A
+//     commit cascade acquires zero mutexes on its lookup side; only
+//     registration/unregistration (writers) serialize, per shard.
+//   - lockedRegistry: the previous RWMutex-sharded design, kept as the
+//     A/B baseline selected by Config.LockedRegistry so selbench can
+//     measure exactly what the lock removal buys.
+//
+// Both implement the model in spec/altcommit.tla; see DESIGN §10 for
+// the action↔function mapping.
 
 // regShardCount is the number of registry shards. Power of two; 16 is
 // plenty to keep unrelated blocks off each other's locks without
 // bloating small runtimes.
 const regShardCount = 16
 
-// regShard is one lock stripe of the registry. Worlds and subscription
-// buckets are both sharded by PID — a world lives in the shard of its
-// own PID; a subscription bucket lives in the shard of the *assumed*
-// PID.
-type regShard struct {
-	mu     sync.RWMutex
-	worlds map[ids.PID]*World
-	// subs maps an assumed PID to the worlds whose predicate sets
-	// mention it. Bucket membership is a set (worlds subscribe once).
-	subs map[ids.PID]map[*World]struct{}
+// worldRegistry is the registry contract Runtime depends on. Methods
+// on the selection path (world, appendSubscribers, hasAlias, aliasFor,
+// appendAliasTargets) must be safe for unbounded concurrency with
+// writers; append* methods must only append to buf, never clobber it.
+type worldRegistry interface {
+	// addWorld publishes w and subscribes it to every PID in w.subPIDs
+	// (fixed before the call — written once, at registration, before
+	// the world is visible to anyone).
+	addWorld(w *World)
+	// removeWorld unpublishes w and tears down its subscriptions.
+	// Buckets already dropped (their PID resolved) are skipped.
+	removeWorld(w *World)
+	// world returns the live world for pid, or nil.
+	world(pid ids.PID) *World
+	// appendSubscribers appends a snapshot of pid's subscription bucket
+	// — the affected set of resolving pid — to buf.
+	appendSubscribers(buf []*World, pid ids.PID) []*World
+	// dropBucket discards pid's subscription bucket. Called after pid's
+	// fate has been resolved and propagated: a PID resolves at most
+	// once (identifiers are never reused), so the bucket can never be
+	// consulted again — surviving subscribers were Simplified and no
+	// longer mention pid.
+	dropBucket(pid ids.PID)
+	// snapshotWorlds returns all live worlds (diagnostic/test path; the
+	// selection path never calls it).
+	snapshotWorlds() []*World
+	// setAlias records that messages for orig should reach copies
+	// (§3.4.2: "two copies of the receiver are created").
+	setAlias(orig ids.PID, copies []ids.PID)
+	// aliasFor returns orig's direct alias targets, if any. Lock-free.
+	aliasFor(orig ids.PID) ([]ids.PID, bool)
+	// hasAlias reports whether dest ever split. Lock-free; this is the
+	// zero-cost guard in front of every send's alias walk.
+	hasAlias(dest ids.PID) bool
+	// appendAliasTargets walks the alias DAG from dest and appends the
+	// currently-live transitive targets to buf. The caller has already
+	// established hasAlias(dest).
+	appendAliasTargets(buf []ids.PID, dest ids.PID) []ids.PID
+	// aliasSnapshot returns the current alias snapshot (nil before the
+	// first split) — test and stress-harness hook for generation
+	// monotonicity assertions.
+	aliasSnapshot() *aliasTable
 }
 
 // aliasTable is an immutable snapshot of the split-receiver forwarding
-// map. Writers build a new table; readers load it atomically.
+// map. Writers build a new table stamped with the next generation;
+// readers load one atomically. Generations are totally ordered (each
+// snapshot derives from its predecessor), so any reader observing
+// generation g sees every write that produced generations ≤ g.
 type aliasTable struct {
-	m map[ids.PID][]ids.PID
+	gen uint64
+	m   map[ids.PID][]ids.PID
 }
 
-// registry is the sharded world registry.
-type registry struct {
-	shards [regShardCount]regShard
-
-	aliasMu sync.Mutex                 // serializes alias writers
-	aliases atomic.Pointer[aliasTable] // nil until the first split
-
-	sel *trace.SelCounters
-}
-
-func newRegistry(sel *trace.SelCounters) *registry {
-	r := &registry{sel: sel}
-	for i := range r.shards {
-		r.shards[i].worlds = make(map[ids.PID]*World)
-		r.shards[i].subs = make(map[ids.PID]map[*World]struct{})
-	}
-	return r
-}
-
-// shardFor returns the shard owning pid. PIDs are dense small integers
-// from one generator, so the low bits alone stripe evenly.
-func (r *registry) shardFor(pid ids.PID) *regShard {
-	return &r.shards[uint64(pid)&(regShardCount-1)]
-}
-
-// rlock read-locks s, counting the acquisitions that found the shard
-// held (the contention the sharding exists to avoid).
-func (r *registry) rlock(s *regShard) {
-	if !s.mu.TryRLock() {
-		r.sel.ShardContention.Add(1)
-		s.mu.RLock()
-	}
-}
-
-// lock write-locks s with the same contention accounting.
-func (r *registry) lock(s *regShard) {
-	if !s.mu.TryLock() {
-		r.sel.ShardContention.Add(1)
-		s.mu.Lock()
-	}
-}
-
-// addWorld publishes w and subscribes it to every PID its predicate
-// set mentions. w.subPIDs must be fixed before the call (it is written
-// once, at registration, before the world is visible to anyone).
-func (r *registry) addWorld(w *World) {
-	s := r.shardFor(w.pid)
-	r.lock(s)
-	s.worlds[w.pid] = w
-	s.mu.Unlock()
-	for _, p := range w.subPIDs {
-		ss := r.shardFor(p)
-		r.lock(ss)
-		b := ss.subs[p]
-		if b == nil {
-			b = make(map[*World]struct{}, 2)
-			ss.subs[p] = b
-		}
-		b[w] = struct{}{}
-		ss.mu.Unlock()
-	}
-}
-
-// removeWorld unpublishes w and tears down its subscriptions. Buckets
-// already dropped (their PID resolved) are skipped silently.
-func (r *registry) removeWorld(w *World) {
-	s := r.shardFor(w.pid)
-	r.lock(s)
-	delete(s.worlds, w.pid)
-	s.mu.Unlock()
-	for _, p := range w.subPIDs {
-		ss := r.shardFor(p)
-		r.lock(ss)
-		if b, ok := ss.subs[p]; ok {
-			delete(b, w)
-			if len(b) == 0 {
-				delete(ss.subs, p)
-			}
-		}
-		ss.mu.Unlock()
-	}
-}
-
-// world returns the live world for pid, or nil.
-func (r *registry) world(pid ids.PID) *World {
-	s := r.shardFor(pid)
-	r.rlock(s)
-	w := s.worlds[pid]
-	s.mu.RUnlock()
-	return w
-}
-
-// appendSubscribers appends a snapshot of pid's subscription bucket —
-// the affected set of resolving pid — to buf and returns the extended
-// slice. With enough capacity in buf it does not allocate.
-func (r *registry) appendSubscribers(buf []*World, pid ids.PID) []*World {
-	s := r.shardFor(pid)
-	r.rlock(s)
-	for w := range s.subs[pid] {
-		buf = append(buf, w)
-	}
-	s.mu.RUnlock()
-	return buf
-}
-
-// dropBucket discards pid's subscription bucket. Called after pid's
-// fate has been resolved and propagated: a PID resolves at most once
-// (identifiers are never reused), so the bucket can never be consulted
-// again — surviving subscribers were Simplified and no longer mention
-// pid.
-func (r *registry) dropBucket(pid ids.PID) {
-	s := r.shardFor(pid)
-	r.lock(s)
-	delete(s.subs, pid)
-	s.mu.Unlock()
-}
-
-// snapshotWorlds returns all live worlds (diagnostic/test path; the
-// selection path never calls it).
-func (r *registry) snapshotWorlds() []*World {
-	var out []*World
-	for i := range r.shards {
-		s := &r.shards[i]
-		r.rlock(s)
-		for _, w := range s.worlds {
-			out = append(out, w)
-		}
-		s.mu.RUnlock()
-	}
-	return out
-}
-
-// setAlias records that messages for orig should reach copies
-// (§3.4.2: "two copies of the receiver are created"). Copy-on-write:
-// readers keep the old snapshot until the new one is published.
-func (r *registry) setAlias(orig ids.PID, copies []ids.PID) {
-	r.aliasMu.Lock()
-	old := r.aliases.Load()
-	var next map[ids.PID][]ids.PID
+// extend builds the successor snapshot of old (nil for the first) with
+// orig→copies applied.
+func (old *aliasTable) extend(orig ids.PID, copies []ids.PID) *aliasTable {
 	if old == nil {
-		next = make(map[ids.PID][]ids.PID, 1)
-	} else {
-		next = make(map[ids.PID][]ids.PID, len(old.m)+1)
-		for k, v := range old.m {
-			next[k] = v
-		}
+		return &aliasTable{gen: 1, m: map[ids.PID][]ids.PID{orig: copies}}
+	}
+	next := make(map[ids.PID][]ids.PID, len(old.m)+1)
+	for k, v := range old.m {
+		next[k] = v
 	}
 	next[orig] = copies
-	r.aliases.Store(&aliasTable{m: next})
-	r.aliasMu.Unlock()
+	return &aliasTable{gen: old.gen + 1, m: next}
 }
 
-// aliasFor returns orig's direct alias targets, if any. Lock-free.
-func (r *registry) aliasFor(orig ids.PID) ([]ids.PID, bool) {
-	at := r.aliases.Load()
+// walkAliases is the shared alias-DAG traversal: from dest, follow
+// alias edges in at, appending the leaves that are live according to
+// lookup. Small stack buffers keep shallow split chains (the only kind
+// splits produce) allocation-free.
+func walkAliases(buf []ids.PID, dest ids.PID, at *aliasTable, lookup func(ids.PID) bool) []ids.PID {
 	if at == nil {
-		return nil, false
-	}
-	c, ok := at.m[orig]
-	return c, ok
-}
-
-// hasAlias reports whether dest ever split. Lock-free; this is the
-// zero-cost guard in front of every send's alias walk.
-func (r *registry) hasAlias(dest ids.PID) bool {
-	at := r.aliases.Load()
-	if at == nil {
-		return false
-	}
-	_, ok := at.m[dest]
-	return ok
-}
-
-// appendAliasTargets walks the alias DAG from dest and appends the
-// currently-live transitive targets to buf. The caller has already
-// established hasAlias(dest); the walk reuses small stack buffers so
-// shallow split chains (the only kind splits produce) don't allocate.
-func (r *registry) appendAliasTargets(buf []ids.PID, dest ids.PID) []ids.PID {
-	at := r.aliases.Load()
-	if at == nil {
-		if r.world(dest) != nil {
+		if lookup(dest) {
 			return append(buf, dest)
 		}
 		return buf
@@ -253,9 +141,18 @@ walk:
 			stack = append(stack, copies...)
 			continue
 		}
-		if r.world(p) != nil {
+		if lookup(p) {
 			buf = append(buf, p)
 		}
 	}
 	return buf
+}
+
+// newRegistry returns the registry implementation selected by locked:
+// the lock-free default, or the RWMutex baseline for A/B comparison.
+func newRegistry(sel *trace.SelCounters, locked bool) worldRegistry {
+	if locked {
+		return newLockedRegistry(sel)
+	}
+	return newLFRegistry(sel)
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 	"testing"
 
 	"altrun/internal/ids"
@@ -9,11 +11,25 @@ import (
 	"altrun/internal/trace"
 )
 
-// Unit tests for the sharded registry: the world map, the
+// Unit tests for the world registry: the world map, the
 // predicate-subscription index, and the copy-on-write alias table.
+// Every test runs against both implementations — the lock-free default
+// and the RWMutex baseline — since they must be observably identical.
 
-func newTestRegistry() *registry {
-	return newRegistry(&trace.SelCounters{})
+// eachRegistry runs fn as a subtest per registry implementation.
+func eachRegistry(t *testing.T, fn func(t *testing.T, mk func() worldRegistry)) {
+	t.Helper()
+	for _, impl := range []struct {
+		name   string
+		locked bool
+	}{{"lockfree", false}, {"locked", true}} {
+		locked := impl.locked
+		t.Run(impl.name, func(t *testing.T) {
+			fn(t, func() worldRegistry {
+				return newRegistry(&trace.SelCounters{}, locked)
+			})
+		})
+	}
 }
 
 func pidsOf(ws []*World) []ids.PID {
@@ -26,138 +42,353 @@ func pidsOf(ws []*World) []ids.PID {
 }
 
 func TestRegistryAddRemoveWorld(t *testing.T) {
-	r := newTestRegistry()
-	// Spread worlds across every shard (PIDs 1..64 cover all 16 stripes
-	// four times over).
-	var ws []*World
-	for pid := ids.PID(1); pid <= 64; pid++ {
-		w := &World{pid: pid}
-		ws = append(ws, w)
-		r.addWorld(w)
-	}
-	for _, w := range ws {
-		if got := r.world(w.pid); got != w {
-			t.Fatalf("world(%v) = %p, want %p", w.pid, got, w)
+	eachRegistry(t, func(t *testing.T, mk func() worldRegistry) {
+		r := mk()
+		// Spread worlds across every shard (PIDs 1..64 cover all 16
+		// stripes four times over).
+		var ws []*World
+		for pid := ids.PID(1); pid <= 64; pid++ {
+			w := &World{pid: pid}
+			ws = append(ws, w)
+			r.addWorld(w)
 		}
-	}
-	if got := len(r.snapshotWorlds()); got != 64 {
-		t.Fatalf("snapshot has %d worlds, want 64", got)
-	}
-	for _, w := range ws[:32] {
-		r.removeWorld(w)
-	}
-	for _, w := range ws[:32] {
-		if r.world(w.pid) != nil {
-			t.Fatalf("world(%v) still present after remove", w.pid)
+		for _, w := range ws {
+			if got := r.world(w.pid); got != w {
+				t.Fatalf("world(%v) = %p, want %p", w.pid, got, w)
+			}
 		}
-	}
-	if got := len(r.snapshotWorlds()); got != 32 {
-		t.Fatalf("snapshot has %d worlds after removal, want 32", got)
-	}
+		if got := len(r.snapshotWorlds()); got != 64 {
+			t.Fatalf("snapshot has %d worlds, want 64", got)
+		}
+		for _, w := range ws[:32] {
+			r.removeWorld(w)
+		}
+		for _, w := range ws[:32] {
+			if r.world(w.pid) != nil {
+				t.Fatalf("world(%v) still present after remove", w.pid)
+			}
+		}
+		if got := len(r.snapshotWorlds()); got != 32 {
+			t.Fatalf("snapshot has %d worlds after removal, want 32", got)
+		}
+	})
 }
 
 func TestRegistrySubscriptionIndex(t *testing.T) {
-	r := newTestRegistry()
-	subject := ids.PID(100)
-	other := ids.PID(101)
-	a := &World{pid: 1, subPIDs: []ids.PID{subject}}
-	b := &World{pid: 2, subPIDs: []ids.PID{subject, other}}
-	c := &World{pid: 3, subPIDs: []ids.PID{other}}
-	for _, w := range []*World{a, b, c} {
-		r.addWorld(w)
-	}
+	eachRegistry(t, func(t *testing.T, mk func() worldRegistry) {
+		r := mk()
+		subject := ids.PID(100)
+		other := ids.PID(101)
+		a := &World{pid: 1, subPIDs: []ids.PID{subject}}
+		b := &World{pid: 2, subPIDs: []ids.PID{subject, other}}
+		c := &World{pid: 3, subPIDs: []ids.PID{other}}
+		for _, w := range []*World{a, b, c} {
+			r.addWorld(w)
+		}
 
-	got := pidsOf(r.appendSubscribers(nil, subject))
-	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
-		t.Fatalf("subscribers(%v) = %v, want [1 2]", subject, got)
-	}
-	// A world subscribed to several PIDs appears in each bucket.
-	got = pidsOf(r.appendSubscribers(nil, other))
-	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
-		t.Fatalf("subscribers(%v) = %v, want [2 3]", other, got)
-	}
-	// appendSubscribers appends; it must not clobber what's in buf.
-	buf := []*World{c}
-	buf = r.appendSubscribers(buf, subject)
-	if len(buf) != 3 || buf[0] != c {
-		t.Fatalf("appendSubscribers clobbered the buffer prefix: %v", pidsOf(buf))
-	}
+		got := pidsOf(r.appendSubscribers(nil, subject))
+		if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Fatalf("subscribers(%v) = %v, want [1 2]", subject, got)
+		}
+		// A world subscribed to several PIDs appears in each bucket.
+		got = pidsOf(r.appendSubscribers(nil, other))
+		if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+			t.Fatalf("subscribers(%v) = %v, want [2 3]", other, got)
+		}
+		// appendSubscribers appends; it must not clobber what's in buf.
+		buf := []*World{c}
+		buf = r.appendSubscribers(buf, subject)
+		if len(buf) != 3 || buf[0] != c {
+			t.Fatalf("appendSubscribers clobbered the buffer prefix: %v", pidsOf(buf))
+		}
 
-	// Removing a world removes it from every bucket it was in.
-	r.removeWorld(b)
-	got = pidsOf(r.appendSubscribers(nil, subject))
-	if len(got) != 1 || got[0] != 1 {
-		t.Fatalf("subscribers(%v) after remove = %v, want [1]", subject, got)
-	}
+		// Removing a world removes it from every bucket it was in.
+		r.removeWorld(b)
+		got = pidsOf(r.appendSubscribers(nil, subject))
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("subscribers(%v) after remove = %v, want [1]", subject, got)
+		}
 
-	// dropBucket forgets the subject entirely; removing a world whose
-	// bucket is gone must be silent.
-	r.dropBucket(subject)
-	if got := r.appendSubscribers(nil, subject); len(got) != 0 {
-		t.Fatalf("subscribers(%v) after drop = %v, want empty", subject, got)
-	}
-	r.removeWorld(a) // a was subscribed to the dropped bucket
-	if r.world(a.pid) != nil {
-		t.Fatal("removeWorld failed after dropBucket")
-	}
+		// dropBucket forgets the subject entirely; removing a world
+		// whose bucket is gone must be silent.
+		r.dropBucket(subject)
+		if got := r.appendSubscribers(nil, subject); len(got) != 0 {
+			t.Fatalf("subscribers(%v) after drop = %v, want empty", subject, got)
+		}
+		r.removeWorld(a) // a was subscribed to the dropped bucket
+		if r.world(a.pid) != nil {
+			t.Fatal("removeWorld failed after dropBucket")
+		}
+	})
 }
 
 func TestRegistryAliasCopyOnWrite(t *testing.T) {
-	r := newTestRegistry()
-	if r.hasAlias(1) {
-		t.Fatal("empty registry claims an alias")
-	}
-	if got := r.appendAliasTargets(nil, 1); len(got) != 0 {
-		t.Fatalf("alias targets on empty registry = %v", got)
-	}
+	eachRegistry(t, func(t *testing.T, mk func() worldRegistry) {
+		r := mk()
+		if r.hasAlias(1) {
+			t.Fatal("empty registry claims an alias")
+		}
+		if got := r.appendAliasTargets(nil, 1); len(got) != 0 {
+			t.Fatalf("alias targets on empty registry = %v", got)
+		}
+		if r.aliasSnapshot() != nil {
+			t.Fatal("alias snapshot non-nil before first split")
+		}
 
-	// Readers holding the old snapshot must not see later writes.
-	r.setAlias(1, []ids.PID{2, 3})
-	old := r.aliases.Load()
-	r.setAlias(4, []ids.PID{5, 6})
-	if _, ok := old.m[4]; ok {
-		t.Fatal("old alias snapshot mutated by a later setAlias")
-	}
-	if c, ok := r.aliasFor(1); !ok || len(c) != 2 {
-		t.Fatalf("aliasFor(1) = %v %v", c, ok)
-	}
-	if !r.hasAlias(4) {
-		t.Fatal("hasAlias(4) = false after setAlias")
-	}
-	if r.hasAlias(2) {
-		t.Fatal("hasAlias(2) = true; 2 is a target, not a source")
-	}
+		// Readers holding the old snapshot must not see later writes,
+		// and generations must advance one per write.
+		r.setAlias(1, []ids.PID{2, 3})
+		old := r.aliasSnapshot()
+		if old.gen != 1 {
+			t.Fatalf("first snapshot generation = %d, want 1", old.gen)
+		}
+		r.setAlias(4, []ids.PID{5, 6})
+		if _, ok := old.m[4]; ok {
+			t.Fatal("old alias snapshot mutated by a later setAlias")
+		}
+		if cur := r.aliasSnapshot(); cur.gen != 2 {
+			t.Fatalf("snapshot generation = %d after two writes, want 2", cur.gen)
+		}
+		if c, ok := r.aliasFor(1); !ok || len(c) != 2 {
+			t.Fatalf("aliasFor(1) = %v %v", c, ok)
+		}
+		if !r.hasAlias(4) {
+			t.Fatal("hasAlias(4) = false after setAlias")
+		}
+		if r.hasAlias(2) {
+			t.Fatal("hasAlias(2) = true; 2 is a target, not a source")
+		}
+	})
 }
 
 func TestRegistryAliasWalk(t *testing.T) {
-	r := newTestRegistry()
-	// Chain: 1 -> (2,3); 2 -> (4,5); only 3, 4 live. 5 died.
-	for _, pid := range []ids.PID{3, 4} {
-		r.addWorld(&World{pid: pid})
-	}
-	r.setAlias(1, []ids.PID{2, 3})
-	r.setAlias(2, []ids.PID{4, 5})
+	eachRegistry(t, func(t *testing.T, mk func() worldRegistry) {
+		r := mk()
+		// Chain: 1 -> (2,3); 2 -> (4,5); only 3, 4 live. 5 died.
+		for _, pid := range []ids.PID{3, 4} {
+			r.addWorld(&World{pid: pid})
+		}
+		r.setAlias(1, []ids.PID{2, 3})
+		r.setAlias(2, []ids.PID{4, 5})
 
-	got := r.appendAliasTargets(nil, 1)
-	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
-	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
-		t.Fatalf("alias targets = %v, want [3 4]", got)
-	}
+		got := r.appendAliasTargets(nil, 1)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+			t.Fatalf("alias targets = %v, want [3 4]", got)
+		}
 
-	// A chain deeper than the stack buffers (8/16 entries) must still
-	// resolve — the buffers spill, they don't truncate.
-	deep := newTestRegistry()
-	const depth = 40
-	for i := 0; i < depth; i++ {
-		// i -> (i+1, 1000+i); the side branch 1000+i is live.
-		deep.addWorld(&World{pid: ids.PID(1000 + i)})
-		deep.setAlias(ids.PID(i), []ids.PID{ids.PID(i + 1), ids.PID(1000 + i)})
-	}
-	deep.addWorld(&World{pid: depth})
-	got = deep.appendAliasTargets(nil, 0)
-	if len(got) != depth+1 {
-		t.Fatalf("deep walk found %d targets, want %d", len(got), depth+1)
-	}
+		// A chain deeper than the stack buffers (8/16 entries) must
+		// still resolve — the buffers spill, they don't truncate.
+		deep := mk()
+		const depth = 40
+		for i := 0; i < depth; i++ {
+			// i -> (i+1, 1000+i); the side branch 1000+i is live.
+			deep.addWorld(&World{pid: ids.PID(1000 + i)})
+			deep.setAlias(ids.PID(i), []ids.PID{ids.PID(i + 1), ids.PID(1000 + i)})
+		}
+		deep.addWorld(&World{pid: depth})
+		got = deep.appendAliasTargets(nil, 0)
+		if len(got) != depth+1 {
+			t.Fatalf("deep walk found %d targets, want %d", len(got), depth+1)
+		}
+	})
+}
+
+// TestAliasLinearizability is the linearizability-style stress for the
+// lock-free alias table: W writers extend overlapping alias chains
+// concurrently while R readers snapshot the table. Assertions:
+//
+//   - generation monotonicity: each reader's observed generations never
+//     go backwards (snapshots are totally ordered by CAS);
+//   - prefix consistency: within one reader, once a key is seen at
+//     write-sequence index i, no later snapshot shows it at an index
+//     < i — a later generation contains every earlier write;
+//   - sequential oracle: the final table equals replaying each
+//     writer's operations in order (each key has one writer, so the
+//     interleaving is immaterial — exactly what per-key linearizability
+//     demands).
+func TestAliasLinearizability(t *testing.T) {
+	eachRegistry(t, func(t *testing.T, mk func() worldRegistry) {
+		r := mk()
+		const (
+			writers = 8
+			rounds  = 200
+			readers = 4
+		)
+		// Writer w owns keys w*1000+1 .. w*1000+rounds and links each
+		// new key into the previous writer's chain (overlapping DAG:
+		// key -> [own previous key, neighbor writer's key]). Values
+		// encode the write-sequence index so readers can check order.
+		keyOf := func(w, i int) ids.PID { return ids.PID(w*1000 + i + 1) }
+		valOf := func(w, i int) []ids.PID {
+			neighbor := keyOf((w+1)%writers, i)
+			if i == 0 {
+				return []ids.PID{neighbor}
+			}
+			return []ids.PID{keyOf(w, i-1), neighbor, ids.PID(i)}
+		}
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		errs := make(chan error, readers)
+		for rd := 0; rd < readers; rd++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var lastGen uint64
+				lastIdx := make(map[ids.PID]int)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					at := r.aliasSnapshot()
+					if at == nil {
+						continue
+					}
+					if at.gen < lastGen {
+						errs <- fmt.Errorf("generation went backwards: %d after %d", at.gen, lastGen)
+						return
+					}
+					lastGen = at.gen
+					// Spot-check prefix consistency on each writer's
+					// newest visible key: its sequence index must never
+					// regress across this reader's snapshots.
+					for w := 0; w < writers; w++ {
+						for i := rounds - 1; i >= 0; i-- {
+							k := keyOf(w, i)
+							if _, ok := at.m[k]; ok {
+								if prev, seen := lastIdx[ids.PID(w)]; seen && i < prev {
+									errs <- fmt.Errorf("writer %d regressed: saw key %d then %d (gen %d)", w, prev, i, at.gen)
+									return
+								}
+								lastIdx[ids.PID(w)] = i
+								break
+							}
+						}
+					}
+				}
+			}()
+		}
+		var ww sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			ww.Add(1)
+			go func(w int) {
+				defer ww.Done()
+				for i := 0; i < rounds; i++ {
+					r.setAlias(keyOf(w, i), valOf(w, i))
+				}
+			}(w)
+		}
+		ww.Wait()
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+
+		// Sequential oracle: replay every writer in order into a plain
+		// map; each key has one writer, so this is the unique
+		// linearized outcome.
+		oracle := make(map[ids.PID][]ids.PID)
+		for w := 0; w < writers; w++ {
+			for i := 0; i < rounds; i++ {
+				oracle[keyOf(w, i)] = valOf(w, i)
+			}
+		}
+		final := r.aliasSnapshot()
+		if final.gen != writers*rounds {
+			t.Fatalf("final generation = %d, want %d (one per write)", final.gen, writers*rounds)
+		}
+		if len(final.m) != len(oracle) {
+			t.Fatalf("final table has %d keys, oracle %d", len(final.m), len(oracle))
+		}
+		for k, want := range oracle {
+			got, ok := final.m[k]
+			if !ok || len(got) != len(want) {
+				t.Fatalf("key %v = %v, oracle %v", k, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("key %v = %v, oracle %v", k, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestRegistryConcurrentReadersWriters hammers the world map and
+// subscription index from mixed readers and writers — under -race this
+// is the reclamation safety net for the epoch-based tables (a recycled
+// table still being probed is a detected race).
+func TestRegistryConcurrentReadersWriters(t *testing.T) {
+	eachRegistry(t, func(t *testing.T, mk func() worldRegistry) {
+		r := mk()
+		const (
+			pids    = 128
+			rounds  = 100
+			readers = 4
+		)
+		// Anchors that stay registered for the whole run.
+		for pid := ids.PID(10_000); pid < 10_000+16; pid++ {
+			r.addWorld(&World{pid: pid, subPIDs: []ids.PID{9999}})
+		}
+		stop := make(chan struct{})
+		var rg sync.WaitGroup
+		for i := 0; i < readers; i++ {
+			rg.Add(1)
+			go func() {
+				defer rg.Done()
+				var buf []*World
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for pid := ids.PID(10_000); pid < 10_000+16; pid++ {
+						if r.world(pid) == nil {
+							t.Error("anchor world vanished")
+							return
+						}
+					}
+					buf = r.appendSubscribers(buf[:0], 9999)
+					if len(buf) < 16 {
+						t.Errorf("anchor bucket shrank to %d", len(buf))
+						return
+					}
+				}
+			}()
+		}
+		var wg sync.WaitGroup
+		for wtr := 0; wtr < 4; wtr++ {
+			wg.Add(1)
+			go func(wtr int) {
+				defer wg.Done()
+				base := ids.PID(wtr*pids + 1)
+				for round := 0; round < rounds; round++ {
+					ws := make([]*World, 0, pids/4)
+					for pid := base; pid < base+pids/4; pid++ {
+						w := &World{pid: pid, subPIDs: []ids.PID{9999, pid + 50_000}}
+						ws = append(ws, w)
+						r.addWorld(w)
+					}
+					for _, w := range ws {
+						r.removeWorld(w)
+					}
+				}
+			}(wtr)
+		}
+		wg.Wait()
+		close(stop)
+		rg.Wait()
+		if n := len(r.snapshotWorlds()); n != 16 {
+			t.Fatalf("%d worlds left, want the 16 anchors", n)
+		}
+	})
 }
 
 // TestRegisterCatchUpResolution pins the registration-time catch-up:

@@ -72,6 +72,10 @@ type Config struct {
 	// trace.Log.Dropped). 0 keeps the log unbounded — the mode
 	// experiments want; long-running daemons should set a cap.
 	TraceCap int
+	// LockedRegistry selects the legacy RWMutex-sharded world registry
+	// instead of the lock-free default — the A/B baseline selbench
+	// compares against (see registry.go).
+	LockedRegistry bool
 }
 
 // SimConfig configures a simulated runtime.
@@ -85,6 +89,9 @@ type SimConfig struct {
 	Trace bool
 	// TraceCap bounds the trace log as in Config.TraceCap.
 	TraceCap int
+	// LockedRegistry selects the legacy registry as in
+	// Config.LockedRegistry.
+	LockedRegistry bool
 }
 
 // WorldObserver observes world registration and unregistration — the
@@ -122,8 +129,9 @@ type Runtime struct {
 
 	// reg is the sharded world registry: live worlds, the predicate
 	// subscription index, and the split-receiver alias table (see
-	// registry.go). sel counts the selection-path work it does.
-	reg *registry
+	// registry.go; lock-free by default, RWMutex baseline behind
+	// Config.LockedRegistry). sel counts the selection-path work.
+	reg worldRegistry
 	sel trace.SelCounters
 
 	// propPool recycles propagation queues so elimination cascades are
@@ -172,7 +180,7 @@ type propQueue struct {
 // New returns a real-mode runtime.
 func New(cfg Config) *Runtime {
 	be := newRealBackend(cfg.Clock)
-	rt := newRuntime(page.NewStore(cfg.PageSize), cfg.Trace, cfg.TraceCap)
+	rt := newRuntime(page.NewStore(cfg.PageSize), cfg.Trace, cfg.TraceCap, cfg.LockedRegistry)
 	rt.be = be
 	rt.realBE = be
 	rt.finishInit()
@@ -186,7 +194,7 @@ func NewSim(cfg SimConfig) *Runtime {
 		cpus = cfg.CPUs
 	}
 	eng := sim.New(cpus)
-	rt := newRuntime(page.NewStore(cfg.Profile.PageSize), cfg.Trace, cfg.TraceCap)
+	rt := newRuntime(page.NewStore(cfg.Profile.PageSize), cfg.Trace, cfg.TraceCap, cfg.LockedRegistry)
 	rt.be = &simBackend{e: eng}
 	rt.eng = eng
 	profile := cfg.Profile
@@ -195,12 +203,12 @@ func NewSim(cfg SimConfig) *Runtime {
 	return rt
 }
 
-func newRuntime(store *page.Store, traced bool, traceCap int) *Runtime {
+func newRuntime(store *page.Store, traced bool, traceCap int, lockedReg bool) *Runtime {
 	rt := &Runtime{
 		store: store,
 		excl:  predicate.NewExclusionTable(),
 	}
-	rt.reg = newRegistry(&rt.sel)
+	rt.reg = newRegistry(&rt.sel, lockedReg)
 	rt.propPool.New = func() any {
 		return &propQueue{items: make([]propEvent, 0, 64)}
 	}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"altrun/internal/epoch"
 	"altrun/internal/ids"
 	"altrun/internal/predicate"
 	"altrun/internal/trace"
@@ -71,13 +72,16 @@ type Stats struct {
 }
 
 // Router dispatches messages to registered receivers. It is safe for
-// concurrent use. The send path takes no exclusive lock: receiver
-// lookup is a read-locked map access and the sequence/decision counters
-// are atomics, so concurrent senders to different receivers do not
-// serialize.
+// concurrent use. The send path takes no lock at all: receiver lookup
+// is a pinned probe of an epoch-reclaimed table (internal/epoch) and
+// the sequence/decision counters are atomics, so concurrent senders —
+// even to the same receiver — never serialize in the router.
 type Router struct {
-	mu        sync.RWMutex
-	receivers map[ids.PID]Receiver
+	dom *epoch.Domain
+	// receivers maps PID → boxed Receiver. The box exists because the
+	// epoch map stores pointers-to-V and an interface value is not
+	// addressable on its own.
+	receivers *epoch.Map[recvBox]
 
 	seq      atomic.Int64
 	sent     atomic.Int64
@@ -89,11 +93,16 @@ type Router struct {
 	log *trace.Log
 }
 
+// recvBox is an immutable box around one registered receiver.
+type recvBox struct{ rcv Receiver }
+
 // NewRouter returns an empty router. now supplies trace timestamps
 // (virtual or wall time); log may be nil.
 func NewRouter(now func() time.Time, log *trace.Log) *Router {
+	d := epoch.NewDomain()
 	return &Router{
-		receivers: make(map[ids.PID]Receiver),
+		dom:       d,
+		receivers: epoch.NewMap[recvBox](d),
 		now:       now,
 		log:       log,
 	}
@@ -102,24 +111,31 @@ func NewRouter(now func() time.Time, log *trace.Log) *Router {
 // Register makes rcv addressable. Re-registering a PID replaces the
 // previous receiver.
 func (r *Router) Register(rcv Receiver) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.receivers[rcv.PID()] = rcv
+	r.receivers.Set(rcv.PID(), &recvBox{rcv: rcv})
 }
 
 // Unregister removes the receiver for pid.
 func (r *Router) Unregister(pid ids.PID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	delete(r.receivers, pid)
+	r.receivers.Delete(pid)
+}
+
+// lookup returns the receiver for pid, or nil. Lock-free.
+func (r *Router) lookup(pid ids.PID) Receiver {
+	if pid <= 0 {
+		return nil
+	}
+	g := r.dom.Pin()
+	b := r.receivers.Get(pid)
+	g.Unpin()
+	if b == nil {
+		return nil
+	}
+	return b.rcv
 }
 
 // Registered reports whether pid is addressable.
 func (r *Router) Registered(pid ids.PID) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	_, ok := r.receivers[pid]
-	return ok
+	return r.lookup(pid) != nil
 }
 
 // Stats returns a snapshot of the delivery counters.
@@ -136,10 +152,8 @@ func (r *Router) Stats() Stats {
 // to pid, applying the accept/ignore/split rule. senderPred is cloned;
 // the caller keeps ownership of its set.
 func (r *Router) Send(sender ids.PID, senderPred *predicate.Set, dest ids.PID, data any) error {
-	r.mu.RLock()
-	rcv, ok := r.receivers[dest]
-	r.mu.RUnlock()
-	if !ok {
+	rcv := r.lookup(dest)
+	if rcv == nil {
 		return fmt.Errorf("%w: %v", ErrUnknownReceiver, dest)
 	}
 	m := Message{

@@ -8,13 +8,23 @@
 // ended (completed, failed, eliminated), and broadcasts transitions to
 // subscribers. The core runtime wires those broadcasts into predicate
 // resolution and world elimination.
+//
+// The read paths the commit cascade hits — Status, AppendChildren —
+// are lock-free: entries live in an epoch-reclaimed table
+// (internal/epoch), a process's status is one atomic word transitioned
+// by CAS (terminal states absorb: the CAS that makes a status terminal
+// wins forever), and each parent's child index is an immutable slice
+// republished on registration. Only Register and Subscribe take the
+// writer side.
 package proc
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"altrun/internal/epoch"
 	"altrun/internal/ids"
 )
 
@@ -76,7 +86,7 @@ type Event struct {
 	New Status
 }
 
-// Entry is the registry's record of one process.
+// Entry is the registry's record of one process (a copy; see Get).
 type Entry struct {
 	PID    ids.PID
 	Parent ids.PID
@@ -84,100 +94,149 @@ type Entry struct {
 	Status Status
 }
 
+// entry is the internal record: identity fields are immutable after
+// Register, status is an atomic word transitioned only by CAS.
+type entry struct {
+	pid    ids.PID
+	parent ids.PID
+	name   string
+	status atomic.Int32
+}
+
+// childList is one parent's immutable, ascending child index. Register
+// publishes a fresh slice per insertion.
+type childList []ids.PID
+
+// subscriber is one registered status-transition callback.
+type subscriber struct {
+	id int
+	f  func(Event)
+}
+
 // Table is the process registry. It is safe for concurrent use.
 type Table struct {
-	mu      sync.Mutex
-	gen     *ids.Generator
-	entries map[ids.PID]*Entry
-	// children indexes entries by parent so elimination cascades walk a
-	// process's descendants in O(children) instead of scanning the
-	// whole table. Each slice is kept in ascending PID order.
-	children map[ids.PID][]ids.PID
-	subs     map[int]func(Event)
-	nextSub  int
+	gen *ids.Generator
+
+	dom *epoch.Domain
+	// entries maps PID → record. Entries are never removed (PIDs are
+	// never reused), so a pointer obtained under a pin stays valid
+	// forever; the pin protects only the table probe.
+	entries *epoch.Map[entry]
+	// children maps childKey(parent) → that parent's child index.
+	children *epoch.Map[childList]
+
+	// subMu serializes Subscribe/unsubscribe; subs is the COW snapshot
+	// SetStatus reads without locking.
+	subMu   sync.Mutex
+	subs    atomic.Pointer[[]subscriber]
+	nextSub int
 }
+
+// childKey offsets a parent PID into the map's positive key space:
+// roots register under parent ids.None (0), which the epoch map
+// reserves as its empty sentinel.
+func childKey(parent ids.PID) ids.PID { return parent + 1 }
 
 // NewTable returns an empty registry drawing PIDs from gen.
 func NewTable(gen *ids.Generator) *Table {
+	d := epoch.NewDomain()
 	return &Table{
 		gen:      gen,
-		entries:  make(map[ids.PID]*Entry),
-		children: make(map[ids.PID][]ids.PID),
-		subs:     make(map[int]func(Event)),
+		dom:      d,
+		entries:  epoch.NewMap[entry](d),
+		children: epoch.NewMap[childList](d),
 	}
 }
 
 // Register creates a new Running process and returns its PID.
 func (t *Table) Register(parent ids.PID, name string) ids.PID {
 	pid := t.gen.NextPID()
-	t.mu.Lock()
-	t.entries[pid] = &Entry{PID: pid, Parent: parent, Name: name, Status: Running}
-	// PIDs are allocated in increasing order, so appending almost always
-	// keeps the slice sorted; concurrent registrations for one parent
-	// can interleave, so fall back to insertion when it doesn't.
-	kids := t.children[parent]
-	if n := len(kids); n == 0 || kids[n-1] < pid {
-		t.children[parent] = append(kids, pid)
-	} else {
-		i := sort.Search(n, func(i int) bool { return kids[i] > pid })
-		kids = append(kids, 0)
-		copy(kids[i+1:], kids[i:])
-		kids[i] = pid
-		t.children[parent] = kids
-	}
-	t.mu.Unlock()
+	e := &entry{pid: pid, parent: parent, name: name}
+	e.status.Store(int32(Running))
+	t.entries.Set(pid, e)
+	t.children.Update(childKey(parent), func(old *childList) *childList {
+		if old == nil {
+			l := childList{pid}
+			return &l
+		}
+		kids := *old
+		n := len(kids)
+		// PIDs are allocated in increasing order, so appending almost
+		// always keeps the slice sorted; concurrent registrations for
+		// one parent can interleave, so fall back to insertion when it
+		// doesn't. Always copy: the published slice is immutable.
+		next := make(childList, n, n+1)
+		copy(next, kids)
+		if n == 0 || next[n-1] < pid {
+			next = append(next, pid)
+		} else {
+			i := sort.Search(n, func(i int) bool { return next[i] > pid })
+			next = append(next, 0)
+			copy(next[i+1:], next[i:])
+			next[i] = pid
+		}
+		return &next
+	})
 	return pid
+}
+
+// lookup returns the stable record for pid, or nil.
+func (t *Table) lookup(pid ids.PID) *entry {
+	if pid <= 0 {
+		return nil
+	}
+	g := t.dom.Pin()
+	e := t.entries.Get(pid)
+	g.Unpin()
+	return e
 }
 
 // Get returns a copy of the entry for pid.
 func (t *Table) Get(pid ids.PID) (Entry, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e, ok := t.entries[pid]
-	if !ok {
+	e := t.lookup(pid)
+	if e == nil {
 		return Entry{}, false
 	}
-	return *e, true
+	return Entry{PID: e.pid, Parent: e.parent, Name: e.name, Status: Status(e.status.Load())}, true
 }
 
-// Status returns the status of pid, or 0 if unknown.
+// Status returns the status of pid, or 0 if unknown. Lock-free.
 func (t *Table) Status(pid ids.PID) Status {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if e, ok := t.entries[pid]; ok {
-		return e.Status
+	if e := t.lookup(pid); e != nil {
+		return Status(e.status.Load())
 	}
 	return 0
 }
 
-// SetStatus transitions pid to st and notifies subscribers (outside the
-// lock). Transitions out of a terminal state, or on unknown PIDs, are
-// rejected.
+// SetStatus transitions pid to st and notifies subscribers. Transitions
+// out of a terminal state, or on unknown PIDs, are rejected. The
+// transition itself is one CAS: concurrent resolvers race, exactly one
+// wins the terminal transition, and the loser gets the idempotent-or-
+// error answer a mutexed table would have given it.
 func (t *Table) SetStatus(pid ids.PID, st Status) error {
-	t.mu.Lock()
-	e, ok := t.entries[pid]
-	if !ok {
-		t.mu.Unlock()
+	e := t.lookup(pid)
+	if e == nil {
 		return fmt.Errorf("proc: unknown pid %v", pid)
 	}
-	if e.Status.Terminal() {
-		old := e.Status
-		t.mu.Unlock()
-		if old == st {
-			return nil // idempotent
+	var old Status
+	for {
+		cur := Status(e.status.Load())
+		if cur.Terminal() {
+			if cur == st {
+				return nil // idempotent
+			}
+			return fmt.Errorf("proc: %v already terminal (%v), cannot set %v", pid, cur, st)
 		}
-		return fmt.Errorf("proc: %v already terminal (%v), cannot set %v", pid, old, st)
+		if e.status.CompareAndSwap(int32(cur), int32(st)) {
+			old = cur
+			break
+		}
 	}
-	old := e.Status
-	e.Status = st
-	subs := make([]func(Event), 0, len(t.subs))
-	for _, f := range t.subs {
-		subs = append(subs, f)
-	}
-	t.mu.Unlock()
-	ev := Event{PID: pid, Old: old, New: st}
-	for _, f := range subs {
-		f(ev)
+	if subs := t.subs.Load(); subs != nil {
+		ev := Event{PID: pid, Old: old, New: st}
+		for _, s := range *subs {
+			s.f(ev)
+		}
 	}
 	return nil
 }
@@ -187,15 +246,30 @@ func (t *Table) SetStatus(pid ids.PID, st Status) error {
 // goroutine calling SetStatus and must not call back into the Table's
 // mutating methods for the same PID.
 func (t *Table) Subscribe(f func(Event)) (unsubscribe func()) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.subMu.Lock()
+	defer t.subMu.Unlock()
 	id := t.nextSub
 	t.nextSub++
-	t.subs[id] = f
+	var next []subscriber
+	if old := t.subs.Load(); old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, subscriber{id: id, f: f})
+	t.subs.Store(&next)
 	return func() {
-		t.mu.Lock()
-		defer t.mu.Unlock()
-		delete(t.subs, id)
+		t.subMu.Lock()
+		defer t.subMu.Unlock()
+		old := t.subs.Load()
+		if old == nil {
+			return
+		}
+		kept := make([]subscriber, 0, len(*old))
+		for _, s := range *old {
+			if s.id != id {
+				kept = append(kept, s)
+			}
+		}
+		t.subs.Store(&kept)
 	}
 }
 
@@ -206,29 +280,29 @@ func (t *Table) Children(pid ids.PID) []ids.PID {
 
 // AppendChildren appends pid's children (ascending) to buf and returns
 // the extended slice. With a buffer of sufficient capacity it performs
-// no allocation — the form the elimination cascade uses.
+// no allocation — the form the elimination cascade uses. Lock-free.
 func (t *Table) AppendChildren(buf []ids.PID, pid ids.PID) []ids.PID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append(buf, t.children[pid]...)
+	g := t.dom.Pin()
+	if l := t.children.Get(childKey(pid)); l != nil {
+		buf = append(buf, *l...)
+	}
+	g.Unpin()
+	return buf
 }
 
 // Live returns the number of processes not in a terminal state.
 func (t *Table) Live() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
-	for _, e := range t.entries {
-		if !e.Status.Terminal() {
+	t.entries.Range(func(_ ids.PID, e *entry) bool {
+		if !Status(e.status.Load()).Terminal() {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
 // Len returns the number of registered processes, live or terminal.
 func (t *Table) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.entries)
+	return t.entries.Len()
 }

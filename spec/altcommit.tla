@@ -1,0 +1,234 @@
+---------------------------- MODULE altcommit ----------------------------
+(***************************************************************************)
+(* A model of the commit/elimination protocol of "Transparent Concurrent  *)
+(* Execution of Mutually Exclusive Alternatives" (ICDCS 1989), as          *)
+(* implemented by internal/core (see DESIGN §10 for the action → Go        *)
+(* function map).                                                          *)
+(*                                                                         *)
+(* One alternative block runs NAlts alternatives.  Each alternative may    *)
+(* send up to MsgsPerAlt messages to an external server process while it   *)
+(* runs; every message carries the sending predicate "this alternative     *)
+(* completes" (§3.4.1).  Delivery follows the multiple-worlds rule of      *)
+(* §3.4.2: a server copy that already assumes the sender completes         *)
+(* accepts, one that assumes it does not ignores, and one that has no      *)
+(* opinion splits into an assume-copy and a deny-copy.  When an            *)
+(* alternative's fate becomes final it is resolved: copies whose           *)
+(* assumptions the fate contradicts are eliminated (§3.2.1), and a copy    *)
+(* whose every assumption has resolved in its favor may flush its          *)
+(* deferred observable output (§3.4.3).                                    *)
+(*                                                                         *)
+(* SkipElim is the deliberate mutation the CI model-check job uses to      *)
+(* prove the spec has teeth: when TRUE, resolving a non-completed          *)
+(* alternative skips the elimination of the copies that assumed it would   *)
+(* complete — the contradicted copy survives, its assumptions all          *)
+(* "resolve", it flushes, and NoObservableLosers produces a                *)
+(* counterexample.                                                         *)
+(***************************************************************************)
+EXTENDS Naturals, FiniteSets
+
+CONSTANTS
+  NAlts,      \* number of alternatives in the block
+  MsgsPerAlt, \* messages each alternative may send while running
+  SkipElim    \* mutation switch: drop the not-completed elimination branch
+
+Alts == 1..NAlts
+
+NoneAlt == 0
+
+(* A server copy: asm = alternatives it assumes will complete, den =
+   alternatives it assumes will not.  The root copy assumes nothing. *)
+Copy(a, d) == [asm |-> a, den |-> d]
+
+VARIABLES
+  alt,      \* [Alts -> status]: the alternative state machine
+  claimed,  \* the commit arbiter's 0-1 semaphore
+  winner,   \* the alternative that won the claim, or NoneAlt
+  sent,     \* [Alts -> 0..MsgsPerAlt]: messages each alternative sent
+  copies,   \* live server copies (set of Copy records)
+  flushed,  \* copies that have flushed observable output (history: grows)
+  resolved, \* alternatives whose final fate has been propagated
+  elims,    \* count of copies eliminated by contradiction
+  created   \* count of copies ever created by splits (+ the root)
+
+vars == <<alt, claimed, winner, sent, copies, flushed, resolved, elims, created>>
+
+TypeOK ==
+  /\ alt \in [Alts -> {"running", "passed", "failed", "won", "toolate", "eliminated"}]
+  /\ claimed \in BOOLEAN
+  /\ winner \in Alts \cup {NoneAlt}
+  /\ sent \in [Alts -> 0..MsgsPerAlt]
+  /\ \A c \in copies \cup flushed :
+        c.asm \subseteq Alts /\ c.den \subseteq Alts /\ c.asm \cap c.den = {}
+  /\ resolved \subseteq Alts
+  /\ elims \in Nat /\ created \in Nat
+
+Init ==
+  /\ alt = [a \in Alts |-> "running"]
+  /\ claimed = FALSE
+  /\ winner = NoneAlt
+  /\ sent = [a \in Alts |-> 0]
+  /\ copies = {Copy({}, {})}
+  /\ flushed = {}
+  /\ resolved = {}
+  /\ elims = 0
+  /\ created = 1
+
+---------------------------------------------------------------------------
+(* The alternative state machine (alt.go: runAlternative + alt_wait).     *)
+
+(* The body ran and the guard held: the alternative will race for the
+   claim (runAlternative "guard passed" → claim attempt). *)
+Pass(a) ==
+  /\ alt[a] = "running"
+  /\ alt' = [alt EXCEPT ![a] = "passed"]
+  /\ UNCHANGED <<claimed, winner, sent, copies, flushed, resolved, elims, created>>
+
+(* The body aborted or the guard failed (runAlternative → OutcomeFailed). *)
+Fail(a) ==
+  /\ alt[a] = "running"
+  /\ alt' = [alt EXCEPT ![a] = "failed"]
+  /\ UNCHANGED <<claimed, winner, sent, copies, flushed, resolved, elims, created>>
+
+(* The 0-1 semaphore claim (arbiter.Local / the distributed quorum claim):
+   first passed alternative to claim wins the block. *)
+Claim(a) ==
+  /\ alt[a] = "passed"
+  /\ ~claimed
+  /\ claimed' = TRUE
+  /\ winner' = a
+  /\ alt' = [alt EXCEPT ![a] = "won"]
+  /\ UNCHANGED <<sent, copies, flushed, resolved, elims, created>>
+
+(* A passed alternative that lost the claim race (OutcomeTooLate). *)
+TooLate(a) ==
+  /\ alt[a] = "passed"
+  /\ claimed
+  /\ alt' = [alt EXCEPT ![a] = "toolate"]
+  /\ UNCHANGED <<claimed, winner, sent, copies, flushed, resolved, elims, created>>
+
+(* The winner's commit eliminates still-running siblings (§3.2.1;
+   alt.go commit → propagate{eliminate}). *)
+EliminateSib(a) ==
+  /\ claimed
+  /\ a # winner
+  /\ alt[a] = "running"
+  /\ alt' = [alt EXCEPT ![a] = "eliminated"]
+  /\ UNCHANGED <<claimed, winner, sent, copies, flushed, resolved, elims, created>>
+
+---------------------------------------------------------------------------
+(* The message layer (§3.4; msg.Router.Send + World.Split).              *)
+
+(* Delivering a message from alternative a to copy c: accept if c already
+   assumes a completes, ignore if it assumes a does not, split otherwise. *)
+DeliverTo(c, a) ==
+  IF a \in c.asm \/ a \in c.den
+    THEN {c}
+    ELSE {Copy(c.asm \cup {a}, c.den), Copy(c.asm, c.den \cup {a})}
+
+SplitsOf(a) == {c \in copies : a \notin c.asm /\ a \notin c.den}
+
+(* A running alternative sends one message to the server under the
+   predicate "I complete" (Runtime.sendFrom with the sender's snapshot). *)
+Send(a) ==
+  /\ alt[a] = "running"
+  /\ sent[a] < MsgsPerAlt
+  /\ sent' = [sent EXCEPT ![a] = @ + 1]
+  /\ copies' = UNION {DeliverTo(c, a) : c \in copies}
+  /\ created' = created + Cardinality(SplitsOf(a))
+  /\ UNCHANGED <<alt, claimed, winner, flushed, resolved, elims>>
+
+---------------------------------------------------------------------------
+(* Resolution and observation (Runtime.propagate + World.flushDeferred). *)
+
+Terminal(a) == alt[a] \in {"failed", "won", "toolate", "eliminated"}
+Completed(a) == alt[a] = "won"
+
+Contradicted(c, a) ==
+  IF Completed(a) THEN a \in c.den ELSE a \in c.asm
+
+(* Propagate alternative a's final fate: subscribers whose assumptions it
+   contradicts are eliminated — unless the SkipElim mutation drops the
+   not-completed branch (the "skip elimination on one branch" bug the CI
+   job proves the invariants catch). *)
+Resolve(a) ==
+  /\ Terminal(a)
+  /\ a \notin resolved
+  /\ resolved' = resolved \cup {a}
+  /\ LET victims == IF SkipElim /\ ~Completed(a)
+                      THEN {}
+                      ELSE {c \in copies : Contradicted(c, a)}
+     IN /\ copies' = copies \ victims
+        /\ elims' = elims + Cardinality(victims)
+  /\ UNCHANGED <<alt, claimed, winner, sent, flushed, created>>
+
+(* A copy whose every assumption has been resolved flushes its deferred
+   observable output (§3.4.3: output is deferred until the predicate set
+   fully resolves).  flushed is history — output cannot be unprinted. *)
+Flush(c) ==
+  /\ c \in copies
+  /\ c \notin flushed
+  /\ (c.asm \cup c.den) \subseteq resolved
+  /\ flushed' = flushed \cup {c}
+  /\ UNCHANGED <<alt, claimed, winner, sent, copies, resolved, elims, created>>
+
+(* Self-loop once every alternative has resolved, so TLC's deadlock check
+   stays meaningful for every earlier state. *)
+Done ==
+  /\ resolved = Alts
+  /\ UNCHANGED vars
+
+Next ==
+  \/ \E a \in Alts :
+        Pass(a) \/ Fail(a) \/ Claim(a) \/ TooLate(a)
+        \/ EliminateSib(a) \/ Send(a) \/ Resolve(a)
+  \/ \E c \in copies : Flush(c)
+  \/ Done
+
+Spec == Init /\ [][Next]_vars
+
+(* Weak fairness per alternative: it eventually leaves "running"
+   (pass or fail), a passed alternative eventually claims or learns it
+   is too late, and a final fate is eventually propagated.  This is what
+   the Go runtime's scheduler + propagate cascade guarantee. *)
+FairSpec ==
+  Spec
+  /\ \A a \in Alts : WF_vars(Pass(a) \/ Fail(a))
+  /\ \A a \in Alts : WF_vars(Claim(a) \/ TooLate(a))
+  /\ \A a \in Alts : WF_vars(EliminateSib(a))
+  /\ \A a \in Alts : WF_vars(Resolve(a))
+
+---------------------------------------------------------------------------
+(* Invariants.                                                            *)
+
+Winners == {a \in Alts : alt[a] = "won"}
+
+(* §3.2.1: the 0-1 semaphore admits exactly one winner per block. *)
+AtMostOneCommit ==
+  /\ Cardinality(Winners) <= 1
+  /\ claimed <=> (winner # NoneAlt)
+  /\ (winner # NoneAlt) => alt[winner] = "won"
+
+(* §3.4.3/§4.3: observable output only ever comes from copies whose
+   assumptions hold — an observer never sees a losing world's effects.
+   Statuses are immutable once terminal, and a copy only flushes when
+   every assumption is resolved, so checking the current statuses is
+   checking the statuses at flush time. *)
+NoObservableLosers ==
+  \A c \in flushed :
+    /\ \A a \in c.asm : alt[a] \notin {"failed", "toolate", "eliminated"}
+    /\ \A a \in c.den : alt[a] # "won"
+
+(* The contradiction cascade does bounded work: it can only eliminate
+   copies that splits created, a copy decides each alternative at most
+   once (so the live population is bounded by the full decision tree),
+   and splits are bounded by sends × live copies. *)
+ContradictionChainTermination ==
+  /\ elims <= created
+  /\ Cardinality(copies) <= 2 ^ NAlts
+  /\ created <= 1 + NAlts * MsgsPerAlt * 2 ^ NAlts
+
+(* Liveness under FairSpec: the block eventually commits or aborts and
+   every alternative's fate is propagated. *)
+BlockTerminates == <>(resolved = Alts)
+
+===========================================================================
