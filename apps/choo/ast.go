@@ -1,0 +1,163 @@
+// Package choo is a small imperative language front-end for Kwon's
+// choice-conjunctive procedure declarations (choo(S,R), PAPERS.md): a
+// choo statement names two or more declared procedures and runs them
+// as the alternatives of a block — mutually exclusive by construction,
+// exactly one's effects survive. Variables live in shared sink pages
+// of an STM store (internal/stm), so the procedures of a group race
+// over genuinely shared state through the multiple-worlds message
+// layer; `when` guards are enabling conditions evaluated against the
+// state the group was entered with; `print` rides the paper's deferred
+// console-source machinery, so a losing procedure's output is never
+// observable.
+//
+// Grammar (comments run // to end of line):
+//
+//	program  := (procDecl | stmt)*
+//	procDecl := "proc" IDENT "{" ["when" expr ";"] stmt* "}"
+//	stmt     := IDENT ":=" expr ";"
+//	          | "choo" "(" IDENT "," IDENT {"," IDENT} ")" ";"
+//	          | "if" expr "{" stmt* "}" ["else" "{" stmt* "}"]
+//	          | "while" expr "{" stmt* "}"
+//	          | "print" expr ";"
+//	expr     := integer arithmetic and comparison over int64
+//	            (+ - * / % == != < <= > >= ! unary-), parentheses;
+//	            comparisons yield 1/0, conditions test non-zero.
+package choo
+
+import "fmt"
+
+// Pos is a source position (1-based).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Expr is an expression node.
+type Expr interface {
+	Position() Pos
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Position() Pos
+	stmtNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// VarRef reads a variable (unassigned variables read as 0).
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is a binary operation; comparisons evaluate to 1 or 0.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+func (e *IntLit) Position() Pos { return e.Pos }
+func (e *VarRef) Position() Pos { return e.Pos }
+func (e *Unary) Position() Pos  { return e.Pos }
+func (e *Binary) Position() Pos { return e.Pos }
+
+func (*IntLit) exprNode() {}
+func (*VarRef) exprNode() {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+
+// Assign is IDENT := expr.
+type Assign struct {
+	Pos  Pos
+	Name string
+	X    Expr
+}
+
+// If is a conditional (Else may be nil).
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is a loop.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// Print emits the expression's value.
+type Print struct {
+	Pos Pos
+	X   Expr
+}
+
+// Choo invokes a choice-conjunctive group: the named procedures run as
+// the alternatives of a block.
+type Choo struct {
+	Pos   Pos
+	Procs []string
+}
+
+func (s *Assign) Position() Pos { return s.Pos }
+func (s *If) Position() Pos     { return s.Pos }
+func (s *While) Position() Pos  { return s.Pos }
+func (s *Print) Position() Pos  { return s.Pos }
+func (s *Choo) Position() Pos   { return s.Pos }
+
+func (*Assign) stmtNode() {}
+func (*If) stmtNode()     {}
+func (*While) stmtNode()  {}
+func (*Print) stmtNode()  {}
+func (*Choo) stmtNode()   {}
+
+// ProcDecl is a procedure declaration. When, if non-nil, is the
+// enabling condition (the body's leading "when expr;"): a procedure
+// whose When evaluates false refuses its group, failing that
+// alternative.
+type ProcDecl struct {
+	Pos  Pos
+	Name string
+	When Expr
+	Body []Stmt
+}
+
+// Program is a parsed and resolved choo program.
+type Program struct {
+	// Procs maps name → declaration.
+	Procs map[string]*ProcDecl
+	// Stmts are the top-level statements in source order.
+	Stmts []Stmt
+	// Vars is every variable the program mentions, sorted — the fixed
+	// name → sink-page assignment (index = store key).
+	Vars []string
+}
+
+// VarKey returns the store key for a variable (resolved programs only
+// mention known variables).
+func (p *Program) VarKey(name string) int {
+	for i, v := range p.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,154 @@
+package choo
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates token kinds; punctuation and keywords are their
+// own kinds so the parser switches on kind alone.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokAssign // :=
+	tokSemi
+	tokComma
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokOp // + - * / % == != < <= > >= !
+	tokProc
+	tokChoo
+	tokIf
+	tokElse
+	tokWhile
+	tokPrint
+	tokWhen
+)
+
+var keywords = map[string]tokKind{
+	"proc":  tokProc,
+	"choo":  tokChoo,
+	"if":    tokIf,
+	"else":  tokElse,
+	"while": tokWhile,
+	"print": tokPrint,
+	"when":  tokWhen,
+}
+
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string
+	val  int64 // tokInt
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes src. Errors carry positions ("line:col: ...").
+func lex(src string) ([]token, error) {
+	var toks []token
+	runes := []rune(src)
+	line, col := 1, 1
+	i := 0
+	advance := func() {
+		if runes[i] == '\n' {
+			line, col = line+1, 1
+		} else {
+			col++
+		}
+		i++
+	}
+	for i < len(runes) {
+		c := runes[i]
+		pos := Pos{line, col}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance()
+		case c == '/' && i+1 < len(runes) && runes[i+1] == '/':
+			for i < len(runes) && runes[i] != '\n' {
+				advance()
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				advance()
+			}
+			text := string(runes[start:i])
+			if k, isKw := keywords[text]; isKw {
+				toks = append(toks, token{kind: k, pos: pos, text: text})
+			} else {
+				toks = append(toks, token{kind: tokIdent, pos: pos, text: text})
+			}
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(runes) && unicode.IsDigit(runes[i]) {
+				advance()
+			}
+			text := string(runes[start:i])
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%v: integer %s overflows int64", pos, text)
+			}
+			toks = append(toks, token{kind: tokInt, pos: pos, text: text, val: v})
+		case c == ':':
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				advance()
+				advance()
+				toks = append(toks, token{kind: tokAssign, pos: pos, text: ":="})
+			} else {
+				return nil, fmt.Errorf("%v: unexpected ':' (did you mean ':='?)", pos)
+			}
+		case c == ';':
+			advance()
+			toks = append(toks, token{kind: tokSemi, pos: pos, text: ";"})
+		case c == ',':
+			advance()
+			toks = append(toks, token{kind: tokComma, pos: pos, text: ","})
+		case c == '(':
+			advance()
+			toks = append(toks, token{kind: tokLParen, pos: pos, text: "("})
+		case c == ')':
+			advance()
+			toks = append(toks, token{kind: tokRParen, pos: pos, text: ")"})
+		case c == '{':
+			advance()
+			toks = append(toks, token{kind: tokLBrace, pos: pos, text: "{"})
+		case c == '}':
+			advance()
+			toks = append(toks, token{kind: tokRBrace, pos: pos, text: "}"})
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			op := string(c)
+			advance()
+			if i < len(runes) && runes[i] == '=' {
+				op += "="
+				advance()
+			}
+			if op == "=" {
+				return nil, fmt.Errorf("%v: unexpected '=' (assignment is ':=', equality is '==')", pos)
+			}
+			toks = append(toks, token{kind: tokOp, pos: pos, text: op})
+		case c == '+' || c == '-' || c == '*' || c == '/' || c == '%':
+			advance()
+			toks = append(toks, token{kind: tokOp, pos: pos, text: string(c)})
+		default:
+			return nil, fmt.Errorf("%v: unexpected character %q", pos, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: Pos{line, col}})
+	return toks, nil
+}

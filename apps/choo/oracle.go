@@ -1,0 +1,314 @@
+package choo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Outcome is one possible sequential result of a program: final
+// variable values and print output, for a particular resolution of
+// every choo group encountered.
+type Outcome struct {
+	// Winners names the committed procedure of each choo group in
+	// encounter order.
+	Winners []string
+	Vars    map[string]int64
+	Prints  []string
+}
+
+// key canonicalizes an outcome for deduplication (different winner
+// vectors can produce identical observable results).
+func (o Outcome) key() string {
+	names := make([]string, 0, len(o.Vars))
+	for n := range o.Vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += n + "=" + strconv.FormatInt(o.Vars[n], 10) + ";"
+	}
+	s += "|"
+	for _, p := range o.Prints {
+		s += p + "\n"
+	}
+	return s
+}
+
+// Matches reports whether vars/prints equal this outcome's observable
+// state (winner vectors are not compared: the runtime may commit any
+// viable procedure).
+func (o Outcome) Matches(vars map[string]int64, prints []string) bool {
+	if len(vars) != len(o.Vars) || len(prints) != len(o.Prints) {
+		return false
+	}
+	for n, v := range o.Vars {
+		if vars[n] != v {
+			return false
+		}
+	}
+	for i, p := range o.Prints {
+		if prints[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrOracleBudget is returned when choice-vector enumeration exceeds
+// the caller's bound.
+var ErrOracleBudget = errors.New("choo: oracle outcome budget exhausted")
+
+// needChoice is the oracle interpreter's signal that execution reached
+// a choo group beyond the current choice script. It carries the group
+// and the procedures viable at that state so the enumerator can branch
+// without replaying.
+type needChoice struct {
+	group  *Choo
+	viable []int // indices into group.Procs
+}
+
+func (n *needChoice) Error() string { return "choo: oracle needs a choice" }
+
+// oracleState is the pure sequential machine the oracle runs.
+type oracleState struct {
+	prog     *Program
+	vars     map[string]int64
+	prints   []string
+	winners  []string
+	script   []int // winner index per choo group, encounter order
+	nextChoo int
+	steps    int64
+	maxSteps int64
+}
+
+func (st *oracleState) charge() error {
+	st.steps++
+	if st.steps > st.maxSteps {
+		return ErrSteps
+	}
+	return nil
+}
+
+func (st *oracleState) exec(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := st.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *oracleState) execStmt(s Stmt) error {
+	if err := st.charge(); err != nil {
+		return err
+	}
+	switch x := s.(type) {
+	case *Assign:
+		v, err := st.eval(x.X)
+		if err != nil {
+			return err
+		}
+		st.vars[x.Name] = v
+		return nil
+	case *Print:
+		v, err := st.eval(x.X)
+		if err != nil {
+			return err
+		}
+		st.prints = append(st.prints, strconv.FormatInt(v, 10))
+		return nil
+	case *If:
+		v, err := st.eval(x.Cond)
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			return st.exec(x.Then)
+		}
+		return st.exec(x.Else)
+	case *While:
+		for {
+			if err := st.charge(); err != nil {
+				return err
+			}
+			v, err := st.eval(x.Cond)
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return nil
+			}
+			if err := st.exec(x.Body); err != nil {
+				return err
+			}
+		}
+	case *Choo:
+		return st.execChoo(x)
+	default:
+		return fmt.Errorf("%v: unexecutable statement %T", s.Position(), s)
+	}
+}
+
+// execChoo resolves one group against the script: past the script's
+// end, it reports which procedures are viable (when satisfied) so the
+// enumerator can branch.
+func (st *oracleState) execChoo(c *Choo) error {
+	k := st.nextChoo
+	st.nextChoo++
+	if k >= len(st.script) {
+		var viable []int
+		for i, name := range c.Procs {
+			ok, err := st.whenHolds(st.prog.Procs[name])
+			if err != nil {
+				return err
+			}
+			if ok {
+				viable = append(viable, i)
+			}
+		}
+		if len(viable) == 0 {
+			return fmt.Errorf("%v: every procedure of choo(%v) refused", c.Pos, c.Procs)
+		}
+		return &needChoice{group: c, viable: viable}
+	}
+	name := c.Procs[st.script[k]]
+	d := st.prog.Procs[name]
+	ok, err := st.whenHolds(d)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Viability was judged when the script was extended; scripts are
+		// deterministic replays, so a scripted refusal means the machine
+		// diverged — a bug, not a legal path.
+		return fmt.Errorf("%v: scripted procedure %q refused on replay", c.Pos, name)
+	}
+	st.winners = append(st.winners, name)
+	return st.exec(d.Body)
+}
+
+func (st *oracleState) whenHolds(d *ProcDecl) (bool, error) {
+	if d.When == nil {
+		return true, nil
+	}
+	v, err := st.eval(d.When)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+func (st *oracleState) eval(e Expr) (int64, error) {
+	if err := st.charge(); err != nil {
+		return 0, err
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Val, nil
+	case *VarRef:
+		return st.vars[x.Name], nil
+	case *Unary:
+		v, err := st.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == "-" {
+			return -v, nil
+		}
+		return b2i(v == 0), nil
+	case *Binary:
+		a, err := st.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := st.eval(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		return applyBinary(x.Pos, x.Op, a, b)
+	default:
+		return 0, fmt.Errorf("%v: unevaluable expression %T", e.Position(), e)
+	}
+}
+
+// runScript executes the program under one choice script. Returns the
+// outcome, or the choice point where the script ran out.
+func runScript(prog *Program, script []int, maxSteps int64) (*Outcome, *needChoice, error) {
+	st := &oracleState{
+		prog:     prog,
+		vars:     map[string]int64{},
+		script:   script,
+		maxSteps: maxSteps,
+	}
+	err := st.exec(prog.Stmts)
+	var nc *needChoice
+	if errors.As(err, &nc) {
+		return nil, nc, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	vars := make(map[string]int64, len(prog.Vars))
+	for _, v := range prog.Vars {
+		vars[v] = st.vars[v]
+	}
+	return &Outcome{Winners: st.winners, Vars: vars, Prints: st.prints}, nil, nil
+}
+
+// Oracle enumerates every sequential outcome of the program: a
+// depth-first search over which viable procedure wins each choo group
+// encountered, deduplicated by observable state. maxOutcomes bounds
+// the enumeration (<= 0 defaults to 512); exceeding it returns
+// ErrOracleBudget. Paths that fail mid-way (division by zero, every
+// procedure refusing) are dropped — the concurrent runtime reports
+// those as block or job failures, not states — but if NO path
+// completes the first such error is returned.
+func Oracle(prog *Program, maxOutcomes int) ([]Outcome, error) {
+	if maxOutcomes <= 0 {
+		maxOutcomes = 512
+	}
+	var out []Outcome
+	seen := map[string]struct{}{}
+	explored := 0
+	stack := [][]int{{}}
+	var firstErr error
+	for len(stack) > 0 {
+		explored++
+		if explored > maxOutcomes*8 {
+			return nil, fmt.Errorf("%w: explored %d paths", ErrOracleBudget, explored)
+		}
+		script := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		oc, nc, err := runScript(prog, script, DefaultMaxSteps)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if nc != nil {
+			for i := len(nc.viable) - 1; i >= 0; i-- {
+				child := append(append(make([]int, 0, len(script)+1), script...), nc.viable[i])
+				stack = append(stack, child)
+			}
+			continue
+		}
+		if _, dup := seen[oc.key()]; !dup {
+			seen[oc.key()] = struct{}{}
+			out = append(out, *oc)
+			if len(out) > maxOutcomes {
+				return nil, fmt.Errorf("%w: more than %d distinct outcomes", ErrOracleBudget, maxOutcomes)
+			}
+		}
+	}
+	if len(out) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, errors.New("choo: oracle found no completing execution")
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package choo
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestOracleStraightLine(t *testing.T) {
+	prog := mustParse(t, `
+x := 2;
+while x < 10 { x := x * 3; }
+print x;
+if x == 18 { y := 1; } else { y := 2; }
+`)
+	outs, err := Oracle(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %d, want 1 for a choo-free program", len(outs))
+	}
+	o := outs[0]
+	if o.Vars["x"] != 18 || o.Vars["y"] != 1 {
+		t.Errorf("vars = %v, want x=18 y=1", o.Vars)
+	}
+	if len(o.Prints) != 1 || o.Prints[0] != "18" {
+		t.Errorf("prints = %v, want [18]", o.Prints)
+	}
+	if len(o.Winners) != 0 {
+		t.Errorf("winners = %v, want none", o.Winners)
+	}
+}
+
+func TestOracleBranchesPerViableProc(t *testing.T) {
+	prog := mustParse(t, `
+proc a { x := 1; }
+proc b { x := 2; }
+proc c { when 0; x := 3; }
+choo(a, b, c);
+`)
+	outs, err := Oracle(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c's when is statically false: only a and b can commit.
+	got := map[int64]bool{}
+	for _, o := range outs {
+		got[o.Vars["x"]] = true
+	}
+	if len(outs) != 2 || !got[1] || !got[2] {
+		t.Fatalf("outcomes = %+v, want exactly x=1 and x=2", outs)
+	}
+}
+
+func TestOracleChainedChoiceDependsOnEarlierWinner(t *testing.T) {
+	prog := mustParse(t, `
+proc a { x := 1; }
+proc b { x := 2; }
+proc lo { when x == 1; y := 10; }
+proc hi { when x == 2; y := 20; }
+choo(a, b);
+choo(lo, hi);
+print y;
+`)
+	outs, err := Oracle(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(outs))
+	}
+	for _, o := range outs {
+		if o.Vars["y"] != o.Vars["x"]*10 {
+			t.Errorf("outcome %v violates y == 10x", o.Vars)
+		}
+		if len(o.Prints) != 1 {
+			t.Errorf("prints = %v, want one line", o.Prints)
+		}
+	}
+}
+
+func TestOracleDedupsIdenticalOutcomes(t *testing.T) {
+	prog := mustParse(t, `
+proc a { x := 7; }
+proc b { x := 7; }
+choo(a, b);
+`)
+	outs, err := Oracle(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %d, want 1 (a and b are observationally equal)", len(outs))
+	}
+}
+
+func TestOracleAllRefuseFails(t *testing.T) {
+	prog := mustParse(t, `
+proc a { when 0; x := 1; }
+proc b { when x > 5; x := 2; }
+choo(a, b);
+`)
+	_, err := Oracle(prog, 0)
+	if err == nil {
+		t.Fatal("Oracle succeeded, want every-procedure-refused error")
+	}
+}
+
+func TestOracleStepBudget(t *testing.T) {
+	prog := mustParse(t, `while 1 { x := x + 1; }`)
+	_, err := Oracle(prog, 0)
+	if !errors.Is(err, ErrSteps) {
+		t.Fatalf("err = %v, want ErrSteps", err)
+	}
+}
+
+func TestOutcomeMatches(t *testing.T) {
+	o := Outcome{Vars: map[string]int64{"x": 1}, Prints: []string{"1"}}
+	if !o.Matches(map[string]int64{"x": 1}, []string{"1"}) {
+		t.Error("exact match rejected")
+	}
+	if o.Matches(map[string]int64{"x": 2}, []string{"1"}) {
+		t.Error("wrong var accepted")
+	}
+	if o.Matches(map[string]int64{"x": 1}, nil) {
+		t.Error("missing print accepted")
+	}
+}

@@ -1,0 +1,382 @@
+package choo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Parse lexes, parses, and resolves a choo program. Errors carry
+// source positions ("line:col: message"); the first error wins.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := resolve(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, fmt.Errorf("%v: expected %s, found %s", t.pos, what, t)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{Procs: map[string]*ProcDecl{}}
+	for p.cur().kind != tokEOF {
+		if p.cur().kind == tokProc {
+			d, err := p.procDecl()
+			if err != nil {
+				return nil, err
+			}
+			if prev, dup := prog.Procs[d.Name]; dup {
+				return nil, fmt.Errorf("%v: procedure %q redeclared (first declared at %v)", d.Pos, d.Name, prev.Pos)
+			}
+			prog.Procs[d.Name] = d
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+func (p *parser) procDecl() (*ProcDecl, error) {
+	kw := p.next() // proc
+	name, err := p.expect(tokIdent, "procedure name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{' opening the procedure body"); err != nil {
+		return nil, err
+	}
+	d := &ProcDecl{Pos: kw.pos, Name: name.text}
+	// "when expr;" is only legal as the body's first statement — it is
+	// the enabling condition of the whole procedure.
+	if p.cur().kind == tokWhen {
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';' after when condition"); err != nil {
+			return nil, err
+		}
+		d.When = cond
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	return d, nil
+}
+
+// block parses stmt* up to (and consuming) the closing '}'.
+func (p *parser) block() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		switch p.cur().kind {
+		case tokRBrace:
+			p.next()
+			return out, nil
+		case tokEOF:
+			return nil, fmt.Errorf("%v: expected '}' before end of input", p.cur().pos)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		if _, err := p.expect(tokAssign, "':=' after variable name"); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';' after assignment"); err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: t.pos, Name: t.text, X: x}, nil
+	case tokChoo:
+		p.next()
+		if _, err := p.expect(tokLParen, "'(' after choo"); err != nil {
+			return nil, err
+		}
+		var procs []string
+		for {
+			name, err := p.expect(tokIdent, "procedure name in choo group")
+			if err != nil {
+				return nil, err
+			}
+			procs = append(procs, name.text)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(tokRParen, "')' closing the choo group"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';' after choo group"); err != nil {
+			return nil, err
+		}
+		if len(procs) < 2 {
+			return nil, fmt.Errorf("%v: choo needs at least two procedures (mutual exclusion of one is vacuous)", t.pos)
+		}
+		return &Choo{Pos: t.pos, Procs: procs}, nil
+	case tokIf:
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace, "'{' after if condition"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.cur().kind == tokElse {
+			p.next()
+			if _, err := p.expect(tokLBrace, "'{' after else"); err != nil {
+				return nil, err
+			}
+			if els, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+		return &If{Pos: t.pos, Cond: cond, Then: then, Else: els}, nil
+	case tokWhile:
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace, "'{' after while condition"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Pos: t.pos, Cond: cond, Body: body}, nil
+	case tokPrint:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';' after print"); err != nil {
+			return nil, err
+		}
+		return &Print{Pos: t.pos, X: x}, nil
+	case tokWhen:
+		return nil, fmt.Errorf("%v: 'when' is only legal as the first statement of a procedure body", t.pos)
+	case tokProc:
+		return nil, fmt.Errorf("%v: procedures must be declared at the top level", t.pos)
+	default:
+		return nil, fmt.Errorf("%v: expected a statement, found %s", t.pos, t)
+	}
+}
+
+// Expression precedence, loosest first: comparison, additive,
+// multiplicative, unary.
+
+func (p *parser) expr() (Expr, error) { return p.comparison() }
+
+func (p *parser) comparison() (Expr, error) {
+	x, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp {
+		switch p.cur().text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op := p.next()
+			y, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{Pos: op.pos, Op: op.text, X: x, Y: y}
+		default:
+			return x, nil
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	x, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.next()
+		y, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Pos: op.pos, Op: op.text, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "*" || p.cur().text == "/" || p.cur().text == "%") {
+		op := p.next()
+		y, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Pos: op.pos, Op: op.text, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokOp && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.pos, Op: t.text, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		return &IntLit{Pos: t.pos, Val: t.val}, nil
+	case tokIdent:
+		p.next()
+		return &VarRef{Pos: t.pos, Name: t.text}, nil
+	case tokLParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("%v: expected an expression, found %s", t.pos, t)
+	}
+}
+
+// resolve checks choo references and collects the variable set.
+func resolve(prog *Program) error {
+	vars := map[string]struct{}{}
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *VarRef:
+			vars[x.Name] = struct{}{}
+		case *Unary:
+			walkExpr(x.X)
+		case *Binary:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		}
+	}
+	var walkStmts func(ss []Stmt) error
+	walkStmts = func(ss []Stmt) error {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *Assign:
+				vars[x.Name] = struct{}{}
+				walkExpr(x.X)
+			case *Print:
+				walkExpr(x.X)
+			case *If:
+				walkExpr(x.Cond)
+				if err := walkStmts(x.Then); err != nil {
+					return err
+				}
+				if err := walkStmts(x.Else); err != nil {
+					return err
+				}
+			case *While:
+				walkExpr(x.Cond)
+				if err := walkStmts(x.Body); err != nil {
+					return err
+				}
+			case *Choo:
+				for _, name := range x.Procs {
+					if _, known := prog.Procs[name]; !known {
+						return fmt.Errorf("%v: choo references undeclared procedure %q", x.Pos, name)
+					}
+				}
+				seen := map[string]struct{}{}
+				for _, name := range x.Procs {
+					if _, dup := seen[name]; dup {
+						return fmt.Errorf("%v: procedure %q appears twice in one choo group", x.Pos, name)
+					}
+					seen[name] = struct{}{}
+				}
+			}
+		}
+		return nil
+	}
+	if err := walkStmts(prog.Stmts); err != nil {
+		return err
+	}
+	for _, d := range prog.Procs {
+		if d.When != nil {
+			walkExpr(d.When)
+		}
+		if err := walkStmts(d.Body); err != nil {
+			return err
+		}
+	}
+	prog.Vars = make([]string, 0, len(vars))
+	for v := range vars {
+		prog.Vars = append(prog.Vars, v)
+	}
+	sort.Strings(prog.Vars)
+	return nil
+}

@@ -1,0 +1,142 @@
+package choo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseGolden locks the lowering-relevant shape of a representative
+// program: declared procs, when conditions, top-level split, and the
+// resolved variable→key assignment.
+func TestParseGolden(t *testing.T) {
+	src := `
+// two writers race for x
+proc inc {
+	x := x + 1;
+}
+proc dbl {
+	when x > 0;
+	x := x * 2;
+}
+x := 3;
+choo(inc, dbl);
+print x;
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Procs) != 2 {
+		t.Fatalf("procs = %d, want 2", len(prog.Procs))
+	}
+	if prog.Procs["inc"].When != nil {
+		t.Error("inc has no when condition")
+	}
+	if prog.Procs["dbl"].When == nil {
+		t.Error("dbl's when condition was dropped")
+	}
+	if len(prog.Vars) != 1 || prog.Vars[0] != "x" {
+		t.Fatalf("vars = %v, want [x]", prog.Vars)
+	}
+	if prog.VarKey("x") != 0 {
+		t.Errorf("VarKey(x) = %d, want 0", prog.VarKey("x"))
+	}
+	prefix, group, suffix := splitProgram(prog)
+	if len(prefix) != 1 {
+		t.Errorf("prefix = %d stmts, want 1 (the seed assignment)", len(prefix))
+	}
+	if group == nil || len(group.Procs) != 2 || group.Procs[0] != "inc" || group.Procs[1] != "dbl" {
+		t.Errorf("group = %+v, want choo(inc, dbl)", group)
+	}
+	if len(suffix) != 1 {
+		t.Errorf("suffix = %d stmts, want 1 (the print)", len(suffix))
+	}
+}
+
+// TestParseErrors locks error positions and messages: a front-end whose
+// errors point at the wrong line is worse than no front-end.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bare equals", "x = 1;", `1:3: unexpected '=' (assignment is ':=', equality is '==')`},
+		{"bare colon", "x : 1;", `1:3: unexpected ':' (did you mean ':='?)`},
+		{"missing semi", "x := 1", "1:7: expected ';' after assignment"},
+		{"stray when", "when x > 0;", "1:1: 'when' is only legal as the first statement of a procedure body"},
+		{"late when", "proc p { x := 1; when x; }", "1:18: 'when' is only legal as the first statement of a procedure body"},
+		{"nested proc", "proc p { proc q { } }", "1:10: procedures must be declared at the top level"},
+		{"one-proc choo", "proc p { x := 1; }\nchoo(p);", "2:1: choo needs at least two procedures"},
+		{"undeclared", "proc p { x := 1; }\nchoo(p, q);", `2:1: choo references undeclared procedure "q"`},
+		{"dup in group", "proc p { x := 1; }\nproc q { x := 2; }\nchoo(p, p);", `3:1: procedure "p" appears twice in one choo group`},
+		{"redeclared", "proc p { x := 1; }\nproc p { x := 2; }", `2:1: procedure "p" redeclared (first declared at 1:1)`},
+		{"unclosed block", "proc p { x := 1;", "1:17: expected '}' before end of input"},
+		{"bad char", "x := $;", `1:6: unexpected character '$'`},
+		{"overflow", "x := 99999999999999999999;", "1:6: integer 99999999999999999999 overflows int64"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error %q", c.src, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Parse(%q) error = %q, want it to contain %q", c.src, err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("x := 1 + 2 * 3 < 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1 + (2*3)) < 10 — comparison loosest, multiplication tightest.
+	cmp, ok := prog.Stmts[0].(*Assign).X.(*Binary)
+	if !ok || cmp.Op != "<" {
+		t.Fatalf("top operator = %+v, want <", prog.Stmts[0].(*Assign).X)
+	}
+	add, ok := cmp.X.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("left of < is %+v, want +", cmp.X)
+	}
+	mul, ok := add.Y.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right of + is %+v, want *", add.Y)
+	}
+}
+
+// FuzzParse asserts the front-end never panics and that error messages
+// always carry a position.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"x := 1;",
+		"proc p { when x > 0; x := x + 1; }\nproc q { x := 0; }\nchoo(p, q);",
+		"while x < 10 { x := x + 1; if x % 2 == 0 { print x; } else { } }",
+		"x := -(1 + 2) * !0 / 3 % 4;",
+		"// comment\nchoo(", "proc", "when", "x :=", "}{", "\x00", "π := 1;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			if !strings.Contains(err.Error(), ":") {
+				t.Errorf("error without a position: %q", err.Error())
+			}
+			return
+		}
+		// A resolved program's choo references are always declared.
+		for _, s := range prog.Stmts {
+			if c, isChoo := s.(*Choo); isChoo {
+				for _, n := range c.Procs {
+					if prog.Procs[n] == nil {
+						t.Errorf("resolved program references undeclared %q", n)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package stm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"altrun/internal/core"
+	"altrun/internal/serve"
+	istm "altrun/internal/stm"
+)
+
+func runSpec(t *testing.T, pool *serve.Pool, spec istm.TxnSpec) serve.JobResult {
+	t.Helper()
+	tk, err := pool.Submit(JobFromSpec(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	return res
+}
+
+// TestJobThroughPool runs an STM block through the service layer and
+// checks the extracted result against the oracle, then verifies the
+// store's world tree was cleaned up (Cleanup hook) — live worlds return
+// to zero once the job is terminal.
+func TestJobThroughPool(t *testing.T) {
+	rt := core.New(core.Config{})
+	pool, err := serve.NewPool(serve.Config{Workers: 2, SpecTokens: 8, Runtime: rt})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	defer pool.Drain(context.Background())
+
+	spec := istm.TxnSpec{TxnID: 1, Keys: 6, Alts: 4, Ops: 8, ReadFrac: 0.4, Seed: 17}
+	res := runSpec(t, pool, spec)
+	if res.Status != serve.StatusDone {
+		t.Fatalf("status %v (err %v), want done", res.Status, res.Err)
+	}
+	out, ok := res.Value.(Result)
+	if !ok {
+		t.Fatalf("value %T, want stm.Result", res.Value)
+	}
+	if out.Winner != res.WinnerIndex {
+		t.Fatalf("store winner %d, block winner %d", out.Winner, res.WinnerIndex)
+	}
+	if len(out.Pages) != spec.Keys {
+		t.Fatalf("%d pages, want %d", len(out.Pages), spec.Keys)
+	}
+
+	// The job's store tree must be gone: only cleanup can retire it
+	// (the root world is shut down by the pool, the store by Cleanup).
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.LiveWorlds() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d worlds still live after job finished", rt.LiveWorlds())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSequentialBaselineThroughPool: MaxDegree 1 is the §5.1 sequential
+// fall-through; with an abort-injected first alternative the pool's
+// lazy waves must advance to the second.
+func TestSequentialBaselineThroughPool(t *testing.T) {
+	rt := core.New(core.Config{})
+	pool, err := serve.NewPool(serve.Config{Workers: 2, SpecTokens: 8, Runtime: rt})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	defer pool.Drain(context.Background())
+
+	spec := istm.TxnSpec{TxnID: 2, Keys: 4, Alts: 3, Ops: 6, ReadFrac: 0.2, Seed: 23, MaxDegree: 1}
+	res := runSpec(t, pool, spec)
+	if res.Status != serve.StatusDone {
+		t.Fatalf("status %v (err %v), want done", res.Status, res.Err)
+	}
+	if res.Waves != 1 {
+		t.Fatalf("degree-1 no-abort job took %d waves, want 1", res.Waves)
+	}
+
+	// Every second alternative aborts (indexes 1, 3): degree-1 execution
+	// must still find a committing alternative within the block.
+	spec = istm.TxnSpec{TxnID: 3, Keys: 4, Alts: 4, Ops: 6, ReadFrac: 0.2, Seed: 29, AbortEvery: 2, MaxDegree: 1}
+	res = runSpec(t, pool, spec)
+	if res.Status != serve.StatusDone {
+		t.Fatalf("abort-injected sequential job: status %v (err %v), want done", res.Status, res.Err)
+	}
+	if out := res.Value.(Result); out.Winner%2 != 0 {
+		t.Fatalf("winner %d is an abort-injected alternative", out.Winner)
+	}
+}

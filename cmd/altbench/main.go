@@ -8,6 +8,7 @@
 //	altbench -list       # list experiments
 //	altbench membench    # real COW microbenchmarks → BENCH_mem.json
 //	altbench distbench   # local vs consensus commit over TCP → BENCH_dist.json
+//	altbench stmbench    # contended-store STM cost-of-concurrency → BENCH_stm.json
 //
 // All experiments run in the deterministic simulator; output is
 // reproducible across machines.
@@ -100,6 +101,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "adaptbench" {
 		if err := runAdaptbench(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "altbench adaptbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "stmbench" {
+		if err := runStmbench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "altbench stmbench:", err)
 			os.Exit(1)
 		}
 		return

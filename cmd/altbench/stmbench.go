@@ -1,0 +1,224 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	appstm "altrun/apps/stm"
+	"altrun/internal/core"
+	"altrun/internal/serve"
+	istm "altrun/internal/stm"
+)
+
+// stmbench measures the cost of concurrency on the contended-store STM
+// workload: at each contention level (key-choice skew), a stream of
+// transaction blocks runs twice — speculatively (all alternatives race
+// over the shared sink pages through the message layer) and as the
+// sequential fall-through baseline (MaxDegree=1) — and the tool records
+// committed-block throughput next to the message-layer machinery the
+// speculation paid for it: receiver splits, ignored deliveries, and
+// commit-time eliminations of contradicted copies.
+//
+// On a small box the sequential baseline usually wins raw throughput
+// (the first alternative rarely aborts, and speculation multiplies
+// store copies); the point of the curve is the price, not a speedup —
+// how split/elimination traffic grows with contention while the
+// committed image stays exactly the winner's sequential replay.
+//
+// Usage: altbench stmbench [-quick] [-o BENCH_stm.json]
+
+// stmModeResult is one (contention level, execution mode) cell.
+type stmModeResult struct {
+	MaxDegree      int     `json:"max_degree"`
+	Blocks         int     `json:"blocks"`
+	MeanMS         float64 `json:"mean_ms"`
+	Throughput     float64 `json:"committed_blocks_per_sec"`
+	MsgSent        int     `json:"msg_sent"`
+	MsgAccepted    int     `json:"msg_accepted"`
+	MsgIgnored     int     `json:"msg_ignored"`
+	MsgSplits      int     `json:"msg_splits"`
+	Eliminations   int64   `json:"eliminations"`
+	SplitsPerBlock float64 `json:"splits_per_block"`
+}
+
+// stmLevelResult is one contention level: the same block stream run
+// speculatively and sequentially.
+type stmLevelResult struct {
+	Name        string        `json:"name"`
+	Zipf        float64       `json:"zipf"`
+	Keys        int           `json:"keys"`
+	Speculative stmModeResult `json:"speculative"`
+	Sequential  stmModeResult `json:"sequential"`
+}
+
+// stmBenchReport is the BENCH_stm.json document.
+type stmBenchReport struct {
+	reportMeta
+	Alts       int              `json:"alts"`
+	Ops        int              `json:"ops"`
+	ReadFrac   float64          `json:"read_frac"`
+	AbortEvery int              `json:"abort_every"`
+	Levels     []stmLevelResult `json:"levels"`
+}
+
+// Fixed block shape: 4 alternatives × 10 operations, half reads, with
+// every third alternative abort-injected so the block exercises the
+// failure path without ever losing its fall-through winner.
+const (
+	stmbenchAlts       = 4
+	stmbenchOps        = 10
+	stmbenchReadFrac   = 0.5
+	stmbenchAbortEvery = 3
+	stmbenchKeys       = 8
+)
+
+// stmbenchLevels are the contention levels: uniform key choice, then
+// two zipf skews concentrating the same operation stream onto ever
+// hotter pages.
+var stmbenchLevels = []struct {
+	name string
+	zipf float64
+}{
+	{"uniform", 0},
+	{"zipf-1.2", 1.2},
+	{"zipf-2.5", 2.5},
+}
+
+// runStmCell runs blocks transaction blocks at one contention level in
+// one mode (maxDegree 0 = full speculation, 1 = sequential baseline)
+// on a fresh runtime, so the message and elimination counters are the
+// cell's own.
+func runStmCell(zipf float64, maxDegree, blocks int, seedBase int64) (stmModeResult, error) {
+	rt := core.New(core.Config{})
+	pool, err := serve.NewPool(serve.Config{Workers: 2, SpecTokens: 32, Runtime: rt})
+	if err != nil {
+		return stmModeResult{}, err
+	}
+	defer pool.Drain(context.Background())
+
+	degree := maxDegree
+	if degree == 0 {
+		degree = stmbenchAlts
+	}
+	var totalMS float64
+	start := time.Now()
+	for b := 0; b < blocks; b++ {
+		spec := istm.TxnSpec{
+			TxnID:      seedBase + int64(b),
+			Keys:       stmbenchKeys,
+			Alts:       stmbenchAlts,
+			Ops:        stmbenchOps,
+			ReadFrac:   stmbenchReadFrac,
+			Zipf:       zipf,
+			AbortEvery: stmbenchAbortEvery,
+			Seed:       seedBase + int64(b),
+			DeadlineMS: 30_000,
+			MaxDegree:  degree,
+		}
+		tk, err := pool.Submit(appstm.JobFromSpec(spec))
+		if err != nil {
+			return stmModeResult{}, fmt.Errorf("block %d submit: %w", b, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		res, err := tk.Wait(ctx)
+		cancel()
+		if err != nil {
+			return stmModeResult{}, fmt.Errorf("block %d wait: %w", b, err)
+		}
+		if res.Status != serve.StatusDone {
+			return stmModeResult{}, fmt.Errorf("block %d: status %v (err %v), want done",
+				b, res.Status, res.Err)
+		}
+		// Extract already checked the committed image against the
+		// sequential oracle (CheckFinal); a done block is a correct one.
+		totalMS += float64(res.Elapsed.Nanoseconds()) / 1e6
+	}
+	elapsed := time.Since(start)
+
+	ms := rt.MsgStats()
+	return stmModeResult{
+		MaxDegree:      degree,
+		Blocks:         blocks,
+		MeanMS:         totalMS / float64(blocks),
+		Throughput:     float64(blocks) / elapsed.Seconds(),
+		MsgSent:        ms.Sent,
+		MsgAccepted:    ms.Accepted,
+		MsgIgnored:     ms.Ignored,
+		MsgSplits:      ms.Splits,
+		Eliminations:   rt.SelStats().Eliminations,
+		SplitsPerBlock: float64(ms.Splits) / float64(blocks),
+	}, nil
+}
+
+// runStmbench is the `altbench stmbench` entry point.
+func runStmbench(args []string) error {
+	fs := flag.NewFlagSet("stmbench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_stm.json", "output JSON path ('-' for stdout only)")
+	quick := fs.Bool("quick", false, "CI smoke mode: few blocks per cell")
+	minTput := fs.Float64("min-tput", 0.5,
+		"gate: minimum speculative committed blocks/s at the lowest contention level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	blocks := 30
+	if *quick {
+		blocks = 6
+	}
+
+	fmt.Println("stmbench — contended-store transactions, speculative vs sequential fall-through")
+	fmt.Printf("%-10s %-12s %8s %10s %12s %8s %8s %10s %8s\n",
+		"level", "mode", "blocks", "mean ms", "blocks/s", "sent", "ignored", "splits", "elims")
+	var levels []stmLevelResult
+	for i, lv := range stmbenchLevels {
+		seedBase := int64(1000 * (i + 1))
+		spec, err := runStmCell(lv.zipf, 0, blocks, seedBase)
+		if err != nil {
+			return fmt.Errorf("level %s speculative: %w", lv.name, err)
+		}
+		seq, err := runStmCell(lv.zipf, 1, blocks, seedBase)
+		if err != nil {
+			return fmt.Errorf("level %s sequential: %w", lv.name, err)
+		}
+		levels = append(levels, stmLevelResult{
+			Name: lv.name, Zipf: lv.zipf, Keys: stmbenchKeys,
+			Speculative: spec, Sequential: seq,
+		})
+		for _, row := range []struct {
+			mode string
+			r    stmModeResult
+		}{{"speculative", spec}, {"sequential", seq}} {
+			fmt.Printf("%-10s %-12s %8d %10.2f %12.1f %8d %8d %10d %8d\n",
+				lv.name, row.mode, row.r.Blocks, row.r.MeanMS, row.r.Throughput,
+				row.r.MsgSent, row.r.MsgIgnored, row.r.MsgSplits, row.r.Eliminations)
+		}
+	}
+
+	// Gates: the curve must show the machinery actually engaging. At
+	// the highest contention the speculative run must have split store
+	// copies and eliminated the contradicted ones; at the lowest it
+	// must still commit blocks at a usable rate.
+	high := levels[len(levels)-1].Speculative
+	if high.MsgSplits == 0 || high.Eliminations == 0 {
+		return fmt.Errorf("gate: high-contention speculative run shows no world splitting "+
+			"(splits=%d eliminations=%d)", high.MsgSplits, high.Eliminations)
+	}
+	low := levels[0].Speculative
+	if low.Throughput < *minTput {
+		return fmt.Errorf("gate: low-contention speculative throughput %.2f blocks/s below floor %.2f",
+			low.Throughput, *minTput)
+	}
+	fmt.Printf("\ngates held: high-contention splits=%d eliminations=%d; low-contention %.1f blocks/s >= %.1f\n",
+		high.MsgSplits, high.Eliminations, low.Throughput, *minTput)
+
+	return writeReport(*out, stmBenchReport{
+		reportMeta: newReportMeta(),
+		Alts:       stmbenchAlts,
+		Ops:        stmbenchOps,
+		ReadFrac:   stmbenchReadFrac,
+		AbortEvery: stmbenchAbortEvery,
+		Levels:     levels,
+	})
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterTypedRFork ships stm and choo jobs to a peer through the
+// typed rfork path: the spec itself crosses the wire (tags 202/203),
+// the receiving daemon rebuilds the job from it and runs it to
+// completion under its own consensus key.
+func TestClusterTypedRFork(t *testing.T) {
+	nodes := testCluster(t, 2)
+	to := nodes[1].state.node
+
+	if err := nodes[0].state.rfork(to, 0, submitRequest{
+		Kind: "stm",
+		Keys: 4, Alts: 3, Ops: 6, ReadFrac: 0.3, Seed: 5,
+	}); err != nil {
+		t.Fatalf("typed stm rfork: %v", err)
+	}
+	if err := nodes[0].state.rfork(to, 0, submitRequest{
+		Kind:    "choo",
+		Program: "proc a { x := 1; }\nproc b { x := 2; }\nchoo(a, b);\n",
+	}); err != nil {
+		t.Fatalf("typed choo rfork: %v", err)
+	}
+	if got := nodes[0].state.rforksOut.Load(); got != 2 {
+		t.Fatalf("rforksOut = %d, want 2", got)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := nodes[1].pool.Stats()
+		if nodes[1].state.rforksIn.Load() == 2 && st.JobsCompleted == 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never completed both typed jobs: rforksIn=%d stats=%+v",
+				nodes[1].state.rforksIn.Load(), st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

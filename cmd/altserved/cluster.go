@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	appchoo "altrun/apps/choo"
+	appstm "altrun/apps/stm"
 	"altrun/internal/checkpoint"
 	"altrun/internal/consensus"
 	"altrun/internal/core"
@@ -19,6 +21,7 @@ import (
 	"altrun/internal/membership"
 	"altrun/internal/page"
 	"altrun/internal/serve"
+	istm "altrun/internal/stm"
 	"altrun/internal/trace"
 	"altrun/internal/transport"
 
@@ -359,6 +362,25 @@ func (c *clusterState) serveRFork(p transport.Proc) {
 		if !ok {
 			return
 		}
+		// Typed rfork payloads (wire tags 202/203) carry the job spec
+		// itself; the executing node rebuilds the job from it directly,
+		// skipping the checkpoint-image restore the JSON path needs.
+		switch spec := env.Payload.(type) {
+		case istm.TxnSpec:
+			if _, err := c.pool.Submit(appstm.JobFromSpec(spec)); err == nil {
+				c.rforksIn.Add(1)
+			}
+			continue
+		case appchoo.ProgSpec:
+			job, err := spec.Job()
+			if err != nil {
+				continue
+			}
+			if _, err := c.pool.Submit(job); err == nil {
+				c.rforksIn.Add(1)
+			}
+			continue
+		}
 		img, ok := c.receiver.Handle(env)
 		if !ok {
 			continue
@@ -437,6 +459,24 @@ func (c *clusterState) admitWindow(m membership.Member, capacity int) bool {
 // JSON request is written into an address space, captured, and sent
 // over the transport exactly like a migrating process (§5.1.2's rfork).
 func (c *clusterState) rfork(to ids.NodeID, id uint64, req submitRequest) error {
+	// Typed fast path: stm and choo jobs have first-class spec codecs,
+	// so the spec itself crosses the wire — no image capture, no arena,
+	// no JSON. (Specs carry no TraceID; cross-node timeline stitching
+	// stays a JSON-path feature.)
+	switch req.Kind {
+	case "stm":
+		if !c.tcp.Send(transport.Addr{Node: to, Port: checkpoint.RForkPort}, stmSpecFrom(req)) {
+			return fmt.Errorf("rfork: typed send to node %d failed", to)
+		}
+		c.rforksOut.Add(1)
+		return nil
+	case "choo":
+		if !c.tcp.Send(transport.Addr{Node: to, Port: checkpoint.RForkPort}, chooSpecFrom(req)) {
+			return fmt.Errorf("rfork: typed send to node %d failed", to)
+		}
+		c.rforksOut.Add(1)
+		return nil
+	}
 	// Stamp the stitch ID before the request leaves this node: the
 	// receiving daemon's flight recorder tags its timeline with it, so
 	// the origin and the executing node's spans join on one key.

@@ -6,20 +6,26 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	appchoo "altrun/apps/choo"
 	approlog "altrun/apps/prolog"
 	apprecovery "altrun/apps/recovery"
+	appstm "altrun/apps/stm"
 	"altrun/internal/msg"
 	"altrun/internal/obs"
 	"altrun/internal/serve"
+	istm "altrun/internal/stm"
 	"altrun/internal/trace"
 )
 
 // submitRequest is the POST /jobs body. Kind selects the job adapter;
 // the other fields are kind-specific.
 type submitRequest struct {
-	// Kind is "sort" (recovery-block demo) or "prolog".
+	// Kind is "sort" (recovery-block demo), "prolog", "stm"
+	// (contended-store transaction block), or "choo" (choice-conjunctive
+	// program).
 	Kind string `json:"kind"`
 	// DeadlineMS bounds the job end to end (0 = server default).
 	DeadlineMS int64 `json:"deadline_ms"`
@@ -34,12 +40,57 @@ type submitRequest struct {
 	Skew         float64 `json:"skew,omitempty"`
 
 	// prolog: a program (Prelude is preloaded) and a query.
+	// choo reuses Program as its source text.
 	Program string `json:"program,omitempty"`
 	Query   string `json:"query,omitempty"`
+
+	// stm: workload knobs — contended sink pages (Keys), alternatives
+	// per block (Alts), operations per transaction (Ops), read ratio,
+	// zipf skew (<=1 uniform), abort injection (every Nth alternative),
+	// and the deterministic op-generation seed.
+	Keys       int     `json:"keys,omitempty"`
+	Alts       int     `json:"alts,omitempty"`
+	Ops        int     `json:"ops,omitempty"`
+	ReadFrac   float64 `json:"read_frac,omitempty"`
+	Zipf       float64 `json:"zipf,omitempty"`
+	AbortEvery int     `json:"abort_every,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+
+	// MaxDegree caps concurrent alternatives for stm and choo jobs
+	// (0 = pool default; 1 = sequential fall-through).
+	MaxDegree int `json:"max_degree,omitempty"`
 
 	// TraceID stitches this job's flight-recorder timeline across
 	// nodes; rfork stamps one automatically when forwarding.
 	TraceID string `json:"trace_id,omitempty"`
+}
+
+// appJobSeq numbers locally-built stm and choo jobs (the spec identity
+// a typed rfork carries to its executing node).
+var appJobSeq atomic.Int64
+
+func stmSpecFrom(req submitRequest) istm.TxnSpec {
+	return istm.TxnSpec{
+		TxnID:      appJobSeq.Add(1),
+		Keys:       req.Keys,
+		Alts:       req.Alts,
+		Ops:        req.Ops,
+		ReadFrac:   req.ReadFrac,
+		Zipf:       req.Zipf,
+		AbortEvery: req.AbortEvery,
+		Seed:       req.Seed,
+		DeadlineMS: req.DeadlineMS,
+		MaxDegree:  req.MaxDegree,
+	}
+}
+
+func chooSpecFrom(req submitRequest) appchoo.ProgSpec {
+	return appchoo.ProgSpec{
+		ProgID:     appJobSeq.Add(1),
+		Source:     req.Program,
+		DeadlineMS: req.DeadlineMS,
+		MaxDegree:  req.MaxDegree,
+	}
 }
 
 // jobView is the JSON rendering of a job's state.
@@ -154,8 +205,15 @@ func buildJobKind(req submitRequest) (serve.Job, error) {
 			}
 		}
 		return approlog.QueryJob(db, req.Query, approlog.OrConfig{}, 0, deadline)
+	case "stm":
+		return appstm.JobFromSpec(stmSpecFrom(req)), nil
+	case "choo":
+		if req.Program == "" {
+			return serve.Job{}, errors.New("choo job needs a program")
+		}
+		return chooSpecFrom(req).Job()
 	default:
-		return serve.Job{}, fmt.Errorf("unknown job kind %q (want sort or prolog)", req.Kind)
+		return serve.Job{}, fmt.Errorf("unknown job kind %q (want sort, prolog, stm, or choo)", req.Kind)
 	}
 }
 

@@ -1,0 +1,128 @@
+// Command choorun runs a choo program: Kwon-style choice-conjunctive
+// procedure groups lowered to alternative blocks racing over a shared
+// variable store through the multiple-worlds message layer.
+//
+// Usage:
+//
+//	choorun prog.choo            # run, print output and final variables
+//	choorun -oracle prog.choo    # also verify against the sequential oracle
+//	choorun -degree 1 prog.choo  # sequential fall-through (one alt at a time)
+//	echo 'x := 1;' | choorun -   # read the program from stdin
+//
+// With -oracle the result must match one of the program's sequential
+// outcomes (every resolution of every choice, enumerated); a mismatch
+// exits nonzero — it would mean the concurrent execution is observably
+// different from every sequential one, breaking the paper's
+// transparency claim.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"altrun/apps/choo"
+	"altrun/internal/core"
+	"altrun/internal/serve"
+)
+
+func main() {
+	var (
+		oracle  = flag.Bool("oracle", false, "verify the result against the sequential oracle")
+		degree  = flag.Int("degree", 0, "max concurrent procedures per group (0 = pool default, 1 = sequential)")
+		timeout = flag.Duration("timeout", 30*time.Second, "end-to-end deadline")
+		stats   = flag.Bool("stats", false, "print message-layer counters (splits, eliminations)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: choorun [-oracle] [-degree n] prog.choo   (use - for stdin)")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *oracle, *degree, *timeout, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "choorun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, checkOracle bool, degree int, timeout time.Duration, stats bool) error {
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	prog, err := choo.Parse(string(src))
+	if err != nil {
+		return err
+	}
+
+	rt := core.New(core.Config{})
+	pool, err := serve.NewPool(serve.Config{Workers: 1, SpecTokens: 8, Runtime: rt})
+	if err != nil {
+		return err
+	}
+	defer pool.Drain(context.Background())
+
+	before := rt.MsgStats()
+	tk, err := pool.Submit(choo.CompileJob(path, prog, choo.JobOptions{
+		MaxDegree: degree,
+		Deadline:  timeout,
+	}))
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout+time.Second)
+	defer cancel()
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	if res.Status != serve.StatusDone {
+		return fmt.Errorf("%v: %w", res.Status, res.Err)
+	}
+	out := res.Value.(choo.Result)
+
+	for _, line := range out.Prints {
+		fmt.Println(line)
+	}
+	names := make([]string, 0, len(out.Vars))
+	for n := range out.Vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s = %d\n", n, out.Vars[n])
+	}
+	if res.Winner != "" && res.Winner != "main" {
+		fmt.Printf("winner: %s (in %v)\n", res.Winner, res.Elapsed.Round(time.Microsecond))
+	}
+	if stats {
+		after := rt.MsgStats()
+		fmt.Printf("messages: sent=%d accepted=%d ignored=%d splits=%d\n",
+			after.Sent-before.Sent, after.Accepted-before.Accepted,
+			after.Ignored-before.Ignored, after.Splits-before.Splits)
+	}
+
+	if checkOracle {
+		outs, err := choo.Oracle(prog, 0)
+		if err != nil {
+			return fmt.Errorf("oracle: %w", err)
+		}
+		for _, o := range outs {
+			if o.Matches(out.Vars, out.Prints) {
+				fmt.Printf("oracle: result matches sequential outcome %v (of %d)\n", o.Winners, len(outs))
+				return nil
+			}
+		}
+		return fmt.Errorf("oracle: result matches NONE of %d sequential outcomes", len(outs))
+	}
+	return nil
+}

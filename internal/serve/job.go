@@ -30,6 +30,12 @@ type Job struct {
 	Init func(w *core.World) error
 	// Extract reads the job's result out of the committed state.
 	Extract func(w *core.World) (any, error)
+	// Cleanup, when non-nil, runs once the job is finished — on every
+	// terminal path, before the root world is shut down. Adapters use it
+	// to tear down resources Init created outside the root world (e.g.
+	// an STM store's server-world tree), which Extract alone cannot do:
+	// Extract only runs on success.
+	Cleanup func(w *core.World)
 	// Deadline bounds the job end to end — queue wait, budget wait,
 	// and every wave (pool default if 0; negative means none). An
 	// expired deadline cancels the root world, which eliminates the

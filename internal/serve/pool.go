@@ -397,6 +397,11 @@ func (p *Pool) runTask(t *task) {
 	// Retire the root (registration + pages) whatever happens: a
 	// service must not leak a world per request.
 	defer p.rt.Shutdown(root)
+	if j.Cleanup != nil {
+		// LIFO with the Shutdown defer above: Cleanup sees the root
+		// still live, on success and failure paths alike.
+		defer j.Cleanup(root)
+	}
 	t.mu.Lock()
 	t.root = root
 	t.mu.Unlock()

@@ -1,0 +1,228 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"altrun/internal/core"
+)
+
+// ErrTxnAbort is the injected-abort failure: the alternative completed
+// its operations and then refused to commit, modelling a transaction
+// that fails validation.
+var ErrTxnAbort = errors.New("stm: injected transaction abort")
+
+// Config describes one STM transaction block: Alts mutually exclusive
+// implementations of the same transaction race over Keys shared sink
+// pages, each running Ops operations with the given read fraction and
+// key distribution. The whole block is deterministic in Seed, which is
+// what lets a sequential oracle replay the winner.
+type Config struct {
+	// Keys is the number of shared sink pages (the contention domain).
+	Keys int
+	// Alts is the number of alternatives racing per block.
+	Alts int
+	// Ops is the transaction length: operations per alternative.
+	Ops int
+	// ReadFrac is the fraction of operations that are reads in [0,1].
+	ReadFrac float64
+	// Zipf skews key choice toward hot keys when > 1 (the zipf s
+	// parameter); <= 1 picks keys uniformly.
+	Zipf float64
+	// AbortEvery injects a post-operations abort into every k-th
+	// alternative (alternatives Abort-1, 2*AbortEvery-1, ...); 0 never
+	// aborts.
+	AbortEvery int
+	// Seed drives every random choice in the block.
+	Seed int64
+	// ReadTimeout bounds each read round-trip (default 2s).
+	ReadTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keys <= 0 {
+		c.Keys = 16
+	}
+	if c.Alts <= 0 {
+		c.Alts = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 8
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// winnerKey is the reserved extra page each alternative stamps with its
+// own index as its final write; the surviving value names the block's
+// winner, so the oracle can be checked from store state alone.
+func (c Config) winnerKey() int { return c.Keys }
+
+// StoreKeys is the page count a store for this config needs: the
+// contended keys plus the reserved winner page.
+func (c Config) StoreKeys() int { return c.Keys + 1 }
+
+// Op is one transactional operation.
+type Op struct {
+	// Read distinguishes reads from writes.
+	Read bool
+	// Key is the sink page the operation touches.
+	Key int
+	// Val is the value written (writes only).
+	Val uint64
+}
+
+// GenOps returns alternative alt's operation sequence. Deterministic:
+// the same (cfg, alt) always yields the same sequence, for both the
+// racing world and the oracle's replay.
+func GenOps(cfg Config, alt int) []Op {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(alt)*7919 + 1))
+	var zipf *rand.Zipf
+	if cfg.Zipf > 1 && cfg.Keys > 1 {
+		zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.Keys-1))
+	}
+	ops := make([]Op, cfg.Ops)
+	for i := range ops {
+		var key int
+		if zipf != nil {
+			key = int(zipf.Uint64())
+		} else {
+			key = rng.Intn(cfg.Keys)
+		}
+		if rng.Float64() < cfg.ReadFrac {
+			ops[i] = Op{Read: true, Key: key}
+		} else {
+			ops[i] = Op{Key: key, Val: rng.Uint64()}
+		}
+	}
+	return ops
+}
+
+// InitVals returns the deterministic pre-block page image (winner page
+// zero: no winner yet).
+func InitVals(cfg Config) []uint64 {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	vals := make([]uint64, cfg.StoreKeys())
+	for k := 0; k < cfg.Keys; k++ {
+		vals[k] = rng.Uint64()
+	}
+	return vals
+}
+
+// aborts reports whether alternative alt is configured to abort.
+func (c Config) aborts(alt int) bool {
+	return c.AbortEvery > 0 && (alt+1)%c.AbortEvery == 0
+}
+
+// Expected is the sequential oracle: the page image after exactly the
+// winner's writes are applied to the initial image — what
+// no-observable-losers demands of the surviving store copy.
+func Expected(cfg Config, winner int) []uint64 {
+	cfg = cfg.withDefaults()
+	out := InitVals(cfg)
+	for _, op := range GenOps(cfg, winner) {
+		if !op.Read {
+			out[op.Key] = op.Val
+		}
+	}
+	out[cfg.winnerKey()] = uint64(winner) + 1
+	return out
+}
+
+// RunOps executes alternative alt's transaction against the store from
+// w: the generated operation stream, then the winner stamp. Returns
+// ErrTxnAbort for abort-injected alternatives.
+func RunOps(s *Store, w *core.World, cfg Config, alt int) error {
+	cfg = cfg.withDefaults()
+	for i, op := range GenOps(cfg, alt) {
+		if w.Cancelled() {
+			return fmt.Errorf("stm: alt %d cancelled at op %d", alt, i)
+		}
+		if op.Read {
+			if _, err := s.Read(w, op.Key, cfg.ReadTimeout); err != nil {
+				return fmt.Errorf("stm: alt %d op %d: %w", alt, i, err)
+			}
+		} else if err := s.Write(w, op.Key, op.Val); err != nil {
+			return fmt.Errorf("stm: alt %d op %d: %w", alt, i, err)
+		}
+	}
+	if cfg.aborts(alt) {
+		return ErrTxnAbort
+	}
+	return s.Write(w, cfg.winnerKey(), uint64(alt)+1)
+}
+
+// Validate is the alternative's guard: read-your-writes through the
+// store copy consistent with this world. Every key the transaction
+// wrote — and the winner stamp — must read back as the last value this
+// alternative wrote; a mismatch means the message layer routed a
+// sibling's conflicting write into our copy.
+func Validate(s *Store, w *core.World, cfg Config, alt int) (bool, error) {
+	cfg = cfg.withDefaults()
+	last := make(map[int]uint64)
+	for _, op := range GenOps(cfg, alt) {
+		if !op.Read {
+			last[op.Key] = op.Val
+		}
+	}
+	last[cfg.winnerKey()] = uint64(alt) + 1
+	for key, want := range last {
+		got, err := s.Read(w, key, cfg.ReadTimeout)
+		if err != nil {
+			return false, err
+		}
+		if got != want {
+			return false, fmt.Errorf("stm: alt %d key %d read %d, want own write %d", alt, key, got, want)
+		}
+	}
+	return true, nil
+}
+
+// Alts builds the block's alternatives over a store (created by the
+// job's Init; the pointer indirection lets the closure outlive job
+// construction).
+func Alts(storep **Store, cfg Config) []core.Alt {
+	cfg = cfg.withDefaults()
+	alts := make([]core.Alt, cfg.Alts)
+	for i := range alts {
+		alt := i
+		alts[i] = core.Alt{
+			Name: fmt.Sprintf("txn-%d", alt+1),
+			Body: func(w *core.World) error { return RunOps(*storep, w, cfg, alt) },
+			Guard: func(w *core.World) (bool, error) {
+				return Validate(*storep, w, cfg, alt)
+			},
+		}
+	}
+	return alts
+}
+
+// CheckFinal verifies the committed store image against the oracle:
+// the winner page names the winner, and every contended page holds
+// exactly the value the winner's sequential replay produces. Returns
+// the winner index.
+func CheckFinal(cfg Config, final []uint64) (int, error) {
+	cfg = cfg.withDefaults()
+	if len(final) != cfg.StoreKeys() {
+		return -1, fmt.Errorf("stm: final image has %d pages, want %d", len(final), cfg.StoreKeys())
+	}
+	stamp := final[cfg.winnerKey()]
+	if stamp == 0 || stamp > uint64(cfg.Alts) {
+		return -1, fmt.Errorf("stm: winner stamp %d out of range [1,%d]", stamp, cfg.Alts)
+	}
+	winner := int(stamp) - 1
+	want := Expected(cfg, winner)
+	for k := range want {
+		if final[k] != want[k] {
+			return -1, fmt.Errorf("stm: page %d holds %d, oracle wants %d (winner %d): a loser's write survived",
+				k, final[k], want[k], winner)
+		}
+	}
+	return winner, nil
+}

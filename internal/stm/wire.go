@@ -1,0 +1,36 @@
+package stm
+
+// TxnSpec is the wire form of one STM transaction job — everything a
+// peer needs to rebuild the block deterministically (codec tag 202).
+// rfork forwards it typed instead of re-marshalling the HTTP request,
+// so a forwarded STM job crosses the fabric as one binary frame.
+type TxnSpec struct {
+	// TxnID distinguishes concurrent blocks in names and traces.
+	TxnID int64
+	// Keys, Alts, Ops, ReadFrac, Zipf, AbortEvery, Seed mirror Config.
+	Keys       int
+	Alts       int
+	Ops        int
+	ReadFrac   float64
+	Zipf       float64
+	AbortEvery int
+	Seed       int64
+	// DeadlineMS bounds the job end to end (0 = server default).
+	DeadlineMS int64
+	// MaxDegree caps concurrent alternatives; 1 is the sequential
+	// fall-through baseline.
+	MaxDegree int
+}
+
+// Config converts the wire spec into a block config.
+func (t TxnSpec) Config() Config {
+	return Config{
+		Keys:       t.Keys,
+		Alts:       t.Alts,
+		Ops:        t.Ops,
+		ReadFrac:   t.ReadFrac,
+		Zipf:       t.Zipf,
+		AbortEvery: t.AbortEvery,
+		Seed:       t.Seed,
+	}.withDefaults()
+}

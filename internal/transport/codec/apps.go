@@ -1,0 +1,20 @@
+package codec
+
+// Application wire tags (the 200..255 range). 200 and 201 were
+// cmd/altserved's polled load-query protocol, retired when occupancy
+// moved onto the membership gossip; they stay reserved so a new message
+// type can't collide with old peers on the wire. 202/203 carry job
+// specs for typed rfork forwarding: a peer ships the spec itself
+// instead of a checkpointed JSON request, so the hot forwarding path
+// skips the image capture/restore round trip.
+//
+// Unlike the protocol messages, the app specs register themselves (see
+// internal/stm and apps/choo): those packages sit above internal/core
+// on the dependency ladder, and this package must stay importable from
+// core's own tests. A binary speaks an app's wire dialect iff it links
+// the app package — every daemon that can build the job can decode its
+// spec, and nothing else needs to.
+const (
+	TagStmTxnSpec   byte = 202
+	TagChooProgSpec byte = 203
+)

@@ -18,8 +18,11 @@
 // which is also why transport itself must never import it.
 //
 // Tag space: 1 is claimed by transport for []byte; 2..99 are protocol
-// messages assigned here; 200..255 are reserved for applications
-// (cmd/altserved claims its cluster-gossip tags there).
+// messages assigned here; 200..255 are reserved for applications —
+// 200/201 stay reserved for the retired load-query protocol, 202/203
+// carry the stm and choo job specs for typed rfork forwarding. The app
+// specs self-register from their own packages (see apps.go for why),
+// against the tag constants declared there.
 package codec
 
 import (

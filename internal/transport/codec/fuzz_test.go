@@ -6,6 +6,11 @@ import (
 
 	"altrun/internal/transport"
 	"altrun/internal/transport/codec"
+
+	// Self-registering application codecs: linking them puts their spec
+	// frames (tags 202/203) under fuzz alongside the protocol messages.
+	_ "altrun/apps/choo"
+	_ "altrun/internal/stm"
 )
 
 // FuzzDecodeEnvelope holds the codec to its contract on arbitrary

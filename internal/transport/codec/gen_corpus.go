@@ -18,6 +18,11 @@ import (
 
 	"altrun/internal/transport"
 	"altrun/internal/transport/codec"
+
+	// Self-registering application codecs: linking them adds their spec
+	// frames (tags 202/203) to the seed set.
+	_ "altrun/apps/choo"
+	_ "altrun/internal/stm"
 )
 
 func main() {

@@ -9,17 +9,30 @@ import (
 	"altrun/internal/transport"
 )
 
+// extraSeeds holds exemplar envelopes contributed by self-registering
+// application packages (RegisterSeed); SeedEnvelopes appends them after
+// the protocol seeds, so the fuzz corpus covers app frames exactly when
+// the binary links the app.
+var extraSeeds []transport.Envelope
+
+// RegisterSeed adds an application payload exemplar to SeedEnvelopes.
+// Call it from the same init that registers the payload's wire codec;
+// like registration itself it is init-time only, not concurrency-safe.
+func RegisterSeed(env transport.Envelope) {
+	extraSeeds = append(extraSeeds, env)
+}
+
 // SeedEnvelopes returns one exemplar envelope per registered frame
 // shape, with strings and byte payloads exercising every
 // length-prefixed field. The fuzz harness seeds from it and
 // gen_corpus.go writes its encodings into testdata/fuzz as the
 // checked-in corpus; add an entry here when registering a new message
-// type.
+// type (application packages contribute theirs through RegisterSeed).
 func SeedEnvelopes() []transport.Envelope {
 	addr := func(n ids.NodeID, port string) transport.Addr {
 		return transport.Addr{Node: n, Port: port}
 	}
-	return []transport.Envelope{
+	base := []transport.Envelope{
 		{From: 1, To: addr(2, "inbox"), Payload: []byte("raw bytes payload")},
 		{From: 1, To: addr(2, "consensus/vote"), Payload: consensus.VoteReq{
 			Key: "job/1/7", Claimant: ids.PID(100), Ballot: 2, Reply: addr(1, "consensus/claim/7"),
@@ -115,4 +128,5 @@ func SeedEnvelopes() []transport.Envelope {
 			},
 		}},
 	}
+	return append(base, extraSeeds...)
 }
